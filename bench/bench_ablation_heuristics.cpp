@@ -1,0 +1,66 @@
+// Ablation: reactive (paper's implemented method) vs proactive (paper's
+// sketched alternative, §III.D) overhead heuristics, plus the trigger
+// choice policy (earliest-depth — the paper's pick "so that we could
+// reduce our delay overhead" — vs random).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace odcfp;
+using namespace odcfp::bench;
+
+int main() {
+  const double kBudget = 0.05;  // 5% delay constraint
+  const char* kCircuits[] = {"c432", "c880", "c1908", "c3540", "vda",
+                             "dalu"};
+
+  std::printf("ABLATION A — reactive vs proactive heuristic "
+              "(5%% delay budget)\n\n");
+  std::printf("%-7s | %10s %10s %9s | %10s %10s %9s\n", "circuit",
+              "bits-react", "delayOH", "STAevals", "bits-proact",
+              "delayOH", "STAevals");
+  print_rule(80);
+  for (const char* name : kCircuits) {
+    const PreparedCircuit prep = prepare(name);
+
+    Netlist w1 = prep.golden;
+    FingerprintEmbedder e1(w1, prep.locations);
+    ReactiveOptions ropt;
+    ropt.max_delay_overhead = kBudget;
+    ropt.restarts = 2;
+    const HeuristicOutcome r =
+        reactive_reduce(e1, prep.baseline, sta(), power(), ropt);
+
+    Netlist w2 = prep.golden;
+    FingerprintEmbedder e2(w2, prep.locations);
+    ProactiveOptions popt;
+    popt.max_delay_overhead = kBudget;
+    const HeuristicOutcome p =
+        proactive_insert(e2, prep.baseline, sta(), power(), popt);
+
+    std::printf("%-7s | %10.1f %10s %9zu | %10.1f %10s %9zu\n", name,
+                r.bits_kept, pct(r.overheads.delay_ratio).c_str(),
+                r.sta_evaluations, p.bits_kept,
+                pct(p.overheads.delay_ratio).c_str(), p.sta_evaluations);
+  }
+
+  std::printf("\nABLATION B — trigger policy: earliest-depth (paper) vs "
+              "random (full embedding delay overhead)\n\n");
+  std::printf("%-7s %14s %14s\n", "circuit", "earliest", "random");
+  print_rule(40);
+  for (const char* name : kCircuits) {
+    LocationFinderOptions early;
+    const PreparedCircuit pe = prepare(name, early);
+    const FullEmbedResult fe = embed_all_and_measure(pe);
+
+    LocationFinderOptions rnd;
+    rnd.trigger_policy = LocationFinderOptions::TriggerPolicy::kRandom;
+    const PreparedCircuit pr = prepare(name, rnd);
+    const FullEmbedResult fr = embed_all_and_measure(pr);
+
+    std::printf("%-7s %14s %14s\n", name,
+                pct(fe.overheads.delay_ratio).c_str(),
+                pct(fr.overheads.delay_ratio).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation: how the Definition-1 design choices affect fingerprint
+// capacity — Fig. 5 reroute options on/off, XOR injection sites (an
+// extension beyond the paper's criterion 3), and the per-location site
+// cap.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace odcfp;
+using namespace odcfp::bench;
+
+namespace {
+
+struct Variant {
+  const char* label;
+  LocationFinderOptions opts;
+};
+
+}  // namespace
+
+int main() {
+  std::vector<Variant> variants;
+  {
+    Variant v{"paper (reroute, no XOR, 1 site/loc)", {}};
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no reroute (Fig. 4 only)", {}};
+    v.opts.enable_reroute = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"+XOR sites (extension)", {}};
+    v.opts.allow_xor_sites = true;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"multi-site FFCs (cap 4, §III.C k-bit variant)", {}};
+    v.opts.max_sites_per_location = 4;
+    variants.push_back(v);
+  }
+
+  const char* kCircuits[] = {"c432", "c499", "c880", "c1908", "c3540",
+                             "t481", "vda"};
+
+  for (const Variant& v : variants) {
+    std::printf("\n== %s ==\n", v.label);
+    std::printf("%-7s %6s %6s %9s %11s\n", "circuit", "locs", "sites",
+                "bits", "bits/loc");
+    print_rule(45);
+    for (const char* name : kCircuits) {
+      const PreparedCircuit p = prepare(name, v.opts);
+      const double bits = p.capacity_bits;
+      std::printf("%-7s %6zu %6zu %9.1f %11.2f\n", name,
+                  p.locations.size(), total_sites(p.locations), bits,
+                  p.locations.empty()
+                      ? 0.0
+                      : bits / static_cast<double>(p.locations.size()));
+    }
+  }
+  return 0;
+}

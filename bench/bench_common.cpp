@@ -1,0 +1,57 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace odcfp::bench {
+
+const StaticTimingAnalyzer& sta() {
+  static const StaticTimingAnalyzer analyzer;
+  return analyzer;
+}
+
+const PowerAnalyzer& power() {
+  static const PowerAnalyzer analyzer;
+  return analyzer;
+}
+
+PreparedCircuit prepare(const std::string& name,
+                        const LocationFinderOptions& opts) {
+  PreparedCircuit p{name, make_benchmark(name), {}, {}, 0};
+  p.baseline = Baseline::measure(p.golden, sta(), power());
+  p.locations = find_locations(p.golden, opts);
+  p.capacity_bits = total_capacity_bits(p.locations);
+  return p;
+}
+
+FullEmbedResult embed_all_and_measure(const PreparedCircuit& prepared,
+                                      std::size_t sim_words) {
+  Netlist work = prepared.golden;  // value copy
+  FingerprintEmbedder embedder(work, prepared.locations);
+  embedder.apply_all_generic();
+  FullEmbedResult result;
+  result.sites = embedder.num_applied();
+  result.overheads =
+      Overheads::measure(work, prepared.baseline, sta(), power());
+  result.sim_equal =
+      random_sim_equal(prepared.golden, work, sim_words, /*seed=*/17);
+  ODCFP_CHECK_MSG(result.sim_equal,
+                  "fingerprinted '" << prepared.name
+                                    << "' is NOT equivalent to golden");
+  return result;
+}
+
+std::string pct(double fraction, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+void print_rule(std::size_t width) {
+  std::string s(width, '-');
+  std::printf("%s\n", s.c_str());
+}
+
+}  // namespace odcfp::bench

@@ -1,0 +1,57 @@
+// Shared pipeline for the paper-reproduction bench binaries: build a
+// benchmark circuit, measure the baseline, find fingerprint locations,
+// embed, and measure overheads — the exact flow behind Table II/III and
+// Fig. 7.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "benchgen/benchmarks.hpp"
+#include "equiv/cec.hpp"
+#include "fingerprint/codewords.hpp"
+#include "fingerprint/embedder.hpp"
+#include "fingerprint/heuristics.hpp"
+#include "fingerprint/location.hpp"
+#include "netlist/netlist.hpp"
+#include "power/power.hpp"
+#include "timing/sta.hpp"
+
+namespace odcfp::bench {
+
+/// One benchmark circuit, prepared for fingerprinting.
+struct PreparedCircuit {
+  std::string name;
+  Netlist golden;                   ///< Unfingerprinted mapped netlist.
+  Baseline baseline;
+  std::vector<FingerprintLocation> locations;
+  double capacity_bits = 0;
+
+  std::size_t gate_count() const { return golden.num_live_gates(); }
+};
+
+/// The analyzer configuration used by every bench (defaults everywhere so
+/// numbers are comparable across binaries).
+const StaticTimingAnalyzer& sta();
+const PowerAnalyzer& power();
+
+/// Builds the benchmark, measures the baseline, finds locations.
+PreparedCircuit prepare(const std::string& name,
+                        const LocationFinderOptions& opts = {});
+
+/// Full (Table II) embedding: every site gets the generic injection.
+/// Also random-sim-checks equivalence of the result against the golden
+/// netlist (throws on miscompare).
+struct FullEmbedResult {
+  Overheads overheads;
+  std::size_t sites = 0;
+  bool sim_equal = false;
+};
+FullEmbedResult embed_all_and_measure(const PreparedCircuit& prepared,
+                                      std::size_t sim_words = 64);
+
+/// Pretty-printing helpers.
+std::string pct(double fraction, int decimals = 2);
+void print_rule(std::size_t width);
+
+}  // namespace odcfp::bench

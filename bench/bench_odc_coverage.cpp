@@ -1,0 +1,67 @@
+// Ablation: how much of the circuit's observability-don't-care space does
+// the paper's gate-local ODC analysis (Eq. 1 at the primary gate)
+// actually exploit?
+//
+// For each circuit we measure, by Monte-Carlo simulation, the fraction of
+// internal nets that are at least sometimes unobservable at the primary
+// outputs (simulated observability < 1). Every such net is in principle a
+// hiding place for a modification; the location finder uses only the
+// single-gate condition, so the gap between the two columns is the
+// capacity left on the table by deeper (window/global) ODC analysis —
+// the "several layers deep" remark of paper §III.A.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "odc/odc.hpp"
+
+using namespace odcfp;
+using namespace odcfp::bench;
+
+int main() {
+  std::printf("ODC COVERAGE — gate-local locations vs Monte-Carlo "
+              "observability (256*64 random patterns/net)\n\n");
+  std::printf("%-7s %7s %10s %14s %16s %9s\n", "circuit", "nets",
+              "sampled", "partially-", "gate-local", "coverage");
+  std::printf("%-7s %7s %10s %14s %16s %9s\n", "", "", "",
+              "unobservable", "locations", "");
+  print_rule(70);
+
+  for (const char* name :
+       {"c432", "c499", "c880", "c1908", "c3540", "vda", "dalu"}) {
+    const Netlist nl = make_benchmark(name);
+    const auto locs = find_locations(nl);
+
+    // Sample internal (gate-driven) nets.
+    std::vector<NetId> internal;
+    for (NetId n = 0; n < nl.num_nets(); ++n) {
+      if (nl.net(n).driver != kInvalidGate &&
+          !nl.net(n).fanouts.empty()) {
+        internal.push_back(n);
+      }
+    }
+    Rng rng(17);
+    rng.shuffle(internal);
+    const std::size_t sample =
+        std::min<std::size_t>(internal.size(), 200);
+
+    std::size_t hidden = 0;
+    for (std::size_t i = 0; i < sample; ++i) {
+      const double obs =
+          simulated_observability(nl, internal[i], 256, 1000 + i);
+      if (obs < 1.0 - 1e-12) ++hidden;
+    }
+    const double hidden_frac =
+        static_cast<double>(hidden) / static_cast<double>(sample);
+    const double loc_frac = static_cast<double>(locs.size()) /
+                            static_cast<double>(internal.size());
+    std::printf("%-7s %7zu %10zu %13.1f%% %15.1f%% %8.2fx\n", name,
+                internal.size(), sample, hidden_frac * 100,
+                loc_frac * 100,
+                hidden_frac > 0 ? loc_frac / hidden_frac : 0.0);
+  }
+  std::printf("\n(gate-local analysis typically exploits a fraction of "
+              "the nets with real don't-care\n slack — deeper window ODC "
+              "analysis is the paper's natural extension)\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+// The paper's "circuit modifier" as a command-line tool (paper Fig. 6:
+// "Input: Circuit in Verilog netlist format / Output: Circuit in Verilog
+// netlist format with fingerprints inserted").
+//
+//   circuit_modifier <in.v> <out.v> [--buyer N] [--seed S]
+//                    [--max-delay-overhead F] [--report]
+//   circuit_modifier --demo          (no files: runs on a generated ALU)
+//
+// Reads a structural Verilog netlist over the default cell library, finds
+// the fingerprint locations, embeds buyer N's codeword (optionally under a
+// delay constraint via the reactive heuristic), verifies equivalence, and
+// writes the fingerprinted netlist.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "benchgen/benchmarks.hpp"
+#include "equiv/cec.hpp"
+#include "fingerprint/codewords.hpp"
+#include "fingerprint/embedder.hpp"
+#include "fingerprint/heuristics.hpp"
+#include "io/verilog.hpp"
+
+using namespace odcfp;
+
+namespace {
+
+int run(const Netlist& golden, const std::string& out_path,
+        std::size_t buyer, std::uint64_t seed, double max_delay_overhead,
+        bool report) {
+  const auto locations = find_locations(golden);
+  if (locations.empty()) {
+    std::fprintf(stderr, "no fingerprint locations found\n");
+    return 1;
+  }
+  std::printf("circuit: %zu gates, %zu fingerprint locations, "
+              "%.1f bits capacity\n",
+              golden.num_live_gates(), locations.size(),
+              total_capacity_bits(locations));
+
+  Netlist work = golden;
+  FingerprintEmbedder embedder(work, locations);
+
+  if (max_delay_overhead > 0) {
+    const StaticTimingAnalyzer sta;
+    const PowerAnalyzer power;
+    const Baseline base = Baseline::measure(golden, sta, power);
+    ReactiveOptions opt;
+    opt.max_delay_overhead = max_delay_overhead;
+    opt.seed = seed;
+    const HeuristicOutcome out =
+        reactive_reduce(embedder, base, sta, power, opt);
+    std::printf("delay budget %.1f%%: kept %zu/%zu sites "
+                "(%.1f of %.1f bits), delay overhead %.2f%%\n",
+                max_delay_overhead * 100, out.sites_kept, out.sites_total,
+                out.bits_kept, out.bits_total,
+                out.overheads.delay_ratio * 100);
+    // Restrict the codebook to the surviving sites.
+    std::vector<FingerprintLocation> kept;
+    for (std::size_t l = 0; l < locations.size(); ++l) {
+      FingerprintLocation loc = locations[l];
+      loc.sites.clear();
+      for (std::size_t s = 0; s < locations[l].sites.size(); ++s) {
+        if (out.code[l][s] != 0) loc.sites.push_back(locations[l].sites[s]);
+      }
+      if (!loc.sites.empty()) kept.push_back(std::move(loc));
+    }
+    embedder.remove_all();
+    Netlist shipped = golden;
+    FingerprintEmbedder final_embedder(shipped, kept);
+    const Codebook book(kept, buyer + 1, seed);
+    final_embedder.apply_code(book.code(buyer));
+    if (!random_sim_equal(golden, shipped, 256, seed)) {
+      std::fprintf(stderr, "equivalence check FAILED — not writing\n");
+      return 1;
+    }
+    if (!out_path.empty()) write_verilog_file(out_path, shipped);
+    if (report) {
+      const FingerprintCode code = extract_code(shipped, golden, kept);
+      std::printf("embedded code verified by extraction: %s\n",
+                  code == book.code(buyer) ? "OK" : "MISMATCH");
+    }
+  } else {
+    const Codebook book(locations, buyer + 1, seed);
+    embedder.apply_code(book.code(buyer));
+    if (!random_sim_equal(golden, work, 256, seed)) {
+      std::fprintf(stderr, "equivalence check FAILED — not writing\n");
+      return 1;
+    }
+    if (!out_path.empty()) write_verilog_file(out_path, work);
+    if (report) {
+      const FingerprintCode code = extract_code(work, golden, locations);
+      std::printf("embedded code verified by extraction: %s\n",
+                  code == book.code(buyer) ? "OK" : "MISMATCH");
+    }
+  }
+  if (!out_path.empty()) {
+    std::printf("wrote fingerprinted netlist to %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string in_path, out_path;
+  std::size_t buyer = 0;
+  std::uint64_t seed = 1;
+  double max_delay_overhead = 0;
+  bool report = false;
+  bool demo = (argc <= 1);
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--buyer" && i + 1 < argc) {
+      buyer = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::stoull(argv[++i]);
+    } else if (arg == "--max-delay-overhead" && i + 1 < argc) {
+      max_delay_overhead = std::stod(argv[++i]);
+    } else if (arg == "--report") {
+      report = true;
+    } else if (in_path.empty()) {
+      in_path = arg;
+    } else if (out_path.empty()) {
+      out_path = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  try {
+    if (demo) {
+      std::printf("demo mode: fingerprinting a generated c880-class ALU "
+                  "for buyer %zu\n", buyer);
+      return run(make_benchmark("c880"), out_path, buyer, seed,
+                 max_delay_overhead, /*report=*/true);
+    }
+    if (in_path.empty()) {
+      std::fprintf(stderr,
+                   "usage: circuit_modifier <in.v> <out.v> [--buyer N] "
+                   "[--seed S] [--max-delay-overhead F] [--report]\n");
+      return 2;
+    }
+    const Netlist golden =
+        read_verilog_file(in_path, default_cell_library());
+    return run(golden, out_path, buyer, seed, max_delay_overhead, report);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,53 @@
+// Delay budgeting: what the overhead heuristics buy you (paper §III.D).
+//
+// Fully fingerprinting a circuit costs serious delay (the paper's Table II
+// averages 64% overhead). This example sweeps delay budgets on the
+// c1908-class SEC/DED unit and shows, for both the reactive and proactive
+// heuristics, how much fingerprint capacity survives at each budget —
+// reproducing the trade-off of Table III / Fig. 7 on one circuit.
+#include <cstdio>
+
+#include "benchgen/benchmarks.hpp"
+#include "fingerprint/embedder.hpp"
+#include "fingerprint/heuristics.hpp"
+#include "power/power.hpp"
+#include "timing/sta.hpp"
+
+using namespace odcfp;
+
+int main() {
+  const Netlist golden = make_benchmark("c1908");
+  const StaticTimingAnalyzer sta;
+  const PowerAnalyzer power;
+  const Baseline base = Baseline::measure(golden, sta, power);
+  const auto locations = find_locations(golden);
+
+  std::printf("c1908-class SEC/DED: %zu gates, delay %.2f, %zu locations, "
+              "%.1f bits capacity\n\n",
+              golden.num_live_gates(), base.delay, locations.size(),
+              total_capacity_bits(locations));
+  std::printf("%8s | %16s | %16s\n", "budget", "reactive bits(OH)",
+              "proactive bits(OH)");
+  std::printf("---------------------------------------------------\n");
+
+  for (double budget : {0.50, 0.20, 0.10, 0.05, 0.02, 0.01}) {
+    Netlist w1 = golden;
+    FingerprintEmbedder e1(w1, locations);
+    ReactiveOptions ropt;
+    ropt.max_delay_overhead = budget;
+    ropt.restarts = 2;
+    const HeuristicOutcome r = reactive_reduce(e1, base, sta, power, ropt);
+
+    Netlist w2 = golden;
+    FingerprintEmbedder e2(w2, locations);
+    ProactiveOptions popt;
+    popt.max_delay_overhead = budget;
+    const HeuristicOutcome p = proactive_insert(e2, base, sta, power, popt);
+
+    std::printf("%7.0f%% | %8.1f (%4.1f%%) | %8.1f (%4.1f%%)\n",
+                budget * 100, r.bits_kept,
+                r.overheads.delay_ratio * 100, p.bits_kept,
+                p.overheads.delay_ratio * 100);
+  }
+  return 0;
+}

@@ -1,0 +1,189 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace odcfp {
+
+namespace {
+
+std::uint64_t triple_key(std::uint32_t a, std::uint32_t b,
+                         std::uint32_t c) {
+  // Mix three 32-bit ids into a 64-bit key (FNV-ish).
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint64_t x : {std::uint64_t{a}, std::uint64_t{b},
+                          std::uint64_t{c}}) {
+    h ^= x + 0x9e3779b97f4a7c15ull;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+BddManager::BddManager(int num_vars) : num_vars_(num_vars) {
+  ODCFP_CHECK(num_vars >= 0);
+  // Terminals: 0 and 1, at a pseudo-level below all variables.
+  nodes_.push_back({num_vars_, 0, 0});  // zero
+  nodes_.push_back({num_vars_, 1, 1});  // one
+}
+
+BddRef BddManager::make_node(int var_index, BddRef lo, BddRef hi) {
+  if (lo == hi) return lo;  // reduction rule
+  const std::uint64_t key =
+      triple_key(static_cast<std::uint32_t>(var_index), lo, hi);
+  auto it = unique_.find(key);
+  if (it != unique_.end()) {
+    // Guard against (vanishingly unlikely) key collisions.
+    const Node& n = nodes_[it->second];
+    if (n.var == var_index && n.lo == lo && n.hi == hi) return it->second;
+  }
+  const BddRef ref = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back({var_index, lo, hi});
+  unique_[key] = ref;
+  return ref;
+}
+
+BddRef BddManager::var(int var_index) {
+  ODCFP_CHECK(var_index >= 0 && var_index < num_vars_);
+  return make_node(var_index, zero(), one());
+}
+
+BddRef BddManager::nvar(int var_index) {
+  ODCFP_CHECK(var_index >= 0 && var_index < num_vars_);
+  return make_node(var_index, one(), zero());
+}
+
+int BddManager::top_var(BddRef f, BddRef g, BddRef h) const {
+  return std::min({nodes_[f].var, nodes_[g].var, nodes_[h].var});
+}
+
+BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
+  // Terminal cases.
+  if (f == one()) return g;
+  if (f == zero()) return h;
+  if (g == h) return g;
+  if (g == one() && h == zero()) return f;
+
+  const std::uint64_t key = triple_key(f, g, h);
+  auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  const int v = top_var(f, g, h);
+  auto cof = [this, v](BddRef x, bool value) {
+    const Node& n = nodes_[x];
+    if (n.var != v) return x;
+    return value ? n.hi : n.lo;
+  };
+  const BddRef lo = ite(cof(f, false), cof(g, false), cof(h, false));
+  const BddRef hi = ite(cof(f, true), cof(g, true), cof(h, true));
+  const BddRef result = make_node(v, lo, hi);
+  ite_cache_[key] = result;
+  return result;
+}
+
+BddRef BddManager::not_(BddRef f) { return ite(f, zero(), one()); }
+BddRef BddManager::and_(BddRef f, BddRef g) { return ite(f, g, zero()); }
+BddRef BddManager::or_(BddRef f, BddRef g) { return ite(f, one(), g); }
+BddRef BddManager::xor_(BddRef f, BddRef g) {
+  return ite(f, not_(g), g);
+}
+BddRef BddManager::xnor_(BddRef f, BddRef g) { return ite(f, g, not_(g)); }
+
+BddRef BddManager::cofactor(BddRef f, int var_index, bool value) {
+  ODCFP_CHECK(var_index >= 0 && var_index < num_vars_);
+  const Node& n = nodes_[f];
+  if (n.var > var_index) return f;  // f does not depend on var
+  if (n.var == var_index) return value ? n.hi : n.lo;
+  // n.var < var_index: rebuild both branches.
+  const BddRef lo = cofactor(n.lo, var_index, value);
+  const BddRef hi = cofactor(n.hi, var_index, value);
+  return make_node(n.var, lo, hi);
+}
+
+BddRef BddManager::exists(BddRef f, int var_index) {
+  return or_(cofactor(f, var_index, false),
+             cofactor(f, var_index, true));
+}
+
+BddRef BddManager::forall(BddRef f, int var_index) {
+  return and_(cofactor(f, var_index, false),
+              cofactor(f, var_index, true));
+}
+
+bool BddManager::evaluate(BddRef f, const std::vector<bool>& values) const {
+  ODCFP_CHECK(static_cast<int>(values.size()) == num_vars_);
+  while (f > 1) {
+    const Node& n = nodes_[f];
+    f = values[static_cast<std::size_t>(n.var)] ? n.hi : n.lo;
+  }
+  return f == 1;
+}
+
+double BddManager::count_minterms(BddRef f) {
+  // count(r, from_var): minterms over the variables from_var..num_vars-1.
+  struct Counter {
+    BddManager& mgr;
+    std::unordered_map<std::uint64_t, double>& cache;
+    double count_from(BddRef r, int from_var) {
+      if (r <= 1) {
+        return r == 1
+                   ? std::pow(2.0, mgr.num_vars_ - from_var)
+                   : 0.0;
+      }
+      const Node& n = mgr.nodes_[r];
+      const std::uint64_t key =
+          triple_key(r, static_cast<std::uint32_t>(from_var), 0xC0u);
+      auto it = cache.find(key);
+      if (it != cache.end()) return it->second;
+      // Variables between from_var and n.var are free (factor 2 each);
+      // the node itself splits one variable between its two branches.
+      const double skipped = std::pow(2.0, n.var - from_var);
+      const double below = count_from(n.lo, n.var + 1) +
+                           count_from(n.hi, n.var + 1);
+      const double result = skipped * below;
+      cache[key] = result;
+      return result;
+    }
+  };
+  Counter counter{*this, count_cache_};
+  return counter.count_from(f, 0);
+}
+
+std::vector<bool> BddManager::any_sat(BddRef f) const {
+  ODCFP_CHECK_MSG(f != zero(), "any_sat of the zero function");
+  std::vector<bool> values(static_cast<std::size_t>(num_vars_), false);
+  while (f > 1) {
+    const Node& n = nodes_[f];
+    if (n.lo != zero()) {
+      values[static_cast<std::size_t>(n.var)] = false;
+      f = n.lo;
+    } else {
+      values[static_cast<std::size_t>(n.var)] = true;
+      f = n.hi;
+    }
+  }
+  return values;
+}
+
+std::size_t BddManager::node_count(BddRef f) const {
+  std::vector<BddRef> stack{f};
+  std::unordered_map<BddRef, bool> seen;
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const BddRef r = stack.back();
+    stack.pop_back();
+    if (seen[r]) continue;
+    seen[r] = true;
+    ++count;
+    if (r > 1) {
+      stack.push_back(nodes_[r].lo);
+      stack.push_back(nodes_[r].hi);
+    }
+  }
+  return count;
+}
+
+}  // namespace odcfp

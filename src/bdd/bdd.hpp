@@ -1,0 +1,90 @@
+// Reduced Ordered Binary Decision Diagrams (ROBDDs), built from scratch.
+//
+// The manager owns all nodes (hash-consed in a unique table) and provides
+// the classic operations via ITE with memoization: AND/OR/XOR/NOT,
+// cofactor (restrict), existential quantification, satisfiability
+// helpers, and evaluation. No complement edges and no garbage collection
+// — node counts in this project stay small (the don't-care analyses in
+// src/odc build BDDs over bounded windows), so simplicity and
+// verifiability win.
+//
+// Variables are identified by index; the variable order is the index
+// order (lower index = closer to the root).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace odcfp {
+
+/// A BDD function handle; only meaningful with its owning BddManager.
+using BddRef = std::uint32_t;
+
+class BddManager {
+ public:
+  explicit BddManager(int num_vars);
+
+  int num_vars() const { return num_vars_; }
+
+  BddRef zero() const { return 0; }
+  BddRef one() const { return 1; }
+
+  /// The function of variable `var` itself.
+  BddRef var(int var_index);
+  /// The complement of variable `var`.
+  BddRef nvar(int var_index);
+
+  BddRef not_(BddRef f);
+  BddRef and_(BddRef f, BddRef g);
+  BddRef or_(BddRef f, BddRef g);
+  BddRef xor_(BddRef f, BddRef g);
+  BddRef xnor_(BddRef f, BddRef g);
+  BddRef ite(BddRef f, BddRef g, BddRef h);
+
+  /// f with variable `var` fixed to `value`.
+  BddRef cofactor(BddRef f, int var_index, bool value);
+
+  /// Existential quantification over one variable: f|v=0 OR f|v=1.
+  BddRef exists(BddRef f, int var_index);
+
+  /// Universal quantification: f|v=0 AND f|v=1.
+  BddRef forall(BddRef f, int var_index);
+
+  bool is_constant(BddRef f) const { return f <= 1; }
+  bool constant_value(BddRef f) const { return f == 1; }
+
+  /// Evaluates under a full assignment (values indexed by variable).
+  bool evaluate(BddRef f, const std::vector<bool>& values) const;
+
+  /// Number of minterms of f over all num_vars() variables.
+  double count_minterms(BddRef f);
+
+  /// One satisfying assignment (values indexed by variable); f must not
+  /// be the zero function. Unconstrained variables are set to false.
+  std::vector<bool> any_sat(BddRef f) const;
+
+  /// Structural node count of f (including terminals).
+  std::size_t node_count(BddRef f) const;
+
+  /// Total nodes allocated in the manager.
+  std::size_t size() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int var;       // variable index; terminals use num_vars_
+    BddRef lo;     // var = 0 branch
+    BddRef hi;     // var = 1 branch
+  };
+
+  BddRef make_node(int var_index, BddRef lo, BddRef hi);
+  int top_var(BddRef f, BddRef g, BddRef h) const;
+
+  int num_vars_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, BddRef> unique_;
+  std::unordered_map<std::uint64_t, BddRef> ite_cache_;
+  std::unordered_map<std::uint64_t, double> count_cache_;
+};
+
+}  // namespace odcfp

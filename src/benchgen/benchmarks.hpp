@@ -1,0 +1,47 @@
+// Benchmark registry: one entry per circuit in the paper's Table II, plus
+// c17 for tests. make_benchmark() reproduces the paper's preparation flow
+// (logic network -> technology mapping onto the cell library), returning
+// the mapped Netlist the fingerprinting pipeline consumes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "synth/sop_network.hpp"
+
+namespace odcfp {
+
+struct BenchmarkSpec {
+  std::string name;
+  std::string description;
+
+  // Paper Table II reference values (0 / negative when not listed).
+  std::size_t paper_gates = 0;
+  double paper_area = 0;
+  double paper_delay = 0;
+  double paper_power = 0;           ///< -1 when the paper reports N/A.
+  int paper_locations = 0;
+  double paper_log2_combinations = 0;
+  double paper_area_overhead = 0;   ///< Fractions (0.1119 = 11.19%).
+  double paper_delay_overhead = 0;
+  double paper_power_overhead = 0;  ///< -1 when the paper reports N/A.
+};
+
+/// The 14 circuits of Table II, in the paper's row order.
+const std::vector<BenchmarkSpec>& table2_benchmarks();
+
+/// Spec lookup by name (includes c17); throws CheckError if unknown.
+const BenchmarkSpec& benchmark_spec(const std::string& name);
+
+/// All generatable benchmark names (table2 plus c17).
+std::vector<std::string> benchmark_names();
+
+/// The technology-independent network for a benchmark.
+SopNetwork make_benchmark_sop(const std::string& name);
+
+/// The mapped netlist (deterministic; per-benchmark mapper settings).
+Netlist make_benchmark(const std::string& name,
+                       const CellLibrary& lib = default_cell_library());
+
+}  // namespace odcfp

@@ -1,0 +1,429 @@
+#include "benchgen/iscas.hpp"
+
+#include <algorithm>
+
+#include "benchgen/sop_builder.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace odcfp {
+
+SopNetwork make_c17() {
+  SopBuilder b("c17");
+  const SignalId i1 = b.input("1");
+  const SignalId i2 = b.input("2");
+  const SignalId i3 = b.input("3");
+  const SignalId i6 = b.input("6");
+  const SignalId i7 = b.input("7");
+  const SignalId n10 = b.nand_({i1, i3});
+  const SignalId n11 = b.nand_({i3, i6});
+  const SignalId n16 = b.nand_({i2, n11});
+  const SignalId n19 = b.nand_({n11, i7});
+  b.output(b.nand_({n10, n16}), "22");
+  b.output(b.nand_({n16, n19}), "23");
+  return std::move(b).take();
+}
+
+SopNetwork make_priority_controller(int channels, int group_size,
+                                    const std::string& name) {
+  ODCFP_CHECK(channels > 0 && group_size > 0 &&
+              channels % group_size == 0);
+  SopBuilder b(name);
+  const int groups = channels / group_size;
+
+  // Request lines and per-line enables (36 PIs for 27/9: 27 + 9).
+  std::vector<std::vector<SignalId>> req(
+      static_cast<std::size_t>(groups));
+  std::vector<SignalId> enable;
+  for (int e = 0; e < group_size; ++e) {
+    enable.push_back(b.input("E" + std::to_string(e)));
+  }
+  for (int g = 0; g < groups; ++g) {
+    for (int i = 0; i < group_size; ++i) {
+      req[static_cast<std::size_t>(g)].push_back(
+          b.input("R" + std::to_string(g) + "_" + std::to_string(i)));
+    }
+  }
+
+  // Masked requests and in-group priority chains.
+  std::vector<std::vector<SignalId>> grant(
+      static_cast<std::size_t>(groups));
+  std::vector<SignalId> group_active;
+  for (int g = 0; g < groups; ++g) {
+    std::vector<SignalId> masked;
+    for (int i = 0; i < group_size; ++i) {
+      masked.push_back(b.and_({req[static_cast<std::size_t>(g)]
+                                   [static_cast<std::size_t>(i)],
+                               enable[static_cast<std::size_t>(i)]}));
+    }
+    // grant_i = masked_i & none of masked_0..masked_{i-1}
+    for (int i = 0; i < group_size; ++i) {
+      if (i == 0) {
+        grant[static_cast<std::size_t>(g)].push_back(masked[0]);
+      } else {
+        std::vector<SignalId> above(
+            masked.begin(), masked.begin() + i);
+        const SignalId none_above = b.nor_(above);
+        grant[static_cast<std::size_t>(g)].push_back(
+            b.and_({masked[static_cast<std::size_t>(i)], none_above}));
+      }
+    }
+    group_active.push_back(b.or_(masked));
+  }
+
+  // Inter-group priority: group g wins if active and no lower group is.
+  std::vector<SignalId> group_sel;
+  for (int g = 0; g < groups; ++g) {
+    if (g == 0) {
+      group_sel.push_back(group_active[0]);
+    } else {
+      std::vector<SignalId> above(group_active.begin(),
+                                  group_active.begin() + g);
+      group_sel.push_back(
+          b.and_({group_active[static_cast<std::size_t>(g)],
+                  b.nor_(above)}));
+    }
+  }
+
+  // Outputs: per-group "bus active" plus a binary encoding of the winning
+  // channel index within the winning group.
+  for (int g = 0; g < groups; ++g) {
+    b.output(group_sel[static_cast<std::size_t>(g)],
+             "PA" + std::to_string(g));
+  }
+  int bits = 0;
+  while ((1 << bits) < group_size) ++bits;
+  for (int bit = 0; bit < bits; ++bit) {
+    std::vector<SignalId> terms;
+    for (int g = 0; g < groups; ++g) {
+      for (int i = 0; i < group_size; ++i) {
+        if ((i >> bit) & 1) {
+          terms.push_back(
+              b.and_({group_sel[static_cast<std::size_t>(g)],
+                      grant[static_cast<std::size_t>(g)]
+                           [static_cast<std::size_t>(i)]}));
+        }
+      }
+    }
+    b.output(b.or_(terms), "PC" + std::to_string(bit));
+  }
+  return std::move(b).take();
+}
+
+SopNetwork make_ecat(int data_bits, int check_bits, int variant,
+                     const std::string& name) {
+  ODCFP_CHECK(data_bits > 0 && check_bits > 1 && check_bits <= 8);
+  SopBuilder b(name);
+  Rng rng(0x5ec5u + static_cast<std::uint64_t>(variant) * 7919);
+
+  std::vector<SignalId> data, check;
+  for (int i = 0; i < data_bits; ++i) {
+    data.push_back(b.input("D" + std::to_string(i)));
+  }
+  for (int j = 0; j < check_bits; ++j) {
+    check.push_back(b.input("K" + std::to_string(j)));
+  }
+  const SignalId ctrl = b.input("EN");
+
+  // Deterministic parity subsets (each data bit participates in the
+  // checks given by its pattern; patterns are distinct and non-zero).
+  std::vector<unsigned> pattern(static_cast<std::size_t>(data_bits));
+  std::vector<bool> used(1u << check_bits, false);
+  used[0] = true;
+  for (int i = 0; i < data_bits; ++i) {
+    unsigned p;
+    do {
+      p = static_cast<unsigned>(
+          rng.next_below((1u << check_bits) - 1)) + 1;
+    } while (used[p]);
+    used[p] = true;
+    pattern[static_cast<std::size_t>(i)] = p;
+  }
+
+  // Syndromes: parity of participating data bits xor the check bit.
+  std::vector<SignalId> syndrome;
+  for (int j = 0; j < check_bits; ++j) {
+    std::vector<SignalId> members;
+    for (int i = 0; i < data_bits; ++i) {
+      if ((pattern[static_cast<std::size_t>(i)] >> j) & 1) {
+        members.push_back(data[static_cast<std::size_t>(i)]);
+      }
+    }
+    members.push_back(check[static_cast<std::size_t>(j)]);
+    syndrome.push_back(b.parity(members));
+  }
+
+  // Corrected data: flip data_i when the syndrome matches its pattern
+  // (and correction is enabled).
+  for (int i = 0; i < data_bits; ++i) {
+    std::vector<SignalId> ins = syndrome;
+    std::vector<bool> neg;
+    for (int j = 0; j < check_bits; ++j) {
+      neg.push_back(((pattern[static_cast<std::size_t>(i)] >> j) & 1) == 0);
+    }
+    const SignalId match = b.and_lits(ins, neg);
+    const SignalId flip = b.and_({match, ctrl});
+    b.output(b.xor2(data[static_cast<std::size_t>(i)], flip),
+             "O" + std::to_string(i));
+  }
+  return std::move(b).take();
+}
+
+SopNetwork make_alu(int width, bool extended, const std::string& name) {
+  ODCFP_CHECK(width >= 2);
+  SopBuilder b(name);
+  std::vector<SignalId> a, bb, mask;
+  for (int i = 0; i < width; ++i) {
+    a.push_back(b.input("A" + std::to_string(i)));
+  }
+  for (int i = 0; i < width; ++i) {
+    bb.push_back(b.input("B" + std::to_string(i)));
+  }
+  for (int i = 0; i < width; ++i) {
+    mask.push_back(b.input("M" + std::to_string(i)));
+  }
+  const SignalId cin = b.input("CIN");
+  const SignalId op0 = b.input("OP0");
+  const SignalId op1 = b.input("OP1");
+  const SignalId sub = b.input("SUB");
+
+  // Masked operands.
+  std::vector<SignalId> am, bm;
+  for (int i = 0; i < width; ++i) {
+    am.push_back(b.and_({a[static_cast<std::size_t>(i)],
+                         mask[static_cast<std::size_t>(i)]}));
+    // Subtract: complement B (plus cin as +1 supplied by the caller).
+    bm.push_back(b.xor2(bb[static_cast<std::size_t>(i)], sub));
+  }
+
+  // Adder.
+  const std::vector<SignalId> sum = b.ripple_add(am, bm, cin);
+
+  // Logic units.
+  std::vector<SignalId> land, lor, lxor;
+  for (int i = 0; i < width; ++i) {
+    land.push_back(b.and_({am[static_cast<std::size_t>(i)],
+                           bm[static_cast<std::size_t>(i)]}));
+    lor.push_back(b.or_({am[static_cast<std::size_t>(i)],
+                         bm[static_cast<std::size_t>(i)]}));
+    lxor.push_back(b.xor2(am[static_cast<std::size_t>(i)],
+                          bm[static_cast<std::size_t>(i)]));
+  }
+
+  // Function select: op1 op0 — 00 add, 01 and, 10 or, 11 xor.
+  std::vector<SignalId> f;
+  for (int i = 0; i < width; ++i) {
+    const SignalId lo = b.mux(op0, sum[static_cast<std::size_t>(i)],
+                              land[static_cast<std::size_t>(i)]);
+    const SignalId hi = b.mux(op0, lor[static_cast<std::size_t>(i)],
+                              lxor[static_cast<std::size_t>(i)]);
+    f.push_back(b.mux(op1, lo, hi));
+  }
+
+  if (extended) {
+    // BCD adjust per nibble: if nibble > 9, add 6.
+    const int nibbles = width / 4;
+    std::vector<SignalId> adjusted = f;
+    for (int nb = 0; nb < nibbles; ++nb) {
+      const std::size_t base = static_cast<std::size_t>(4 * nb);
+      const SignalId gt9 =
+          b.or_({b.and_({f[base + 3], f[base + 2]}),
+                 b.and_({f[base + 3], f[base + 1]})});
+      // add 6 (0110) to the nibble when gt9; constant-0 via empty cover.
+      const SignalId zero = b.sop({gt9}, {});
+      std::vector<SignalId> nib(f.begin() + static_cast<long>(base),
+                                f.begin() + static_cast<long>(base) + 4);
+      std::vector<SignalId> six = {zero, gt9, gt9, zero};
+      const std::vector<SignalId> adj = b.ripple_add(nib, six, zero);
+      for (int k = 0; k < 4; ++k) {
+        adjusted[base + static_cast<std::size_t>(k)] =
+            adj[static_cast<std::size_t>(k)];
+      }
+    }
+    // Shifter: select among adjusted, <<1, >>1 via two extra controls.
+    const SignalId sh0 = b.input("SH0");
+    const SignalId sh1 = b.input("SH1");
+    std::vector<SignalId> shifted;
+    const SignalId zero_fill = b.and_lits({cin}, {true});
+    for (int i = 0; i < width; ++i) {
+      const SignalId left =
+          (i == 0) ? zero_fill : adjusted[static_cast<std::size_t>(i - 1)];
+      const SignalId right = (i == width - 1)
+                                 ? zero_fill
+                                 : adjusted[static_cast<std::size_t>(i + 1)];
+      const SignalId pick_l =
+          b.mux(sh0, adjusted[static_cast<std::size_t>(i)], left);
+      shifted.push_back(b.mux(sh1, pick_l, right));
+    }
+    f = shifted;
+
+    // Flags: zero, parity, carry-out, overflow-ish.
+    std::vector<SignalId> fneg;
+    for (SignalId s : f) fneg.push_back(b.not_(s));
+    b.output(b.and_(fneg), "ZERO");
+    b.output(b.parity(f), "PAR");
+    b.output(sum.back(), "COUT");
+    b.output(b.xor2(sum.back(), sum[static_cast<std::size_t>(width - 1)]),
+             "OVF");
+  } else {
+    b.output(sum.back(), "COUT");
+    b.output(b.parity(f), "PAR");
+  }
+
+  for (int i = 0; i < width; ++i) {
+    b.output(f[static_cast<std::size_t>(i)], "F" + std::to_string(i));
+  }
+  return std::move(b).take();
+}
+
+SopNetwork make_sec_ded(int data_bits, int check_bits,
+                        const std::string& name) {
+  ODCFP_CHECK(data_bits > 0 && check_bits > 1 && check_bits <= 8);
+  SopBuilder b(name);
+  Rng rng(0xdedull);
+
+  std::vector<SignalId> data, check;
+  for (int i = 0; i < data_bits; ++i) {
+    data.push_back(b.input("D" + std::to_string(i)));
+  }
+  for (int j = 0; j < check_bits; ++j) {
+    check.push_back(b.input("K" + std::to_string(j)));
+  }
+  const SignalId en = b.input("EN");
+
+  std::vector<unsigned> pattern(static_cast<std::size_t>(data_bits));
+  std::vector<bool> used(1u << check_bits, false);
+  used[0] = true;
+  for (int i = 0; i < data_bits; ++i) {
+    unsigned p;
+    do {
+      p = static_cast<unsigned>(
+          rng.next_below((1u << check_bits) - 1)) + 1;
+    } while (used[p] || __builtin_popcount(p) < 2);
+    used[p] = true;
+    pattern[static_cast<std::size_t>(i)] = p;
+  }
+
+  std::vector<SignalId> syndrome;
+  for (int j = 0; j < check_bits; ++j) {
+    std::vector<SignalId> members;
+    for (int i = 0; i < data_bits; ++i) {
+      if ((pattern[static_cast<std::size_t>(i)] >> j) & 1) {
+        members.push_back(data[static_cast<std::size_t>(i)]);
+      }
+    }
+    members.push_back(check[static_cast<std::size_t>(j)]);
+    syndrome.push_back(b.parity(members));
+  }
+
+  // Corrected data outputs.
+  std::vector<SignalId> corrected;
+  for (int i = 0; i < data_bits; ++i) {
+    std::vector<bool> neg;
+    for (int j = 0; j < check_bits; ++j) {
+      neg.push_back(((pattern[static_cast<std::size_t>(i)] >> j) & 1) == 0);
+    }
+    const SignalId match = b.and_lits(syndrome, neg);
+    const SignalId flip = b.and_({match, en});
+    corrected.push_back(b.xor2(data[static_cast<std::size_t>(i)], flip));
+    b.output(corrected.back(), "O" + std::to_string(i));
+  }
+
+  // Writeback re-check: recompute the check bits from the corrected data
+  // and compare (models the DED path; also deepens the circuit).
+  std::vector<SignalId> recheck_ok;
+  for (int j = 0; j < check_bits; ++j) {
+    std::vector<SignalId> members;
+    for (int i = 0; i < data_bits; ++i) {
+      if ((pattern[static_cast<std::size_t>(i)] >> j) & 1) {
+        members.push_back(corrected[static_cast<std::size_t>(i)]);
+      }
+    }
+    const SignalId recomputed = b.parity(members);
+    recheck_ok.push_back(
+        b.xnor2(recomputed, check[static_cast<std::size_t>(j)]));
+    b.output(syndrome[static_cast<std::size_t>(j)],
+             "S" + std::to_string(j));
+  }
+  b.output(b.and_(recheck_ok), "OK");
+  b.output(b.parity(syndrome), "PERR");
+  return std::move(b).take();
+}
+
+SopNetwork make_array_multiplier(int width, const std::string& name) {
+  ODCFP_CHECK(width >= 2 && width <= 24);
+  SopBuilder b(name);
+  std::vector<SignalId> a, bb;
+  for (int i = 0; i < width; ++i) {
+    a.push_back(b.input("A" + std::to_string(i)));
+  }
+  for (int i = 0; i < width; ++i) {
+    bb.push_back(b.input("B" + std::to_string(i)));
+  }
+
+  // Partial-product matrix.
+  std::vector<std::vector<SignalId>> pp(
+      static_cast<std::size_t>(2 * width));
+  for (int i = 0; i < width; ++i) {
+    for (int j = 0; j < width; ++j) {
+      pp[static_cast<std::size_t>(i + j)].push_back(
+          b.and_({a[static_cast<std::size_t>(i)],
+                  bb[static_cast<std::size_t>(j)]}));
+    }
+  }
+
+  // Carry-save reduction: compress columns with full adders until every
+  // column has at most 2 entries, then ripple. Consuming FIFO (oldest
+  // entries first) makes each round reduce the column in parallel —
+  // freshly produced sums are only consumed in the next round — keeping
+  // the array depth logarithmic-in-rows like a Dadda reduction.
+  bool again = true;
+  while (again) {
+    again = false;
+    for (std::size_t col = 0; col < pp.size(); ++col) {
+      while (pp[col].size() >= 3) {
+        const SignalId x = pp[col][0];
+        const SignalId y = pp[col][1];
+        const SignalId z = pp[col][2];
+        pp[col].erase(pp[col].begin(), pp[col].begin() + 3);
+        const SopBuilder::SumCarry sc = b.full_adder(x, y, z);
+        pp[col].push_back(sc.sum);
+        if (col + 1 < pp.size()) pp[col + 1].push_back(sc.carry);
+        again = true;
+      }
+    }
+  }
+
+  // Final ripple over the two rows.
+  SignalId carry = kInvalidSignal;
+  for (std::size_t col = 0; col < pp.size(); ++col) {
+    SignalId s;
+    if (pp[col].empty()) {
+      s = carry;  // only the carry remains (top column)
+      carry = kInvalidSignal;
+    } else if (pp[col].size() == 1 && carry == kInvalidSignal) {
+      s = pp[col][0];
+    } else if (pp[col].size() == 1) {
+      const SopBuilder::SumCarry sc = b.half_adder(pp[col][0], carry);
+      s = sc.sum;
+      carry = sc.carry;
+    } else {  // two entries (+ maybe carry)
+      if (carry == kInvalidSignal) {
+        const SopBuilder::SumCarry sc = b.half_adder(pp[col][0], pp[col][1]);
+        s = sc.sum;
+        carry = sc.carry;
+      } else {
+        const SopBuilder::SumCarry sc =
+            b.full_adder(pp[col][0], pp[col][1], carry);
+        s = sc.sum;
+        carry = sc.carry;
+      }
+    }
+    if (s != kInvalidSignal) {
+      b.output(s, "P" + std::to_string(col));
+    }
+  }
+  return std::move(b).take();
+}
+
+}  // namespace odcfp

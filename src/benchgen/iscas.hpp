@@ -1,0 +1,45 @@
+// ISCAS'85-class structured benchmark generators.
+//
+// The ISCAS'85 netlist files are not redistributable here, but their
+// functions are documented (Hansen/Yalcin/Hayes, "Unveiling the ISCAS-85
+// benchmarks"): c432 is a 27-channel interrupt controller, c499/c1355 are
+// 32-bit single-error-correcting (ECAT) networks, c880 an 8-bit ALU,
+// c1908 a 16-bit SEC/DED unit, c3540 an 8-bit ALU with BCD arithmetic,
+// c6288 a 16x16 array multiplier. These generators build circuits of the
+// same function class and comparable mapped size; the fingerprinting
+// statistics depend on structural properties (FFC/ODC frequency, depth),
+// which these constructions reproduce. See DESIGN.md "Substitutions".
+#pragma once
+
+#include "synth/sop_network.hpp"
+
+namespace odcfp {
+
+/// The real c17 (5 inputs, 2 outputs, 6 NAND2) — exact.
+SopNetwork make_c17();
+
+/// c432-class: priority interrupt controller. `channels` request lines in
+/// groups of `group_size`, with per-line enables, priority resolution and
+/// encoded outputs.
+SopNetwork make_priority_controller(int channels, int group_size,
+                                    const std::string& name);
+
+/// c499/c1355-class: 32-bit error-correction network (data + check inputs,
+/// syndrome decode, corrected data outputs). `variant` perturbs the
+/// deterministic parity-subset choice so c499 and c1355 differ.
+SopNetwork make_ecat(int data_bits, int check_bits, int variant,
+                     const std::string& name);
+
+/// c880/c3540-class ALU. `extended` adds subtract, shifts, BCD adjust and
+/// flag logic (c3540); otherwise a plain add/logic ALU (c880).
+SopNetwork make_alu(int width, bool extended, const std::string& name);
+
+/// c1908-class: SEC/DED error correction with writeback re-check.
+SopNetwork make_sec_ded(int data_bits, int check_bits,
+                        const std::string& name);
+
+/// c6288-class: width x width array multiplier (AND matrix + carry-save
+/// adder array).
+SopNetwork make_array_multiplier(int width, const std::string& name);
+
+}  // namespace odcfp

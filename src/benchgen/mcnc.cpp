@@ -1,0 +1,306 @@
+#include "benchgen/mcnc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "benchgen/sop_builder.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace odcfp {
+
+namespace {
+
+// The eight DES S-boxes (row-major: row * 16 + column).
+constexpr std::uint8_t kSbox[8][64] = {
+    {14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7,
+     0, 15, 7, 4, 14, 2, 13, 1, 10, 6, 12, 11, 9, 5, 3, 8,
+     4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0,
+     15, 12, 8, 2, 4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13},
+    {15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10,
+     3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1, 10, 6, 9, 11, 5,
+     0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15,
+     13, 8, 10, 1, 3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9},
+    {10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8,
+     13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5, 14, 12, 11, 15, 1,
+     13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7,
+     1, 10, 13, 0, 6, 9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12},
+    {7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15,
+     13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2, 12, 1, 10, 14, 9,
+     10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4,
+     3, 15, 0, 6, 10, 1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14},
+    {2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9,
+     14, 11, 2, 12, 4, 7, 13, 1, 5, 0, 15, 10, 3, 9, 8, 6,
+     4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14,
+     11, 8, 12, 7, 1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3},
+    {12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11,
+     10, 15, 4, 2, 7, 12, 9, 5, 6, 1, 13, 14, 0, 11, 3, 8,
+     9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6,
+     4, 3, 2, 12, 9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13},
+    {4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1,
+     13, 0, 11, 7, 4, 9, 1, 10, 14, 3, 5, 12, 2, 15, 8, 6,
+     1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2,
+     6, 11, 13, 8, 1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12},
+    {13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7,
+     1, 15, 13, 8, 10, 3, 7, 4, 12, 5, 6, 11, 0, 14, 9, 2,
+     7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8,
+     2, 1, 14, 7, 4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11}};
+
+/// S-box output bit k as an SOP node over the 6 input signals.
+/// Input bit i of the minterm index is fanin i; row = (b5<<1)|b0,
+/// col = b4 b3 b2 b1 (the standard DES convention).
+SignalId sbox_output(SopBuilder& b, int box, int k,
+                     const std::vector<SignalId>& ins) {
+  ODCFP_CHECK(ins.size() == 6);
+  std::vector<SopCube> cubes;
+  for (unsigned m = 0; m < 64; ++m) {
+    const unsigned b0 = m & 1, b5 = (m >> 5) & 1;
+    const unsigned row = (b5 << 1) | b0;
+    const unsigned col = (m >> 1) & 0xf;
+    if ((kSbox[box][row * 16 + col] >> k) & 1) {
+      SopCube cube;
+      for (int i = 0; i < 6; ++i) {
+        cube.lits.push_back(((m >> i) & 1) ? CubeLit::kPos : CubeLit::kNeg);
+      }
+      cubes.push_back(std::move(cube));
+    }
+  }
+  return b.sop(ins, std::move(cubes));
+}
+
+}  // namespace
+
+SopNetwork make_des_like(int rounds, const std::string& name) {
+  ODCFP_CHECK(rounds >= 1 && rounds <= 4);
+  SopBuilder b(name);
+  std::vector<SignalId> left, right;
+  for (int i = 0; i < 32; ++i) {
+    left.push_back(b.input("L" + std::to_string(i)));
+  }
+  for (int i = 0; i < 32; ++i) {
+    right.push_back(b.input("R" + std::to_string(i)));
+  }
+
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<SignalId> key;
+    for (int j = 0; j < 48; ++j) {
+      key.push_back(
+          b.input("K" + std::to_string(r) + "_" + std::to_string(j)));
+    }
+    // Expansion (deterministic spread with duplicates, like DES's E).
+    std::vector<SignalId> x;
+    for (int j = 0; j < 48; ++j) {
+      const SignalId e = right[static_cast<std::size_t>((j * 21 + 5) % 32)];
+      x.push_back(b.xor2(e, key[static_cast<std::size_t>(j)]));
+    }
+    // S-boxes.
+    std::vector<SignalId> f(32);
+    for (int box = 0; box < 8; ++box) {
+      std::vector<SignalId> ins(x.begin() + box * 6,
+                                x.begin() + box * 6 + 6);
+      for (int k = 0; k < 4; ++k) {
+        // P-permutation (deterministic spread).
+        const int out_pos = ((box * 4 + k) * 11 + 3) % 32;
+        f[static_cast<std::size_t>(out_pos)] =
+            sbox_output(b, box, k, ins);
+      }
+    }
+    // Feistel swap.
+    std::vector<SignalId> new_right;
+    for (int i = 0; i < 32; ++i) {
+      new_right.push_back(b.xor2(left[static_cast<std::size_t>(i)],
+                                 f[static_cast<std::size_t>(i)]));
+    }
+    left = right;
+    right = std::move(new_right);
+  }
+
+  for (int i = 0; i < 32; ++i) {
+    b.output(left[static_cast<std::size_t>(i)], "OL" + std::to_string(i));
+    b.output(right[static_cast<std::size_t>(i)], "OR" + std::to_string(i));
+  }
+  return std::move(b).take();
+}
+
+SopNetwork make_random_network(const RandomNetworkProfile& profile,
+                               const std::string& name) {
+  ODCFP_CHECK(profile.num_inputs > 1 && profile.num_outputs >= 1 &&
+              profile.num_nodes >= profile.num_outputs &&
+              profile.num_levels >= 1 &&
+              profile.min_fanin >= 1 &&
+              profile.max_fanin >= profile.min_fanin);
+  SopBuilder b(name);
+  Rng rng(profile.seed);
+
+  std::vector<SignalId> pis;
+  for (int i = 0; i < profile.num_inputs; ++i) {
+    pis.push_back(b.input("I" + std::to_string(i)));
+  }
+
+  // Level 0 = the PIs; nodes are distributed over the remaining levels.
+  std::vector<std::vector<SignalId>> levels{pis};
+  std::vector<std::size_t> use_count;  // parallel to a flat signal list
+  std::vector<SignalId> flat = pis;
+  use_count.assign(flat.size(), 0);
+
+  const int per_level =
+      std::max(1, profile.num_nodes / profile.num_levels);
+  int remaining = profile.num_nodes;
+  for (int lvl = 1; lvl <= profile.num_levels && remaining > 0; ++lvl) {
+    const int count = (lvl == profile.num_levels)
+                          ? remaining
+                          : std::min(per_level, remaining);
+    std::vector<SignalId> this_level;
+    // Candidate fanins: signals from the last `window_levels` levels.
+    std::vector<std::size_t> window;  // indices into flat
+    std::size_t start_sig = 0;
+    {
+      int first_lvl = std::max(0, lvl - profile.window_levels);
+      for (int l2 = 0; l2 < first_lvl; ++l2) {
+        start_sig += levels[static_cast<std::size_t>(l2)].size();
+      }
+    }
+    for (std::size_t s = start_sig; s < flat.size(); ++s) {
+      window.push_back(s);
+    }
+
+    for (int nidx = 0; nidx < count; ++nidx) {
+      const std::int64_t hi = std::min<std::int64_t>(
+          profile.max_fanin, static_cast<std::int64_t>(window.size()));
+      const std::int64_t lo =
+          std::min<std::int64_t>(profile.min_fanin, hi);
+      const int k = static_cast<int>(rng.next_in(lo, hi));
+      // Pick k distinct fanins, biased toward less-used signals.
+      std::vector<SignalId> fanins;
+      std::vector<std::size_t> picked;
+      for (int t = 0; t < k; ++t) {
+        std::size_t best_idx = 0;
+        bool have = false;
+        // Tournament of 3 random candidates; fewest uses wins.
+        for (int c = 0; c < 3; ++c) {
+          const std::size_t cand = window[static_cast<std::size_t>(
+              rng.next_below(window.size()))];
+          if (std::find(picked.begin(), picked.end(), cand) !=
+              picked.end()) {
+            continue;
+          }
+          if (!have || use_count[cand] < use_count[best_idx]) {
+            best_idx = cand;
+            have = true;
+          }
+        }
+        if (!have) continue;
+        picked.push_back(best_idx);
+        fanins.push_back(flat[best_idx]);
+        use_count[best_idx]++;
+      }
+      if (fanins.size() < 2) {
+        // Degenerate pick; fall back to two distinct random signals.
+        fanins.clear();
+        const std::size_t a = window[static_cast<std::size_t>(
+            rng.next_below(window.size()))];
+        std::size_t c = a;
+        while (c == a) {
+          c = window[static_cast<std::size_t>(
+              rng.next_below(window.size()))];
+        }
+        fanins = {flat[a], flat[c]};
+        use_count[a]++;
+        use_count[c]++;
+      }
+
+      // Random cover.
+      const int ncubes =
+          static_cast<int>(rng.next_in(1, profile.max_cubes));
+      std::vector<SopCube> cubes;
+      for (int cu = 0; cu < ncubes; ++cu) {
+        SopCube cube;
+        bool any = false;
+        for (std::size_t i = 0; i < fanins.size(); ++i) {
+          const double r = rng.next_double();
+          if (r < 0.40) {
+            cube.lits.push_back(CubeLit::kPos);
+            any = true;
+          } else if (r < 0.72) {
+            cube.lits.push_back(CubeLit::kNeg);
+            any = true;
+          } else {
+            cube.lits.push_back(CubeLit::kDontCare);
+          }
+        }
+        if (!any) {
+          cube.lits[static_cast<std::size_t>(
+              rng.next_below(cube.lits.size()))] = CubeLit::kPos;
+        }
+        cubes.push_back(std::move(cube));
+      }
+      const SignalId sig = b.sop(fanins, std::move(cubes),
+                                 /*complemented=*/rng.next_bool(0.2));
+      this_level.push_back(sig);
+      flat.push_back(sig);
+      use_count.push_back(0);
+    }
+    remaining -= count;
+    levels.push_back(std::move(this_level));
+  }
+
+  // Collectors: keep every unused signal alive by folding the leftovers
+  // into parity trees, one per output.
+  std::vector<std::vector<SignalId>> shares(
+      static_cast<std::size_t>(profile.num_outputs));
+  std::size_t next_share = 0;
+  for (std::size_t s = static_cast<std::size_t>(profile.num_inputs);
+       s < flat.size(); ++s) {
+    if (use_count[s] == 0) {
+      shares[next_share % shares.size()].push_back(flat[s]);
+      ++next_share;
+    }
+  }
+  for (int o = 0; o < profile.num_outputs; ++o) {
+    auto& share = shares[static_cast<std::size_t>(o)];
+    if (share.empty()) {
+      // No leftovers for this output: tap a random internal signal.
+      share.push_back(flat[static_cast<std::size_t>(
+          profile.num_inputs +
+          static_cast<int>(rng.next_below(
+              flat.size() -
+              static_cast<std::size_t>(profile.num_inputs))))]);
+    }
+    b.output(share.size() == 1 ? share[0] : b.parity(share),
+             "Z" + std::to_string(o));
+  }
+  return std::move(b).take();
+}
+
+Netlist make_calibrated_random(const RandomNetworkProfile& base_profile,
+                               std::size_t target_gates,
+                               const std::string& name,
+                               const CellLibrary& lib,
+                               const MapperOptions& map_options) {
+  RandomNetworkProfile profile = base_profile;
+  Netlist best(&lib, name);
+  double best_err = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < 7; ++iter) {
+    SopNetwork sop = make_random_network(profile, name);
+    Netlist nl = map_to_cells(sop, lib, map_options);
+    const double actual = static_cast<double>(nl.num_live_gates());
+    const double err =
+        std::abs(actual - static_cast<double>(target_gates)) /
+        static_cast<double>(target_gates);
+    if (err < best_err) {
+      best_err = err;
+      best = std::move(nl);
+    }
+    if (best_err < 0.08) break;
+    const double ratio = static_cast<double>(target_gates) /
+                         std::max(1.0, actual);
+    profile.num_nodes = std::max(
+        profile.num_outputs + 2,
+        static_cast<int>(std::lround(profile.num_nodes *
+                                     std::clamp(ratio, 0.4, 2.5))));
+  }
+  return best;
+}
+
+}  // namespace odcfp

@@ -1,0 +1,163 @@
+#include "benchgen/sop_builder.hpp"
+
+#include "common/check.hpp"
+
+namespace odcfp {
+
+SopBuilder::SopBuilder(std::string model_name)
+    : net_(std::move(model_name)) {}
+
+SignalId SopBuilder::fresh(const std::string& prefix) {
+  for (;;) {
+    std::string name = prefix + std::to_string(counter_++);
+    if (net_.find_signal(name) == kInvalidSignal) {
+      return net_.signal(name);
+    }
+  }
+}
+
+SignalId SopBuilder::input(const std::string& name) {
+  const SignalId id = net_.signal(name);
+  net_.mark_input(id);
+  return id;
+}
+
+void SopBuilder::output(SignalId sig, const std::string& name) {
+  // BLIF-style outputs are named signals; alias through a buffer node if
+  // the desired name differs.
+  if (net_.signal_name(sig) == name) {
+    net_.mark_output(sig);
+    return;
+  }
+  const SignalId alias = net_.signal(name);
+  SopNode node;
+  node.fanins = {sig};
+  node.cubes = {{std::vector<CubeLit>{CubeLit::kPos}}};
+  net_.set_node(alias, std::move(node));
+  net_.mark_output(alias);
+}
+
+SignalId SopBuilder::sop(const std::vector<SignalId>& fanins,
+                         std::vector<SopCube> cubes, bool complemented) {
+  const SignalId id = fresh("n");
+  SopNode node;
+  node.fanins = fanins;
+  node.cubes = std::move(cubes);
+  node.complemented = complemented;
+  net_.set_node(id, std::move(node));
+  return id;
+}
+
+SignalId SopBuilder::not_(SignalId a) {
+  return sop({a}, {{std::vector<CubeLit>{CubeLit::kNeg}}});
+}
+
+SignalId SopBuilder::buf(SignalId a) {
+  return sop({a}, {{std::vector<CubeLit>{CubeLit::kPos}}});
+}
+
+SignalId SopBuilder::and_(const std::vector<SignalId>& ins) {
+  ODCFP_CHECK(!ins.empty());
+  SopCube cube;
+  cube.lits.assign(ins.size(), CubeLit::kPos);
+  return sop(ins, {cube});
+}
+
+SignalId SopBuilder::nand_(const std::vector<SignalId>& ins) {
+  ODCFP_CHECK(!ins.empty());
+  SopCube cube;
+  cube.lits.assign(ins.size(), CubeLit::kPos);
+  return sop(ins, {cube}, /*complemented=*/true);
+}
+
+SignalId SopBuilder::or_(const std::vector<SignalId>& ins) {
+  ODCFP_CHECK(!ins.empty());
+  std::vector<SopCube> cubes;
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    SopCube cube;
+    cube.lits.assign(ins.size(), CubeLit::kDontCare);
+    cube.lits[i] = CubeLit::kPos;
+    cubes.push_back(std::move(cube));
+  }
+  return sop(ins, std::move(cubes));
+}
+
+SignalId SopBuilder::nor_(const std::vector<SignalId>& ins) {
+  ODCFP_CHECK(!ins.empty());
+  SopCube cube;
+  cube.lits.assign(ins.size(), CubeLit::kNeg);
+  return sop(ins, {cube});
+}
+
+SignalId SopBuilder::xor2(SignalId a, SignalId b) {
+  return sop({a, b}, {{{CubeLit::kPos, CubeLit::kNeg}},
+                      {{CubeLit::kNeg, CubeLit::kPos}}});
+}
+
+SignalId SopBuilder::xnor2(SignalId a, SignalId b) {
+  return sop({a, b}, {{{CubeLit::kPos, CubeLit::kPos}},
+                      {{CubeLit::kNeg, CubeLit::kNeg}}});
+}
+
+SignalId SopBuilder::mux(SignalId sel, SignalId a0, SignalId a1) {
+  // fanins: sel, a0, a1; cover: sel' a0 + sel a1.
+  return sop({sel, a0, a1},
+             {{{CubeLit::kNeg, CubeLit::kPos, CubeLit::kDontCare}},
+              {{CubeLit::kPos, CubeLit::kDontCare, CubeLit::kPos}}});
+}
+
+SignalId SopBuilder::and_lits(const std::vector<SignalId>& ins,
+                              const std::vector<bool>& negate) {
+  ODCFP_CHECK(!ins.empty() && ins.size() == negate.size());
+  SopCube cube;
+  for (bool n : negate) {
+    cube.lits.push_back(n ? CubeLit::kNeg : CubeLit::kPos);
+  }
+  return sop(ins, {cube});
+}
+
+SignalId SopBuilder::parity(const std::vector<SignalId>& ins) {
+  ODCFP_CHECK(!ins.empty());
+  std::vector<SignalId> layer = ins;
+  while (layer.size() > 1) {
+    std::vector<SignalId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(xor2(layer[i], layer[i + 1]));
+    }
+    if (layer.size() % 2 == 1) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  return layer[0];
+}
+
+SopBuilder::SumCarry SopBuilder::full_adder(SignalId a, SignalId b,
+                                            SignalId cin) {
+  const SignalId ab = xor2(a, b);
+  const SignalId sum = xor2(ab, cin);
+  // carry = ab' (majority): a b + cin (a ^ b)
+  const SignalId and_ab = and_({a, b});
+  const SignalId and_c = and_({ab, cin});
+  const SignalId carry = or_({and_ab, and_c});
+  return {sum, carry};
+}
+
+SopBuilder::SumCarry SopBuilder::half_adder(SignalId a, SignalId b) {
+  return {xor2(a, b), and_({a, b})};
+}
+
+std::vector<SignalId> SopBuilder::ripple_add(
+    const std::vector<SignalId>& a, const std::vector<SignalId>& b,
+    SignalId cin) {
+  ODCFP_CHECK(a.size() == b.size() && !a.empty());
+  std::vector<SignalId> sums;
+  SignalId carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const SumCarry sc = full_adder(a[i], b[i], carry);
+    sums.push_back(sc.sum);
+    carry = sc.carry;
+  }
+  sums.push_back(carry);
+  return sums;
+}
+
+}  // namespace odcfp

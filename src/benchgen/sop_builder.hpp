@@ -1,0 +1,66 @@
+// Convenience layer for constructing SopNetwork logic: named gates,
+// balanced trees, adders, muxes. Used by the structured benchmark
+// generators (ISCAS'85-class circuits) in iscas.cpp / mcnc.cpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "synth/sop_network.hpp"
+
+namespace odcfp {
+
+class SopBuilder {
+ public:
+  explicit SopBuilder(std::string model_name);
+
+  SopNetwork take() && { return std::move(net_); }
+  SopNetwork& network() { return net_; }
+
+  SignalId input(const std::string& name);
+  void output(SignalId sig, const std::string& name);
+
+  /// Elementary nodes (single-output covers over explicit fanins).
+  SignalId not_(SignalId a);
+  SignalId buf(SignalId a);
+  SignalId and_(const std::vector<SignalId>& ins);
+  SignalId or_(const std::vector<SignalId>& ins);
+  SignalId nand_(const std::vector<SignalId>& ins);
+  SignalId nor_(const std::vector<SignalId>& ins);
+  SignalId xor2(SignalId a, SignalId b);
+  SignalId xnor2(SignalId a, SignalId b);
+  SignalId mux(SignalId sel, SignalId a0, SignalId a1);  // sel ? a1 : a0
+
+  /// AND of literals with per-literal polarity (true = complemented).
+  SignalId and_lits(const std::vector<SignalId>& ins,
+                    const std::vector<bool>& negate);
+
+  /// Balanced XOR tree (parity) over the inputs.
+  SignalId parity(const std::vector<SignalId>& ins);
+
+  /// Full adder; returns {sum, carry}.
+  struct SumCarry {
+    SignalId sum;
+    SignalId carry;
+  };
+  SumCarry full_adder(SignalId a, SignalId b, SignalId cin);
+  SumCarry half_adder(SignalId a, SignalId b);
+
+  /// Ripple-carry adder over equal-width vectors; returns sum bits plus
+  /// the final carry appended.
+  std::vector<SignalId> ripple_add(const std::vector<SignalId>& a,
+                                   const std::vector<SignalId>& b,
+                                   SignalId cin);
+
+  /// Installs a raw SOP node (general cover) and returns its signal.
+  SignalId sop(const std::vector<SignalId>& fanins,
+               std::vector<SopCube> cubes, bool complemented = false);
+
+ private:
+  SignalId fresh(const std::string& prefix);
+
+  SopNetwork net_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace odcfp

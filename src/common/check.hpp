@@ -1,0 +1,52 @@
+// Lightweight precondition / invariant checking used across the library.
+//
+// ODCFP_CHECK is always on (it guards data-structure invariants that, when
+// violated, would silently corrupt results); ODCFP_DCHECK compiles away in
+// release builds and is used on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace odcfp {
+
+/// Thrown when an ODCFP_CHECK fails or a parser/API contract is violated.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace odcfp
+
+#define ODCFP_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::odcfp::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define ODCFP_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream os_;                                          \
+      os_ << msg;                                                      \
+      ::odcfp::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                    os_.str());                        \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define ODCFP_DCHECK(expr) ((void)0)
+#else
+#define ODCFP_DCHECK(expr) ODCFP_CHECK(expr)
+#endif

@@ -1,0 +1,56 @@
+// Deterministic, seedable random number generation.
+//
+// Everything in this library that involves randomness (benchmark circuit
+// generation, random simulation patterns, fingerprint codeword assignment,
+// heuristic restarts) goes through Rng so that every experiment is exactly
+// reproducible from a seed.  The generator is xoshiro256**, seeded via
+// splitmix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace odcfp {
+
+/// xoshiro256** PRNG. Deterministic across platforms; not for cryptography.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  /// Re-initializes the state from a 64-bit seed (splitmix64 expansion).
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). bound must be > 0. Unbiased (rejection).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool next_bool(double p = 0.5);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks an index in [0, weights.size()) with probability proportional to
+  /// weights[i]. Weights must be non-negative with a positive sum.
+  std::size_t pick_weighted(const std::vector<double>& weights);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace odcfp

@@ -1,0 +1,199 @@
+#include "equiv/cec.hpp"
+
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "sat/tseitin.hpp"
+#include "sim/simulator.hpp"
+
+namespace odcfp {
+
+namespace {
+
+/// PI/PO correspondence between two netlists, matched by name.
+struct InterfaceMap {
+  std::vector<std::size_t> b_pi_for_a_pi;  // index into b.inputs()
+  std::vector<std::size_t> b_po_for_a_po;  // index into b.outputs()
+};
+
+InterfaceMap match_interfaces(const Netlist& a, const Netlist& b) {
+  ODCFP_CHECK_MSG(a.inputs().size() == b.inputs().size(),
+                  "PI count mismatch: " << a.inputs().size() << " vs "
+                                        << b.inputs().size());
+  ODCFP_CHECK_MSG(a.outputs().size() == b.outputs().size(),
+                  "PO count mismatch: " << a.outputs().size() << " vs "
+                                        << b.outputs().size());
+  std::unordered_map<std::string, std::size_t> b_pi_index, b_po_index;
+  for (std::size_t i = 0; i < b.inputs().size(); ++i) {
+    b_pi_index.emplace(b.net(b.inputs()[i]).name, i);
+  }
+  for (std::size_t i = 0; i < b.outputs().size(); ++i) {
+    b_po_index.emplace(b.outputs()[i].name, i);
+  }
+  InterfaceMap map;
+  for (NetId pi : a.inputs()) {
+    auto it = b_pi_index.find(a.net(pi).name);
+    ODCFP_CHECK_MSG(it != b_pi_index.end(),
+                    "PI '" << a.net(pi).name << "' missing in second netlist");
+    map.b_pi_for_a_pi.push_back(it->second);
+  }
+  for (const OutputPort& po : a.outputs()) {
+    auto it = b_po_index.find(po.name);
+    ODCFP_CHECK_MSG(it != b_po_index.end(),
+                    "PO '" << po.name << "' missing in second netlist");
+    map.b_po_for_a_po.push_back(it->second);
+  }
+  return map;
+}
+
+/// Extracts the PI assignment for pattern bit `bit` from simulator `sim`.
+std::vector<bool> extract_pattern(const Simulator& sim, const Netlist& nl,
+                                  unsigned bit) {
+  std::vector<bool> pattern;
+  pattern.reserve(nl.inputs().size());
+  for (NetId pi : nl.inputs()) {
+    pattern.push_back((sim.value(pi) >> bit) & 1);
+  }
+  return pattern;
+}
+
+bool words_differ(const Simulator& sa, const Simulator& sb,
+                  const Netlist& a, const Netlist& b,
+                  const InterfaceMap& map, unsigned* diff_bit) {
+  const std::vector<std::uint64_t> oa = sa.output_words();
+  const std::vector<std::uint64_t> ob = sb.output_words();
+  std::uint64_t diff = 0;
+  for (std::size_t i = 0; i < oa.size(); ++i) {
+    diff |= oa[i] ^ ob[map.b_po_for_a_po[i]];
+  }
+  (void)a;
+  (void)b;
+  if (diff == 0) return false;
+  *diff_bit = static_cast<unsigned>(__builtin_ctzll(diff));
+  return true;
+}
+
+}  // namespace
+
+bool random_sim_equal(const Netlist& a, const Netlist& b,
+                      std::size_t num_words, std::uint64_t seed,
+                      std::vector<bool>* counterexample) {
+  const InterfaceMap map = match_interfaces(a, b);
+  Rng rng(seed);
+  Simulator sa(a), sb(b);
+  for (std::size_t w = 0; w < num_words; ++w) {
+    sa.randomize_inputs(rng);
+    for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+      sb.set_input_word(map.b_pi_for_a_pi[i], sa.value(a.inputs()[i]));
+    }
+    sa.run();
+    sb.run();
+    unsigned bit = 0;
+    if (words_differ(sa, sb, a, b, map, &bit)) {
+      if (counterexample != nullptr) {
+        *counterexample = extract_pattern(sa, a, bit);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool exhaustive_equal(const Netlist& a, const Netlist& b,
+                      std::vector<bool>* counterexample) {
+  const InterfaceMap map = match_interfaces(a, b);
+  const std::size_t n = a.inputs().size();
+  ODCFP_CHECK_MSG(n <= 24, "exhaustive_equal limited to 24 inputs");
+  Simulator sa(a), sb(b);
+  const std::uint64_t total = 1ull << n;
+  for (std::uint64_t base = 0; base < total; base += 64) {
+    sa.load_counting_patterns(base);
+    for (std::size_t i = 0; i < n; ++i) {
+      sb.set_input_word(map.b_pi_for_a_pi[i], sa.value(a.inputs()[i]));
+    }
+    sa.run();
+    sb.run();
+    unsigned bit = 0;
+    if (words_differ(sa, sb, a, b, map, &bit)) {
+      // Patterns past `total` wrap; only report in-range differences.
+      if (base + bit < total) {
+        if (counterexample != nullptr) {
+          *counterexample = extract_pattern(sa, a, bit);
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+CecResult check_equivalence_sat(const Netlist& a, const Netlist& b,
+                                std::int64_t conflict_limit) {
+  const InterfaceMap map = match_interfaces(a, b);
+  sat::Solver solver;
+  const sat::TseitinEncoding enc_a(solver, a);
+  // b shares a's PI vars, permuted into b's PI order.
+  std::vector<sat::Var> b_inputs(b.inputs().size(), sat::kUndefVar);
+  for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+    b_inputs[map.b_pi_for_a_pi[i]] = enc_a.input_vars()[i];
+  }
+  const sat::TseitinEncoding enc_b(solver, b, &b_inputs);
+
+  std::vector<sat::Var> diffs;
+  for (std::size_t i = 0; i < a.outputs().size(); ++i) {
+    const sat::Var va = enc_a.var_of(a.outputs()[i].net);
+    const sat::Var vb =
+        enc_b.var_of(b.outputs()[map.b_po_for_a_po[i]].net);
+    const sat::Var d = solver.new_var();
+    sat::encode_xor(solver, va, vb, d);
+    diffs.push_back(d);
+  }
+  const sat::Var any_diff = solver.new_var();
+  sat::encode_or(solver, diffs, any_diff);
+  solver.add_clause(sat::pos_lit(any_diff));
+
+  CecResult result;
+  result.method = "sat";
+  switch (solver.solve({}, conflict_limit)) {
+    case sat::Solver::Result::kUnsat:
+      result.status = CecResult::Status::kEquivalent;
+      break;
+    case sat::Solver::Result::kSat: {
+      result.status = CecResult::Status::kDifferent;
+      for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+        result.counterexample.push_back(
+            solver.model_value(enc_a.input_vars()[i]));
+      }
+      break;
+    }
+    case sat::Solver::Result::kUnknown:
+      result.status = CecResult::Status::kUnknown;
+      break;
+  }
+  result.sat_stats = solver.stats();
+  return result;
+}
+
+CecResult verify_equivalence(const Netlist& a, const Netlist& b,
+                             std::size_t sim_words, std::uint64_t seed,
+                             std::int64_t sat_conflict_limit) {
+  CecResult result;
+  std::vector<bool> cex;
+  if (!random_sim_equal(a, b, sim_words, seed, &cex)) {
+    result.status = CecResult::Status::kDifferent;
+    result.counterexample = std::move(cex);
+    result.method = "random-sim";
+    return result;
+  }
+  if (a.inputs().size() <= 16) {
+    result.method = "exhaustive";
+    result.status = exhaustive_equal(a, b, &result.counterexample)
+                        ? CecResult::Status::kEquivalent
+                        : CecResult::Status::kDifferent;
+    return result;
+  }
+  return check_equivalence_sat(a, b, sat_conflict_limit);
+}
+
+}  // namespace odcfp

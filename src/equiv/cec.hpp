@@ -1,0 +1,65 @@
+// Combinational equivalence checking (CEC).
+//
+// Every fingerprint embedding must preserve functionality (requirement 1
+// of the paper). This module provides the three verification layers used
+// throughout the tests and benches:
+//
+//  * random_sim_equal     — fast 64-way random simulation filter; finds
+//                           almost all real differences in microseconds;
+//  * exhaustive_equal     — complete for circuits with <= 24 inputs;
+//  * check_equivalence    — SAT-based proof on a shared-PI miter.
+//
+// verify_equivalence() composes them: simulation first (cheap refutation),
+// then exhaustive or SAT proof depending on input count.
+//
+// Circuits are matched by PI name and PO port name; mismatched interfaces
+// throw CheckError.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sat/solver.hpp"
+
+namespace odcfp {
+
+struct CecResult {
+  enum class Status { kEquivalent, kDifferent, kUnknown };
+  Status status = Status::kUnknown;
+  /// On kDifferent: one distinguishing input assignment (by PI order of
+  /// the first netlist).
+  std::vector<bool> counterexample;
+  /// Which verification layer produced the verdict.
+  std::string method;
+  sat::Solver::Stats sat_stats;
+
+  bool equivalent() const { return status == Status::kEquivalent; }
+};
+
+/// Random simulation: returns false (and fills `counterexample`) if a
+/// distinguishing pattern is found within `num_words` 64-pattern words.
+/// Returning true is evidence, not proof.
+bool random_sim_equal(const Netlist& a, const Netlist& b,
+                      std::size_t num_words, std::uint64_t seed,
+                      std::vector<bool>* counterexample = nullptr);
+
+/// Complete check by enumeration; requires a.inputs().size() <= 24.
+bool exhaustive_equal(const Netlist& a, const Netlist& b,
+                      std::vector<bool>* counterexample = nullptr);
+
+/// SAT CEC on a miter with shared PIs. conflict_limit < 0 = no limit.
+CecResult check_equivalence_sat(const Netlist& a, const Netlist& b,
+                                std::int64_t conflict_limit = -1);
+
+/// The composed checker: random simulation, then exhaustive (<= 20 PIs) or
+/// SAT. `sat_conflict_limit` bounds the proof effort; on limit-exhaustion
+/// the result is kUnknown (treat as failure in tests).
+CecResult verify_equivalence(const Netlist& a, const Netlist& b,
+                             std::size_t sim_words = 256,
+                             std::uint64_t seed = 42,
+                             std::int64_t sat_conflict_limit = -1);
+
+}  // namespace odcfp

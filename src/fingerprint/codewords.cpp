@@ -1,0 +1,171 @@
+#include "fingerprint/codewords.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace odcfp {
+
+namespace {
+
+/// floor(log2(1 + options)) for one site.
+std::size_t site_usable_bits(const InjectionSite& s) {
+  std::size_t radix = 1 + s.options.size();
+  std::size_t bits = 0;
+  while (radix >= 2) {
+    radix >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+std::size_t usable_bits(const std::vector<FingerprintLocation>& locs) {
+  std::size_t bits = 0;
+  for (const auto& l : locs) {
+    for (const auto& s : l.sites) bits += site_usable_bits(s);
+  }
+  return bits;
+}
+
+FingerprintCode encode_bits(const std::vector<FingerprintLocation>& locs,
+                            const std::vector<bool>& bits) {
+  ODCFP_CHECK_MSG(bits.size() == usable_bits(locs),
+                  "bitstring length " << bits.size() << " != capacity "
+                                      << usable_bits(locs));
+  FingerprintCode code = blank_code(locs);
+  std::size_t pos = 0;
+  for (std::size_t l = 0; l < locs.size(); ++l) {
+    for (std::size_t s = 0; s < locs[l].sites.size(); ++s) {
+      const std::size_t nb = site_usable_bits(locs[l].sites[s]);
+      std::size_t value = 0;
+      for (std::size_t b = 0; b < nb; ++b) {
+        value = (value << 1) | static_cast<std::size_t>(bits[pos++]);
+      }
+      code[l][s] = static_cast<std::uint8_t>(value);
+    }
+  }
+  return code;
+}
+
+std::vector<bool> decode_bits(const std::vector<FingerprintLocation>& locs,
+                              const FingerprintCode& code) {
+  ODCFP_CHECK(code.size() == locs.size());
+  std::vector<bool> bits;
+  for (std::size_t l = 0; l < locs.size(); ++l) {
+    ODCFP_CHECK(code[l].size() == locs[l].sites.size());
+    for (std::size_t s = 0; s < locs[l].sites.size(); ++s) {
+      const std::size_t nb = site_usable_bits(locs[l].sites[s]);
+      const std::size_t value = code[l][s];
+      ODCFP_CHECK_MSG(value < (std::size_t{1} << nb),
+                      "option value exceeds the encodable range");
+      for (std::size_t b = nb; b-- > 0;) {
+        bits.push_back((value >> b) & 1);
+      }
+    }
+  }
+  return bits;
+}
+
+Codebook::Codebook(const std::vector<FingerprintLocation>& locs,
+                   std::size_t num_buyers, std::uint64_t seed)
+    : locs_(&locs) {
+  Rng rng(seed);
+  const std::size_t nbits = usable_bits(locs);
+  ODCFP_CHECK_MSG(num_buyers == 0 || nbits > 0 || num_buyers == 1,
+                  "cannot make distinct codewords with zero capacity");
+  std::unordered_set<std::string> seen;
+  codes_.reserve(num_buyers);
+  int attempts = 0;
+  while (codes_.size() < num_buyers) {
+    ODCFP_CHECK_MSG(++attempts < 1000000, "codeword space exhausted");
+    std::vector<bool> bits(nbits);
+    for (std::size_t i = 0; i < nbits; ++i) bits[i] = rng.next_bool();
+    std::string key(bits.begin(), bits.end());
+    if (!seen.insert(key).second) continue;
+    codes_.push_back(encode_bits(locs, bits));
+  }
+}
+
+const FingerprintCode& Codebook::code(std::size_t buyer) const {
+  ODCFP_CHECK(buyer < codes_.size());
+  return codes_[buyer];
+}
+
+FingerprintCode collude(const Codebook& book,
+                        const std::vector<std::size_t>& colluders,
+                        CollusionStrategy strategy, Rng& rng) {
+  ODCFP_CHECK(!colluders.empty());
+  FingerprintCode attacked = book.code(colluders[0]);
+  for (std::size_t l = 0; l < attacked.size(); ++l) {
+    for (std::size_t s = 0; s < attacked[l].size(); ++s) {
+      // Values observed across the colluding copies.
+      std::vector<std::uint8_t> observed;
+      observed.reserve(colluders.size());
+      for (std::size_t b : colluders) {
+        observed.push_back(book.code(b)[l][s]);
+      }
+      const bool all_agree = std::all_of(
+          observed.begin(), observed.end(),
+          [&](std::uint8_t v) { return v == observed[0]; });
+      if (all_agree) continue;  // undetectable: must keep the value
+
+      switch (strategy) {
+        case CollusionStrategy::kRandomObserved:
+          attacked[l][s] = observed[static_cast<std::size_t>(
+              rng.next_below(observed.size()))];
+          break;
+        case CollusionStrategy::kMajority: {
+          std::unordered_map<std::uint8_t, int> counts;
+          for (std::uint8_t v : observed) counts[v]++;
+          std::uint8_t best = observed[0];
+          for (const auto& [v, c] : counts) {
+            if (c > counts[best]) best = v;
+          }
+          attacked[l][s] = best;
+          break;
+        }
+        case CollusionStrategy::kStrip:
+          attacked[l][s] = 0;
+          break;
+      }
+    }
+  }
+  return attacked;
+}
+
+TraceResult trace(const Codebook& book, const FingerprintCode& attacked) {
+  TraceResult result;
+  std::size_t num_sites = 0;
+  for (const auto& per_loc : attacked) num_sites += per_loc.size();
+  std::vector<double> score(book.num_buyers(), 0);
+  for (std::size_t b = 0; b < book.num_buyers(); ++b) {
+    std::size_t matches = 0;
+    const FingerprintCode& code = book.code(b);
+    for (std::size_t l = 0; l < attacked.size(); ++l) {
+      for (std::size_t s = 0; s < attacked[l].size(); ++s) {
+        if (code[l][s] == attacked[l][s]) ++matches;
+      }
+    }
+    score[b] = num_sites == 0
+                   ? 0.0
+                   : static_cast<double>(matches) /
+                         static_cast<double>(num_sites);
+  }
+  result.ranked.resize(book.num_buyers());
+  std::iota(result.ranked.begin(), result.ranked.end(), std::size_t{0});
+  std::sort(result.ranked.begin(), result.ranked.end(),
+            [&](std::size_t a, std::size_t b) {
+              return score[a] > score[b] || (score[a] == score[b] && a < b);
+            });
+  result.scores.reserve(book.num_buyers());
+  for (std::size_t b : result.ranked) result.scores.push_back(score[b]);
+  return result;
+}
+
+}  // namespace odcfp

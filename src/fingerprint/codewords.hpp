@@ -1,0 +1,82 @@
+// Buyer codewords, bitstring encoding, collusion attacks, and tracing
+// (paper §III.E security analysis).
+//
+// Each buyer receives a distinct FingerprintCode. The practical encoding
+// maps a buyer's bitstring onto the sites' option alphabets (floor-log2
+// bits per site — the exact capacity sum of log2(1+options) is the
+// information-theoretic bound the paper reports, the usable_bits() value
+// is what a straight binary encoding achieves).
+//
+// The collusion attack model follows the paper: attackers holding t
+// copies can compare layouts; at sites where their copies differ they
+// know a fingerprint bit lives and can overwrite it (random observed
+// value, majority vote, or strip to unmodified). At sites where all t
+// copies agree they learn nothing and must keep the value. Tracing scores
+// every buyer's codeword against the attacked copy; the paper's claim —
+// "as long as the collusion attacker does not remove all the fingerprint
+// information, all the copies that are involved in the collusion can be
+// traced" — is what bench_collusion measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fingerprint/embedder.hpp"
+#include "fingerprint/location.hpp"
+
+namespace odcfp {
+
+/// Bits a straight binary encoding can store: sum over sites of
+/// floor(log2(1 + options)).
+std::size_t usable_bits(const std::vector<FingerprintLocation>& locs);
+
+/// Encodes a bitstring into a code (bits.size() must equal usable_bits).
+FingerprintCode encode_bits(const std::vector<FingerprintLocation>& locs,
+                            const std::vector<bool>& bits);
+
+/// Inverse of encode_bits.
+std::vector<bool> decode_bits(const std::vector<FingerprintLocation>& locs,
+                              const FingerprintCode& code);
+
+/// A set of distinct buyer codewords over the same location set.
+class Codebook {
+ public:
+  Codebook(const std::vector<FingerprintLocation>& locs,
+           std::size_t num_buyers, std::uint64_t seed);
+
+  std::size_t num_buyers() const { return codes_.size(); }
+  const FingerprintCode& code(std::size_t buyer) const;
+  const std::vector<FingerprintLocation>& locations() const {
+    return *locs_;
+  }
+
+ private:
+  const std::vector<FingerprintLocation>* locs_;
+  std::vector<FingerprintCode> codes_;
+};
+
+enum class CollusionStrategy : std::uint8_t {
+  kRandomObserved,  ///< At detected sites, pick one of the observed values.
+  kMajority,        ///< At detected sites, take the majority value.
+  kStrip,           ///< At detected sites, remove the modification (0).
+};
+
+/// Simulates a collusion attack by the given buyers. Sites where all
+/// colluding copies agree are kept verbatim (undetectable); sites where
+/// they differ are overwritten per the strategy.
+FingerprintCode collude(const Codebook& book,
+                        const std::vector<std::size_t>& colluders,
+                        CollusionStrategy strategy, Rng& rng);
+
+struct TraceResult {
+  /// Buyers sorted by score (best match first).
+  std::vector<std::size_t> ranked;
+  std::vector<double> scores;  ///< Match fraction per ranked buyer.
+};
+
+/// Scores every buyer's codeword against the attacked copy (fraction of
+/// sites whose value matches).
+TraceResult trace(const Codebook& book, const FingerprintCode& attacked);
+
+}  // namespace odcfp

@@ -1,0 +1,158 @@
+#include "fingerprint/ecc.hpp"
+
+#include "common/check.hpp"
+
+namespace odcfp {
+
+namespace {
+
+/// Number of Hamming parity bits needed for `data_bits` data bits.
+std::size_t hamming_parity_bits(std::size_t data_bits) {
+  std::size_t r = 0;
+  while ((std::size_t{1} << r) < data_bits + r + 1) ++r;
+  return r;
+}
+
+bool is_power_of_two(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+std::size_t secded_coded_bits(std::size_t data_bits) {
+  if (data_bits == 0) return 0;
+  return data_bits + hamming_parity_bits(data_bits) + 1;  // + overall
+}
+
+std::size_t secded_max_data_bits(std::size_t coded_bits) {
+  std::size_t k = 0;
+  while (secded_coded_bits(k + 1) <= coded_bits) ++k;
+  return k;
+}
+
+std::vector<bool> secded_encode(const std::vector<bool>& data) {
+  const std::size_t k = data.size();
+  if (k == 0) return {};
+  const std::size_t r = hamming_parity_bits(k);
+  const std::size_t n = k + r;  // Hamming codeword (1-indexed positions)
+
+  std::vector<bool> word(n + 1, false);  // word[1..n]
+  std::size_t di = 0;
+  for (std::size_t pos = 1; pos <= n; ++pos) {
+    if (!is_power_of_two(pos)) word[pos] = data[di++];
+  }
+  ODCFP_CHECK(di == k);
+  for (std::size_t p = 0; (std::size_t{1} << p) <= n; ++p) {
+    const std::size_t mask = std::size_t{1} << p;
+    bool parity = false;
+    for (std::size_t pos = 1; pos <= n; ++pos) {
+      if ((pos & mask) && !is_power_of_two(pos)) {
+        parity ^= word[pos];
+      }
+    }
+    word[mask] = parity;
+  }
+  std::vector<bool> coded(word.begin() + 1, word.end());
+  bool overall = false;
+  for (bool b : coded) overall ^= b;
+  coded.push_back(overall);  // extended (SECDED) bit
+  return coded;
+}
+
+std::optional<std::vector<bool>> secded_decode(std::vector<bool> coded,
+                                               std::size_t data_bits,
+                                               bool* corrected) {
+  if (corrected != nullptr) *corrected = false;
+  if (data_bits == 0) return std::vector<bool>{};
+  const std::size_t r = hamming_parity_bits(data_bits);
+  const std::size_t n = data_bits + r;
+  ODCFP_CHECK_MSG(coded.size() == n + 1, "SECDED length mismatch");
+
+  bool overall = false;
+  for (bool b : coded) overall ^= b;
+
+  std::size_t syndrome = 0;
+  for (std::size_t p = 0; (std::size_t{1} << p) <= n; ++p) {
+    const std::size_t mask = std::size_t{1} << p;
+    bool parity = false;
+    for (std::size_t pos = 1; pos <= n; ++pos) {
+      if (pos & mask) parity ^= coded[pos - 1];
+    }
+    if (parity) syndrome |= mask;
+  }
+
+  if (syndrome != 0) {
+    if (!overall) return std::nullopt;  // double error detected
+    ODCFP_CHECK_MSG(syndrome <= n, "SECDED syndrome out of range");
+    coded[syndrome - 1] = !coded[syndrome - 1];
+    if (corrected != nullptr) *corrected = true;
+  }
+  // syndrome == 0 with overall parity set means the extended bit itself
+  // flipped; the data is intact either way.
+
+  std::vector<bool> data;
+  data.reserve(data_bits);
+  for (std::size_t pos = 1; pos <= n; ++pos) {
+    if (!is_power_of_two(pos)) data.push_back(coded[pos - 1]);
+  }
+  return data;
+}
+
+std::size_t ecc_payload_bits(const std::vector<FingerprintLocation>& locs,
+                             const EccParams& params) {
+  ODCFP_CHECK(params.repetition >= 1);
+  const std::size_t capacity =
+      usable_bits(locs) / static_cast<std::size_t>(params.repetition);
+  return secded_max_data_bits(capacity);
+}
+
+FingerprintCode ecc_encode(const std::vector<FingerprintLocation>& locs,
+                           const std::vector<bool>& payload,
+                           const EccParams& params) {
+  ODCFP_CHECK_MSG(payload.size() == ecc_payload_bits(locs, params),
+                  "payload must be exactly ecc_payload_bits() long");
+  const std::vector<bool> coded = secded_encode(payload);
+  std::vector<bool> bits(usable_bits(locs), false);
+  // Interleave the r copies: copy c of coded bit i lands at
+  // c * coded.size() + i, spreading each repetition group across the
+  // circuit so localized tampering hits distinct groups.
+  for (int c = 0; c < params.repetition; ++c) {
+    for (std::size_t i = 0; i < coded.size(); ++i) {
+      bits[static_cast<std::size_t>(c) * coded.size() + i] = coded[i];
+    }
+  }
+  return encode_bits(locs, bits);
+}
+
+std::optional<EccDecodeResult> ecc_decode(
+    const std::vector<FingerprintLocation>& locs,
+    const FingerprintCode& code, const EccParams& params) {
+  const std::size_t k = ecc_payload_bits(locs, params);
+  if (k == 0) return std::nullopt;
+  const std::size_t coded_len = secded_coded_bits(k);
+  const std::vector<bool> bits = decode_bits(locs, code);
+
+  EccDecodeResult result;
+  std::vector<bool> coded(coded_len, false);
+  for (std::size_t i = 0; i < coded_len; ++i) {
+    int votes = 0;
+    for (int c = 0; c < params.repetition; ++c) {
+      if (bits[static_cast<std::size_t>(c) * coded_len + i]) ++votes;
+    }
+    coded[i] = 2 * votes > params.repetition;
+    // Count positions where some copy was out-voted.
+    if (votes != 0 && votes != params.repetition) {
+      ++result.repetition_corrections;
+    }
+  }
+  bool corrected = false;
+  auto data = secded_decode(std::move(coded), k, &corrected);
+  if (!data.has_value()) {
+    EccDecodeResult fail;
+    fail.double_error_detected = true;
+    return std::nullopt;
+  }
+  result.payload = std::move(*data);
+  result.hamming_corrected = corrected;
+  return result;
+}
+
+}  // namespace odcfp

@@ -1,0 +1,71 @@
+// Error-correcting fingerprint codes (paper §V: "include additional
+// functionality to our fingerprints, such as error correcting codes or
+// redundancy, so that even if an adversary tampers with the circuit, we
+// can figure out what they have done and what the original fingerprint
+// was").
+//
+// The payload (e.g. a buyer id) is protected two ways, composable:
+//  * an r-fold repetition code with majority decode across sites — robust
+//    against an adversary flipping/stripping a bounded fraction of the
+//    modifications;
+//  * an extended-Hamming SECDED layer on the payload bits — corrects any
+//    single residual bit error after majority voting and detects double
+//    errors.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fingerprint/codewords.hpp"
+
+namespace odcfp {
+
+struct EccParams {
+  int repetition = 3;  ///< Each payload bit is embedded this many times.
+};
+
+/// Payload capacity (bits) of `locs` under the ECC scheme: the SECDED
+/// data width that fits into usable_bits(locs) / repetition.
+std::size_t ecc_payload_bits(const std::vector<FingerprintLocation>& locs,
+                             const EccParams& params = {});
+
+/// Encodes `payload` (payload.size() == ecc_payload_bits) into a full
+/// FingerprintCode: SECDED-extend, repeat, interleave, then map onto the
+/// site alphabets via encode_bits (zero-padded to the exact capacity).
+FingerprintCode ecc_encode(const std::vector<FingerprintLocation>& locs,
+                           const std::vector<bool>& payload,
+                           const EccParams& params = {});
+
+struct EccDecodeResult {
+  std::vector<bool> payload;
+  std::size_t repetition_corrections = 0;  ///< Sites out-voted.
+  bool hamming_corrected = false;          ///< SECDED fixed one bit.
+  bool double_error_detected = false;      ///< SECDED detected 2 errors.
+};
+
+/// Decodes a (possibly tampered) code back to the payload. Returns
+/// nullopt when the damage exceeds the code's correction capability in a
+/// detectable way (SECDED double-error).
+std::optional<EccDecodeResult> ecc_decode(
+    const std::vector<FingerprintLocation>& locs,
+    const FingerprintCode& code, const EccParams& params = {});
+
+/// --- building blocks (exposed for tests) ---
+
+/// Extended Hamming (SECDED) encode: appends parity bits to `data`.
+std::vector<bool> secded_encode(const std::vector<bool>& data);
+
+/// Number of coded bits for `data_bits` of payload.
+std::size_t secded_coded_bits(std::size_t data_bits);
+
+/// Largest payload whose SECDED codeword fits in `coded_bits`.
+std::size_t secded_max_data_bits(std::size_t coded_bits);
+
+/// SECDED decode; corrects one error in place. Returns nullopt on a
+/// detected double error.
+std::optional<std::vector<bool>> secded_decode(std::vector<bool> coded,
+                                               std::size_t data_bits,
+                                               bool* corrected = nullptr);
+
+}  // namespace odcfp

@@ -1,0 +1,386 @@
+#include "fingerprint/embedder.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace odcfp {
+
+FingerprintCode blank_code(const std::vector<FingerprintLocation>& locs) {
+  FingerprintCode code(locs.size());
+  for (std::size_t i = 0; i < locs.size(); ++i) {
+    code[i].assign(locs[i].sites.size(), 0);
+  }
+  return code;
+}
+
+FingerprintEmbedder::FingerprintEmbedder(
+    Netlist& nl, std::vector<FingerprintLocation> locations)
+    : nl_(&nl), locations_(std::move(locations)) {
+  state_.resize(locations_.size());
+  for (std::size_t l = 0; l < locations_.size(); ++l) {
+    state_[l].resize(locations_[l].sites.size());
+    for (std::size_t s = 0; s < locations_[l].sites.size(); ++s) {
+      flat_sites_.push_back({l, s});
+      site_gates_.insert(locations_[l].sites[s].gate);
+    }
+  }
+}
+
+FingerprintEmbedder::SiteRef FingerprintEmbedder::site_ref(
+    std::size_t flat_index) const {
+  ODCFP_CHECK(flat_index < flat_sites_.size());
+  return flat_sites_[flat_index];
+}
+
+int FingerprintEmbedder::applied_option(std::size_t loc,
+                                        std::size_t site) const {
+  ODCFP_CHECK(loc < state_.size() && site < state_[loc].size());
+  return state_[loc][site].option;
+}
+
+NetId find_reusable_inverter(const Netlist& nl, NetId source,
+                             const std::unordered_set<GateId>& site_gates) {
+  // A pre-existing inverter on the source net can serve as the
+  // complemented literal for free — exactly what a designer would wire in
+  // layout. Fingerprint-added inverters (fp_ prefix) and gates that are
+  // themselves injection sites (their cell may change) are not shared so
+  // that extraction can predict the reuse from the golden netlist alone.
+  for (const FanoutRef& ref : nl.net(source).fanouts) {
+    if (site_gates.count(ref.gate)) continue;
+    const Gate& g = nl.gate(ref.gate);
+    if (g.is_dead()) continue;
+    if (nl.cell_of(ref.gate).kind != CellKind::kInv) continue;
+    if (g.name.rfind("fp_", 0) == 0) continue;
+    return g.output;
+  }
+  return kInvalidNet;
+}
+
+NetId FingerprintEmbedder::literal_net(NetId source, bool invert,
+                                       std::vector<Op>& ops) {
+  if (!invert) return source;
+  const NetId reusable =
+      find_reusable_inverter(*nl_, source, site_gates_);
+  if (reusable != kInvalidNet) return reusable;
+  const GateId inv = nl_->add_gate_kind(
+      CellKind::kInv, {source}, nl_->fresh_gate_name(kInverterPrefix));
+  Op op;
+  op.kind = Op::Kind::kAddGate;
+  op.gate = inv;
+  ops.push_back(std::move(op));
+  return nl_->gate(inv).output;
+}
+
+namespace {
+
+/// Cell kind used when widening a site gate by one input.
+CellKind widen_target_kind(CellKind current) {
+  switch (current) {
+    case CellKind::kInv:  return CellKind::kNand;  // INV(a) == NAND2(a, 1)
+    case CellKind::kBuf:  return CellKind::kAnd;   // BUF(a) == AND2(a, 1)
+    default:              return current;
+  }
+}
+
+CellKind append_kind(InjectClass cls) {
+  switch (cls) {
+    case InjectClass::kAndLike: return CellKind::kAnd;
+    case InjectClass::kOrLike:  return CellKind::kOr;
+    case InjectClass::kXorLike: return CellKind::kXor;
+  }
+  ODCFP_CHECK_MSG(false, "bad inject class");
+}
+
+}  // namespace
+
+void FingerprintEmbedder::inject_literal(GateId site_gate, InjectClass cls,
+                                         NetId lit, std::vector<Op>& ops) {
+  const Cell& cur = nl_->cell_of(site_gate);
+  const CellKind target = widen_target_kind(cur.kind);
+  const CellId wide =
+      nl_->library().find_kind(target, cur.num_inputs() + 1);
+  if (wide != kInvalidCell &&
+      (cur.kind == target || cur.num_inputs() == 1)) {
+    // Widen the gate in place: the literal is appended as the last pin.
+    // The undo drops exactly that pin and keeps whatever nets are on the
+    // original pins at undo time — another location's append may have
+    // legitimately re-routed one of them in the meantime, and restoring a
+    // stale snapshot would resurrect dangling fingerprint nets.
+    Op op;
+    op.kind = Op::Kind::kWiden;
+    op.gate = site_gate;
+    op.old_cell = nl_->gate(site_gate).cell;
+    std::vector<NetId> fanins = nl_->gate(site_gate).fanins;
+    fanins.push_back(lit);
+    ops.push_back(std::move(op));
+    nl_->rewire_gate(site_gate, wide, fanins);
+    return;
+  }
+  // Append a 2-input identity-class gate at the end of the chain.
+  const NetId tail = chain_output(site_gate);
+  const GateId app = nl_->add_gate_kind(
+      append_kind(cls), {tail, lit}, nl_->fresh_gate_name(kAddedGatePrefix));
+  const NetId app_out = nl_->gate(app).output;
+  Op add;
+  add.kind = Op::Kind::kAddGate;
+  add.gate = app;
+  ops.push_back(std::move(add));
+  nl_->transfer_fanouts_except(tail, app_out, app);
+  Op tr;
+  tr.kind = Op::Kind::kTransfer;
+  tr.from = tail;
+  tr.to = app_out;
+  ops.push_back(std::move(tr));
+}
+
+NetId FingerprintEmbedder::chain_output(GateId site_gate) const {
+  NetId n = nl_->gate(site_gate).output;
+  for (;;) {
+    const Net& net = nl_->net(n);
+    if (net.fanouts.size() != 1) return n;
+    const GateId g = net.fanouts[0].gate;
+    const std::string& gname = nl_->gate(g).name;
+    if (gname.rfind(kAddedGatePrefix, 0) != 0 ||
+        nl_->gate(g).fanins[0] != n) {
+      return n;
+    }
+    n = nl_->gate(g).output;
+  }
+}
+
+void FingerprintEmbedder::apply(std::size_t loc, std::size_t site,
+                                int option) {
+  ODCFP_CHECK(loc < locations_.size());
+  const FingerprintLocation& L = locations_[loc];
+  ODCFP_CHECK(site < L.sites.size());
+  const InjectionSite& S = L.sites[site];
+  ODCFP_CHECK_MSG(option >= 1 &&
+                      option <= static_cast<int>(S.options.size()),
+                  "option " << option << " out of range");
+  SiteState& st = state_[loc][site];
+  ODCFP_CHECK_MSG(st.option == 0, "site already modified");
+
+  const ModOption& O = S.options[static_cast<std::size_t>(option - 1)];
+  std::vector<Op> ops;
+  const NetId lit1 = literal_net(O.source, O.invert, ops);
+  inject_literal(S.gate, S.inject_class, lit1, ops);
+  if (O.source2 != kInvalidNet) {
+    const NetId lit2 = literal_net(O.source2, O.invert2, ops);
+    inject_literal(S.gate, S.inject_class, lit2, ops);
+  }
+  st.option = option;
+  st.ops = std::move(ops);
+  ++num_applied_;
+}
+
+void FingerprintEmbedder::remove(std::size_t loc, std::size_t site) {
+  ODCFP_CHECK(loc < state_.size() && site < state_[loc].size());
+  SiteState& st = state_[loc][site];
+  if (st.option == 0) return;
+  for (auto it = st.ops.rbegin(); it != st.ops.rend(); ++it) {
+    switch (it->kind) {
+      case Op::Kind::kTransfer:
+        nl_->transfer_fanouts(it->to, it->from);
+        break;
+      case Op::Kind::kAddGate:
+        nl_->remove_gate(it->gate);
+        break;
+      case Op::Kind::kWiden: {
+        std::vector<NetId> fanins = nl_->gate(it->gate).fanins;
+        ODCFP_CHECK(!fanins.empty());
+        fanins.pop_back();
+        nl_->rewire_gate(it->gate, it->old_cell, fanins);
+        break;
+      }
+    }
+  }
+  st = SiteState{};
+  --num_applied_;
+}
+
+void FingerprintEmbedder::apply_code(const FingerprintCode& code) {
+  ODCFP_CHECK(code.size() == locations_.size());
+  remove_all();
+  for (std::size_t l = 0; l < code.size(); ++l) {
+    ODCFP_CHECK(code[l].size() == locations_[l].sites.size());
+    for (std::size_t s = 0; s < code[l].size(); ++s) {
+      if (code[l][s] != 0) apply(l, s, code[l][s]);
+    }
+  }
+}
+
+void FingerprintEmbedder::apply_all_generic() {
+  for (std::size_t l = 0; l < locations_.size(); ++l) {
+    for (std::size_t s = 0; s < locations_[l].sites.size(); ++s) {
+      if (state_[l][s].option == 0) apply(l, s, 1);
+    }
+  }
+}
+
+void FingerprintEmbedder::remove_all() {
+  for (std::size_t l = 0; l < state_.size(); ++l) {
+    for (std::size_t s = 0; s < state_[l].size(); ++s) {
+      remove(l, s);
+    }
+  }
+}
+
+std::vector<GateId> FingerprintEmbedder::touched_gates(
+    std::size_t loc, std::size_t site) const {
+  ODCFP_CHECK(loc < state_.size() && site < state_[loc].size());
+  const SiteState& st = state_[loc][site];
+  if (st.option == 0) return {};
+  std::vector<GateId> gates{locations_[loc].sites[site].gate};
+  for (const Op& op : st.ops) {
+    if (op.kind == Op::Kind::kAddGate) gates.push_back(op.gate);
+  }
+  return gates;
+}
+
+FingerprintCode FingerprintEmbedder::current_code() const {
+  FingerprintCode code = blank_code(locations_);
+  for (std::size_t l = 0; l < state_.size(); ++l) {
+    for (std::size_t s = 0; s < state_[l].size(); ++s) {
+      code[l][s] = static_cast<std::uint8_t>(state_[l][s].option);
+    }
+  }
+  return code;
+}
+
+namespace {
+
+/// (source net name, inverted) pair describing one injected literal.
+using LiteralDesc = std::pair<std::string, bool>;
+
+LiteralDesc decode_literal(const Netlist& fp, NetId lit) {
+  const GateId d = fp.net(lit).driver;
+  if (d != kInvalidGate &&
+      fp.gate(d).name.rfind(kInverterPrefix, 0) == 0) {
+    return {fp.net(fp.gate(d).fanins[0]).name, true};
+  }
+  return {fp.net(lit).name, false};
+}
+
+std::vector<LiteralDesc> expected_literals(
+    const Netlist& golden, const ModOption& o,
+    const std::unordered_set<GateId>& site_gates) {
+  // Mirrors FingerprintEmbedder::literal_net: an inverted literal reuses a
+  // pre-existing inverter when the golden netlist has one.
+  auto literal = [&](NetId source, bool invert) -> LiteralDesc {
+    if (invert) {
+      const NetId reused =
+          find_reusable_inverter(golden, source, site_gates);
+      if (reused != kInvalidNet) return {golden.net(reused).name, false};
+    }
+    return {golden.net(source).name, invert};
+  };
+  std::vector<LiteralDesc> lits;
+  lits.push_back(literal(o.source, o.invert));
+  if (o.source2 != kInvalidNet) {
+    lits.push_back(literal(o.source2, o.invert2));
+  }
+  std::sort(lits.begin(), lits.end());
+  return lits;
+}
+
+}  // namespace
+
+namespace {
+
+/// Shared extraction core; `strict` throws on unreadable sites instead of
+/// recording a damage status.
+LenientExtraction extract_impl(const Netlist& fingerprinted,
+                               const Netlist& golden,
+                               const std::vector<FingerprintLocation>& locs,
+                               bool strict) {
+  LenientExtraction result;
+  result.code = blank_code(locs);
+  result.status.resize(locs.size());
+  std::unordered_set<GateId> site_gates;
+  for (const FingerprintLocation& loc : locs) {
+    for (const InjectionSite& s : loc.sites) site_gates.insert(s.gate);
+  }
+  for (std::size_t l = 0; l < locs.size(); ++l) {
+    result.status[l].assign(locs[l].sites.size(),
+                            SiteReadStatus::kRecovered);
+    for (std::size_t s = 0; s < locs[l].sites.size(); ++s) {
+      const InjectionSite& S = locs[l].sites[s];
+      const Gate& gg = golden.gate(S.gate);
+      const GateId g2 = fingerprinted.find_gate(gg.name);
+      if (g2 == kInvalidGate ||
+          fingerprinted.gate(g2).fanins.size() < gg.fanins.size()) {
+        ODCFP_CHECK_MSG(!strict, "site gate '"
+                                     << gg.name
+                                     << "' missing in fingerprinted "
+                                        "netlist or lost fanins");
+        result.status[l][s] = SiteReadStatus::kSiteMissing;
+        ++result.damaged;
+        continue;
+      }
+      std::vector<LiteralDesc> literals;
+
+      // Literals added by widening: fanin pins beyond the golden arity.
+      const Gate& gf = fingerprinted.gate(g2);
+      for (std::size_t i = gg.fanins.size(); i < gf.fanins.size(); ++i) {
+        literals.push_back(decode_literal(fingerprinted, gf.fanins[i]));
+      }
+
+      // Literals added by appended gates: follow the chain from the site
+      // gate's (name-stable) output net.
+      NetId n = gf.output;
+      for (;;) {
+        const Net& net = fingerprinted.net(n);
+        if (net.fanouts.size() != 1) break;
+        const GateId a = net.fanouts[0].gate;
+        const Gate& ag = fingerprinted.gate(a);
+        if (ag.name.rfind(kAddedGatePrefix, 0) != 0 || ag.fanins[0] != n) {
+          break;
+        }
+        literals.push_back(decode_literal(fingerprinted, ag.fanins[1]));
+        n = ag.output;
+      }
+
+      if (literals.empty()) {
+        ++result.recovered;  // option 0
+        continue;
+      }
+      std::sort(literals.begin(), literals.end());
+      bool matched = false;
+      for (std::size_t o = 0; o < S.options.size(); ++o) {
+        if (expected_literals(golden, S.options[o], site_gates) ==
+            literals) {
+          result.code[l][s] = static_cast<std::uint8_t>(o + 1);
+          matched = true;
+          break;
+        }
+      }
+      if (matched) {
+        ++result.recovered;
+      } else {
+        ODCFP_CHECK_MSG(!strict, "modification at site gate '"
+                                     << gg.name
+                                     << "' matches no known option");
+        result.status[l][s] = SiteReadStatus::kUnknownMod;
+        ++result.damaged;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+FingerprintCode extract_code(const Netlist& fingerprinted,
+                             const Netlist& golden,
+                             const std::vector<FingerprintLocation>& locs) {
+  return extract_impl(fingerprinted, golden, locs, /*strict=*/true).code;
+}
+
+LenientExtraction extract_code_lenient(
+    const Netlist& fingerprinted, const Netlist& golden,
+    const std::vector<FingerprintLocation>& locs) {
+  return extract_impl(fingerprinted, golden, locs, /*strict=*/false);
+}
+
+}  // namespace odcfp

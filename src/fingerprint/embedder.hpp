@@ -1,0 +1,156 @@
+// Fingerprint embedding, removal, and extraction.
+//
+// A *code* assigns to every injection site of every location an option
+// index: 0 leaves the site untouched, i >= 1 applies the site's option
+// i-1. The embedder mutates a working netlist and keeps an undo log per
+// site, so individual modifications can be removed in any order — the
+// reactive overhead heuristic (paper §IV.B) depends on this.
+//
+// Mechanics of one injection (site gate f, literal L):
+//  * if the library has a same-kind cell one input wider, f is *widened*
+//    (INV becomes NAND2, BUF becomes AND2);
+//  * otherwise a 2-input gate of f's identity class is *appended* on f's
+//    output and f's former fanouts are moved to it.
+// A complemented literal adds an inverter on the source net. Added gates
+// are named with the kAddedGatePrefix / kInverterPrefix prefixes; nets and
+// pre-existing gates keep their names, which is what makes designer-side
+// extraction (compare against the unfingerprinted golden netlist, paper
+// §III.E) purely structural.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "fingerprint/location.hpp"
+#include "netlist/netlist.hpp"
+
+namespace odcfp {
+
+/// code[loc][site] in [0, 1 + options(site)).
+using FingerprintCode = std::vector<std::vector<std::uint8_t>>;
+
+inline constexpr const char* kAddedGatePrefix = "fp_add_";
+inline constexpr const char* kInverterPrefix = "fp_inv_";
+
+/// An all-zero (blank) code shaped like `locs`.
+FingerprintCode blank_code(const std::vector<FingerprintLocation>& locs);
+
+class FingerprintEmbedder {
+ public:
+  /// The embedder keeps a reference to `nl` and mutates it in place.
+  FingerprintEmbedder(Netlist& nl,
+                      std::vector<FingerprintLocation> locations);
+
+  const std::vector<FingerprintLocation>& locations() const {
+    return locations_;
+  }
+  const Netlist& netlist() const { return *nl_; }
+
+  std::size_t num_sites() const { return flat_sites_.size(); }
+
+  /// Flat site index -> (location, site) pair.
+  struct SiteRef {
+    std::size_t loc;
+    std::size_t site;
+  };
+  SiteRef site_ref(std::size_t flat_index) const;
+
+  /// Currently applied option at a site (0 = none).
+  int applied_option(std::size_t loc, std::size_t site) const;
+
+  /// Applies option `option` (1-based) at the site; the site must be
+  /// currently unmodified.
+  void apply(std::size_t loc, std::size_t site, int option);
+
+  /// Undoes whatever is applied at the site (no-op if nothing is).
+  void remove(std::size_t loc, std::size_t site);
+
+  /// Applies a full code (removing any current modifications first).
+  void apply_code(const FingerprintCode& code);
+
+  /// Applies option 1 (the generic Fig. 4 injection) at every site — the
+  /// paper's "maximum fingerprint" configuration measured in Table II.
+  void apply_all_generic();
+
+  void remove_all();
+
+  std::size_t num_applied() const { return num_applied_; }
+
+  /// The currently applied code.
+  FingerprintCode current_code() const;
+
+  /// Gates whose structure/loading the applied modification at this site
+  /// touches: the site gate plus any added inverter/append gates. Empty if
+  /// the site is unmodified. Used by the heuristics to restrict trial
+  /// removals to modifications that can affect the critical path.
+  std::vector<GateId> touched_gates(std::size_t loc, std::size_t site) const;
+
+ private:
+  struct Op {
+    enum class Kind : std::uint8_t { kWiden, kAddGate, kTransfer };
+    Kind kind;
+    GateId gate = kInvalidGate;       // kWiden / kAddGate
+    CellId old_cell = kInvalidCell;   // kWiden
+    NetId from = kInvalidNet;         // kTransfer
+    NetId to = kInvalidNet;           // kTransfer
+  };
+  struct SiteState {
+    int option = 0;
+    std::vector<Op> ops;
+  };
+
+  NetId literal_net(NetId source, bool invert, std::vector<Op>& ops);
+  void inject_literal(GateId site_gate, InjectClass cls, NetId lit,
+                      std::vector<Op>& ops);
+  /// The current output net of the site gate's modification chain (after
+  /// appends, the appended gate's output).
+  NetId chain_output(GateId site_gate) const;
+
+  Netlist* nl_;
+  std::vector<FingerprintLocation> locations_;
+  std::vector<std::vector<SiteState>> state_;  // [loc][site]
+  std::vector<SiteRef> flat_sites_;
+  std::unordered_set<GateId> site_gates_;
+  std::size_t num_applied_ = 0;
+};
+
+/// Finds a pre-existing (non-fingerprint, non-site) inverter driven by
+/// `source`, returning its output net; kInvalidNet if none. Shared by the
+/// embedder (reuse instead of adding an inverter) and the extractor
+/// (predicting that reuse from the golden netlist).
+NetId find_reusable_inverter(const Netlist& nl, NetId source,
+                             const std::unordered_set<GateId>& site_gates);
+
+/// Recovers the embedded code by structurally comparing a fingerprinted
+/// netlist against the golden netlist the locations were computed on.
+/// Gates and nets are matched by name. Throws CheckError if the
+/// fingerprinted netlist contains modifications that match no option.
+FingerprintCode extract_code(const Netlist& fingerprinted,
+                             const Netlist& golden,
+                             const std::vector<FingerprintLocation>& locs);
+
+/// Per-site verdict of the lenient extractor.
+enum class SiteReadStatus : std::uint8_t {
+  kRecovered,   ///< Site matched an option (or the unmodified form).
+  kSiteMissing, ///< The site gate no longer exists (e.g. resynthesized).
+  kUnknownMod,  ///< The site exists but matches no known option.
+};
+
+struct LenientExtraction {
+  FingerprintCode code;                   ///< 0 where not recovered.
+  std::vector<std::vector<SiteReadStatus>> status;  ///< [loc][site]
+  std::size_t recovered = 0;
+  std::size_t damaged = 0;  ///< missing + unknown
+};
+
+/// Like extract_code but tolerates tampering/resynthesis: sites whose
+/// structure was destroyed are reported instead of throwing. Used for
+/// the attack-robustness analysis (paper §III.E: tracing works while the
+/// attacker "does not remove all the fingerprint information").
+LenientExtraction extract_code_lenient(
+    const Netlist& fingerprinted, const Netlist& golden,
+    const std::vector<FingerprintLocation>& locs);
+
+}  // namespace odcfp

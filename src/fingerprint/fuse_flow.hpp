@@ -1,0 +1,66 @@
+// The paper's two-step post-silicon fingerprinting flow (§I.A and §VI).
+//
+// "First, an IC is designed with a number of flexibilities so every IC
+//  fabricated is identical. Second, in the post-silicon stage, the
+//  flexibilities are solidified such that each IC has an individual
+//  fingerprint." ... "Potential methods include using fuses as the
+//  connections for the added lines so we can decide which ones are
+//  active."
+//
+// build_fused_master() applies the generic modification at every site but
+// routes each injected literal through a *fuse gate* whose other input is
+// a programmable constant:
+//
+//   AND-like site:  literal' = OR2(literal, fuse)   fuse=1 -> inactive
+//   OR/XOR-like:    literal' = AND2(literal, fuse)  fuse=0 -> inactive
+//
+// With every fuse intact the master is functionally identical to the
+// golden netlist and *structurally identical across all fabricated
+// copies*; program_fuses() then "blows" a per-buyer subset (flipping the
+// constants), activating that buyer's fingerprint bits without any
+// netlist redesign. read_fuses() recovers the programmed bit vector.
+//
+// Only the generic (Fig. 4) option is fused — one fuse per site — which
+// mirrors the paper's 2^n counting for n locations.
+#pragma once
+
+#include <vector>
+
+#include "fingerprint/embedder.hpp"
+#include "fingerprint/location.hpp"
+#include "netlist/netlist.hpp"
+
+namespace odcfp {
+
+/// One bit per injection site (flat order of FingerprintEmbedder).
+using FuseVector = std::vector<bool>;
+
+struct FusedMaster {
+  Netlist netlist;
+  /// Per flat site index: the CONST gate driving the fuse input.
+  std::vector<GateId> fuse_gates;
+  /// Per flat site index: the inactive polarity (value the constant has
+  /// when the fuse is intact / fingerprint bit 0).
+  std::vector<bool> inactive_value;
+
+  std::size_t num_fuses() const { return fuse_gates.size(); }
+};
+
+/// Builds the fused master from a golden netlist and its locations. The
+/// result is functionally equivalent to `golden` (all fuses intact).
+FusedMaster build_fused_master(const Netlist& golden,
+                               const std::vector<FingerprintLocation>& locs);
+
+/// Programs the fuses: bit i true = blow fuse i (activate the site's
+/// modification). Re-programming is allowed (constants are swapped).
+void program_fuses(FusedMaster& master, const FuseVector& bits);
+
+/// Reads back the programmed fuse vector from the master.
+FuseVector read_fuses(const FusedMaster& master);
+
+/// Reads the fuse vector from any structurally-copied instance of the
+/// master (e.g. after Verilog round-trip), matching fuse gates by name.
+FuseVector read_fuses_from_copy(const Netlist& copy,
+                                const FusedMaster& master);
+
+}  // namespace odcfp

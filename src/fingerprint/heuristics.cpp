@@ -1,0 +1,304 @@
+#include "fingerprint/heuristics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace odcfp {
+
+Baseline Baseline::measure(const Netlist& golden,
+                           const StaticTimingAnalyzer& sta,
+                           const PowerAnalyzer& power) {
+  Baseline b;
+  b.area = golden.total_area();
+  b.delay = sta.critical_delay(golden);
+  b.power = power.analyze(golden).dynamic_power;
+  return b;
+}
+
+Overheads Overheads::measure(const Netlist& nl, const Baseline& base,
+                             const StaticTimingAnalyzer& sta,
+                             const PowerAnalyzer& power) {
+  Overheads o;
+  o.area_ratio = base.area > 0 ? nl.total_area() / base.area - 1.0 : 0.0;
+  o.delay_ratio =
+      base.delay > 0 ? sta.critical_delay(nl) / base.delay - 1.0 : 0.0;
+  o.power_ratio =
+      base.power > 0
+          ? power.analyze(nl).dynamic_power / base.power - 1.0
+          : 0.0;
+  return o;
+}
+
+namespace {
+
+double site_bits(const FingerprintLocation& loc, std::size_t site) {
+  return std::log2(1.0 +
+                   static_cast<double>(loc.sites[site].options.size()));
+}
+
+/// Bits of capacity currently applied.
+double applied_bits(const FingerprintEmbedder& e) {
+  double bits = 0;
+  for (std::size_t f = 0; f < e.num_sites(); ++f) {
+    const auto ref = e.site_ref(f);
+    if (e.applied_option(ref.loc, ref.site) != 0) {
+      bits += site_bits(e.locations()[ref.loc], ref.site);
+    }
+  }
+  return bits;
+}
+
+/// Seed set for ArrivalTracker::update after modifying `gates`: the gates
+/// themselves, the drivers of their fanins (output loads changed), and
+/// the sinks of their outputs (they may now read different nets).
+std::vector<GateId> timing_seeds(const Netlist& nl,
+                                 const std::vector<GateId>& gates) {
+  std::vector<GateId> seeds;
+  for (GateId g : gates) {
+    if (g >= nl.num_gates() || nl.gate(g).is_dead()) continue;
+    seeds.push_back(g);
+    for (NetId in : nl.gate(g).fanins) {
+      const GateId d = nl.net(in).driver;
+      if (d != kInvalidGate) seeds.push_back(d);
+    }
+    for (const FanoutRef& ref : nl.net(nl.gate(g).output).fanouts) {
+      seeds.push_back(ref.gate);
+    }
+  }
+  return seeds;
+}
+
+HeuristicOutcome make_outcome(FingerprintEmbedder& e,
+                              const Baseline& baseline,
+                              const StaticTimingAnalyzer& sta,
+                              const PowerAnalyzer& power,
+                              std::size_t evals) {
+  HeuristicOutcome out;
+  out.code = e.current_code();
+  out.sites_total = e.num_sites();
+  out.sites_kept = e.num_applied();
+  out.bits_total = total_capacity_bits(e.locations());
+  out.bits_kept = applied_bits(e);
+  out.overheads = Overheads::measure(e.netlist(), baseline, sta, power);
+  out.sta_evaluations = evals;
+  return out;
+}
+
+struct ReactiveRun {
+  FingerprintCode code;
+  std::size_t sites_kept = 0;
+  double bits_kept = 0;
+  double delay = std::numeric_limits<double>::infinity();
+  bool met_budget = false;
+};
+
+ReactiveRun reactive_once(FingerprintEmbedder& e,
+                          const StaticTimingAnalyzer& sta,
+                          double budget, const ReactiveOptions& opt,
+                          std::uint64_t seed, std::size_t& evals) {
+  const Netlist& nl = e.netlist();
+  e.remove_all();
+  e.apply_all_generic();
+  Rng rng(seed);
+  ArrivalTracker tracker(nl, sta);
+  ++evals;
+  double cur = tracker.critical_delay();
+  int kicks = 0;
+
+  while (cur > budget && e.num_applied() > 0) {
+    // Applied sites whose touched gates (or the drivers feeding them) are
+    // timing-critical: only their removal can shorten the critical path.
+    const TimingReport rep = sta.analyze(nl);
+    ++evals;
+    std::vector<std::pair<double, std::size_t>> scored;  // (slack, site)
+    for (std::size_t f = 0; f < e.num_sites(); ++f) {
+      const auto ref = e.site_ref(f);
+      if (e.applied_option(ref.loc, ref.site) == 0) continue;
+      double min_slack = std::numeric_limits<double>::infinity();
+      for (GateId g : e.touched_gates(ref.loc, ref.site)) {
+        min_slack = std::min(min_slack, rep.gate_slack[g]);
+        for (NetId in : nl.gate(g).fanins) {
+          const GateId d = nl.net(in).driver;
+          if (d != kInvalidGate) {
+            min_slack = std::min(min_slack, rep.gate_slack[d]);
+          }
+        }
+      }
+      if (min_slack <= opt.slack_epsilon) scored.emplace_back(min_slack, f);
+    }
+    // Most critical first; bound the per-iteration trial count.
+    std::sort(scored.begin(), scored.end());
+    if (opt.max_candidates_per_iteration > 0 &&
+        static_cast<int>(scored.size()) >
+            opt.max_candidates_per_iteration) {
+      scored.resize(
+          static_cast<std::size_t>(opt.max_candidates_per_iteration));
+    }
+    std::vector<std::size_t> candidates;
+    candidates.reserve(scored.size());
+    for (const auto& [slack, f] : scored) candidates.push_back(f);
+
+    // Trial-remove each candidate, keep the single best removal. Trials
+    // use incremental arrival tracking: only the modification's fanout
+    // cone is re-timed.
+    std::size_t best = static_cast<std::size_t>(-1);
+    double best_delay = cur;
+    for (std::size_t f : candidates) {
+      const auto ref = e.site_ref(f);
+      const int option = e.applied_option(ref.loc, ref.site);
+      const std::vector<GateId> pre =
+          timing_seeds(nl, e.touched_gates(ref.loc, ref.site));
+      e.remove(ref.loc, ref.site);
+      tracker.update(pre);
+      const double d = tracker.critical_delay();
+      e.apply(ref.loc, ref.site, option);
+      tracker.update(timing_seeds(nl, e.touched_gates(ref.loc, ref.site)));
+      if (d < best_delay - 1e-12) {
+        best = f;
+        best_delay = d;
+      }
+    }
+
+    if (best != static_cast<std::size_t>(-1)) {
+      const auto ref = e.site_ref(best);
+      const std::vector<GateId> pre =
+          timing_seeds(nl, e.touched_gates(ref.loc, ref.site));
+      e.remove(ref.loc, ref.site);
+      tracker.update(pre);
+      cur = tracker.critical_delay();
+      continue;
+    }
+
+    // No single removal improves the delay: remove a random applied
+    // modification (the paper's randomized escape).
+    if (++kicks > opt.max_random_kicks) break;
+    std::vector<std::size_t> applied;
+    for (std::size_t f = 0; f < e.num_sites(); ++f) {
+      const auto ref = e.site_ref(f);
+      if (e.applied_option(ref.loc, ref.site) != 0) applied.push_back(f);
+    }
+    if (applied.empty()) break;
+    const auto ref = e.site_ref(
+        applied[static_cast<std::size_t>(rng.next_below(applied.size()))]);
+    const std::vector<GateId> pre =
+        timing_seeds(nl, e.touched_gates(ref.loc, ref.site));
+    e.remove(ref.loc, ref.site);
+    tracker.update(pre);
+    cur = tracker.critical_delay();
+  }
+
+  ReactiveRun run;
+  run.code = e.current_code();
+  run.sites_kept = e.num_applied();
+  run.bits_kept = applied_bits(e);
+  run.delay = cur;
+  run.met_budget = cur <= budget;
+  return run;
+}
+
+}  // namespace
+
+HeuristicOutcome reactive_reduce(FingerprintEmbedder& embedder,
+                                 const Baseline& baseline,
+                                 const StaticTimingAnalyzer& sta,
+                                 const PowerAnalyzer& power,
+                                 const ReactiveOptions& options) {
+  const double budget =
+      baseline.delay * (1.0 + options.max_delay_overhead) + 1e-12;
+  std::size_t evals = 0;
+  ReactiveRun best;
+  bool have_best = false;
+  for (int r = 0; r < std::max(1, options.restarts); ++r) {
+    const ReactiveRun run =
+        reactive_once(embedder, sta, budget, options,
+                      options.seed + static_cast<std::uint64_t>(r), evals);
+    const bool better =
+        !have_best ||
+        (run.met_budget && !best.met_budget) ||
+        (run.met_budget == best.met_budget &&
+         run.bits_kept > best.bits_kept) ||
+        (run.met_budget == best.met_budget &&
+         run.bits_kept == best.bits_kept && run.delay < best.delay);
+    if (better) {
+      best = run;
+      have_best = true;
+    }
+  }
+  embedder.apply_code(best.code);
+  return make_outcome(embedder, baseline, sta, power, evals);
+}
+
+HeuristicOutcome proactive_insert(FingerprintEmbedder& embedder,
+                                  const Baseline& baseline,
+                                  const StaticTimingAnalyzer& sta,
+                                  const PowerAnalyzer& power,
+                                  const ProactiveOptions& options) {
+  const Netlist& nl = embedder.netlist();
+  const double budget =
+      baseline.delay * (1.0 + options.max_delay_overhead) + 1e-12;
+  std::size_t evals = 0;
+  embedder.remove_all();
+
+  // Arrival times on the blank circuit estimate how expensive each
+  // injected source is.
+  const TimingReport rep = sta.analyze(nl);
+  ++evals;
+  auto source_arrival = [&](const ModOption& o) {
+    double a = rep.arrival[o.source];
+    if (o.source2 != kInvalidNet) a = std::max(a, rep.arrival[o.source2]);
+    return a;
+  };
+
+  // Sites ordered by the arrival of their cheapest option (cheap first).
+  std::vector<std::size_t> order(embedder.num_sites());
+  for (std::size_t f = 0; f < order.size(); ++f) order[f] = f;
+  auto cheapest = [&](std::size_t f) {
+    const auto ref = embedder.site_ref(f);
+    const InjectionSite& s =
+        embedder.locations()[ref.loc].sites[ref.site];
+    double best = std::numeric_limits<double>::infinity();
+    for (const ModOption& o : s.options) {
+      best = std::min(best, source_arrival(o));
+    }
+    return best;
+  };
+  std::vector<double> cost(order.size());
+  for (std::size_t f : order) cost[f] = cheapest(f);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return cost[a] < cost[b]; });
+
+  ArrivalTracker tracker(nl, sta);
+  ++evals;
+  for (std::size_t f : order) {
+    const auto ref = embedder.site_ref(f);
+    const InjectionSite& s = embedder.locations()[ref.loc].sites[ref.site];
+    // Option order: cheapest source first (reroute options usually win).
+    std::vector<int> opts(s.options.size());
+    for (std::size_t i = 0; i < opts.size(); ++i) {
+      opts[i] = static_cast<int>(i) + 1;
+    }
+    if (options.prefer_reroute) {
+      std::sort(opts.begin(), opts.end(), [&](int a, int b) {
+        return source_arrival(s.options[static_cast<std::size_t>(a - 1)]) <
+               source_arrival(s.options[static_cast<std::size_t>(b - 1)]);
+      });
+    }
+    for (int opt : opts) {
+      embedder.apply(ref.loc, ref.site, opt);
+      tracker.update(
+          timing_seeds(nl, embedder.touched_gates(ref.loc, ref.site)));
+      if (tracker.critical_delay() <= budget) break;
+      const std::vector<GateId> pre =
+          timing_seeds(nl, embedder.touched_gates(ref.loc, ref.site));
+      embedder.remove(ref.loc, ref.site);
+      tracker.update(pre);
+    }
+  }
+  return make_outcome(embedder, baseline, sta, power, evals);
+}
+
+}  // namespace odcfp

@@ -1,0 +1,99 @@
+// Overhead-constrained fingerprinting heuristics (paper §III.D / §IV.B).
+//
+// * reactive_reduce — the paper's implemented method: start from the fully
+//   fingerprinted circuit, repeatedly trial-remove applied modifications
+//   and permanently remove the one that reduces delay the most; when no
+//   single removal helps, remove a random one (the paper's random kicks),
+//   until the delay overhead constraint is met. Run with multiple restarts
+//   ("this program needed to be run several times") and keep the best.
+//
+// * proactive_insert — the paper's sketched alternative: consider
+//   modifications one at a time (cheapest expected delay first, trying
+//   reroute options before the generic injection since rerouted signals
+//   arrive earlier) and keep a modification only if the circuit still
+//   meets the delay constraint.
+//
+// Both return the kept code plus the resulting overhead numbers, which is
+// exactly what Table III and Fig. 7 report.
+#pragma once
+
+#include <cstdint>
+
+#include "fingerprint/embedder.hpp"
+#include "power/power.hpp"
+#include "timing/sta.hpp"
+
+namespace odcfp {
+
+/// Area/delay/power of the unfingerprinted circuit.
+struct Baseline {
+  double area = 0;
+  double delay = 0;
+  double power = 0;
+
+  static Baseline measure(const Netlist& golden,
+                          const StaticTimingAnalyzer& sta,
+                          const PowerAnalyzer& power);
+};
+
+/// Overheads of the current (possibly fingerprinted) netlist vs baseline.
+struct Overheads {
+  double area_ratio = 0;   ///< (area - base) / base
+  double delay_ratio = 0;
+  double power_ratio = 0;
+
+  static Overheads measure(const Netlist& nl, const Baseline& base,
+                           const StaticTimingAnalyzer& sta,
+                           const PowerAnalyzer& power);
+};
+
+struct HeuristicOutcome {
+  FingerprintCode code;        ///< Kept modifications.
+  std::size_t sites_total = 0;
+  std::size_t sites_kept = 0;
+  double bits_total = 0;       ///< Capacity before reduction.
+  double bits_kept = 0;        ///< Capacity of kept sites.
+  Overheads overheads;
+  std::size_t sta_evaluations = 0;
+
+  double fingerprint_reduction() const {
+    return bits_total <= 0 ? 0 : 1.0 - bits_kept / bits_total;
+  }
+};
+
+struct ReactiveOptions {
+  double max_delay_overhead = 0.10;  ///< e.g. 0.10 = 10% constraint.
+  int restarts = 3;
+  int max_random_kicks = 500;
+  std::uint64_t seed = 99;
+  /// Gates with slack below this are "critical" for trial filtering.
+  double slack_epsilon = 1e-9;
+  /// Trial-remove at most this many candidates per iteration (the most
+  /// critical ones); bounds the O(sites^2) worst case on large circuits.
+  int max_candidates_per_iteration = 32;
+};
+
+struct ProactiveOptions {
+  double max_delay_overhead = 0.10;
+  /// Try reroute options (earlier-arriving sources) before the generic
+  /// trigger injection at each site.
+  bool prefer_reroute = true;
+};
+
+/// Runs the reactive heuristic. The embedder's netlist is left in the
+/// returned configuration.
+HeuristicOutcome reactive_reduce(FingerprintEmbedder& embedder,
+                                 const Baseline& baseline,
+                                 const StaticTimingAnalyzer& sta,
+                                 const PowerAnalyzer& power,
+                                 const ReactiveOptions& options = {});
+
+/// Runs the proactive heuristic from a blank configuration. The embedder's
+/// netlist is left in the returned configuration.
+HeuristicOutcome proactive_insert(FingerprintEmbedder& embedder,
+                                  const Baseline& baseline,
+                                  const StaticTimingAnalyzer& sta,
+                                  const PowerAnalyzer& power,
+                                  const ProactiveOptions& options = {});
+
+}  // namespace odcfp

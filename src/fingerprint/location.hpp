@@ -1,0 +1,119 @@
+// Fingerprint locations (paper Definition 1) and their modification
+// options (paper §III.C, Figs. 4 and 5).
+//
+// A fingerprint location is a primary gate plus the fanout-free cone (FFC)
+// feeding one of its pins, such that another pin of the primary gate
+// carries an "ODC trigger signal" (Definition 2): a signal whose value v
+// makes the FFC output unobservable through the primary gate. Each
+// ODC-capable gate inside the FFC is an *injection site*; at each site one
+// of several *options* may be applied:
+//
+//  * generic injection (Fig. 4): feed the trigger signal itself (in the
+//    polarity that is the site gate's identity element when the trigger is
+//    inactive) into the site gate;
+//  * reroute injections (Fig. 5): instead of the trigger X, feed one or
+//    two inputs of X's driver gate that force X to its trigger value —
+//    these arrive earlier and cost less delay; a driver with n forcing
+//    inputs yields n single + n(n-1)/2 pair options = n(n+1)/2 total.
+//
+// Each site independently contributes log2(1 + #options) bits; a location
+// with sites s1..sk carries sum_i log2(1 + |options(s_i)|) bits, matching
+// the paper's "k bits are added" and "log2(n(n+1)/2) bits" accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace odcfp {
+
+/// How an injected literal must combine with the site gate: its identity
+/// class. AND-class gates absorb a constant-1 literal, OR-class a
+/// constant-0, XOR-class a constant-0 (but flip on 1).
+enum class InjectClass : std::uint8_t { kAndLike, kOrLike, kXorLike };
+
+/// One way to modify one injection site.
+struct ModOption {
+  enum class Kind : std::uint8_t {
+    kGeneric,      ///< Inject the trigger signal X itself (Fig. 4).
+    kRerouteOne,   ///< Inject one input of X's driver (Fig. 5).
+    kRerouteTwo,   ///< Inject two inputs of X's driver (Fig. 5).
+  };
+  Kind kind = Kind::kGeneric;
+  NetId source = kInvalidNet;   ///< First injected signal.
+  bool invert = false;          ///< Inject complement (adds an inverter).
+  NetId source2 = kInvalidNet;  ///< Second signal (kRerouteTwo only).
+  bool invert2 = false;
+};
+
+/// A modifiable gate inside the location's FFC, with its options.
+struct InjectionSite {
+  GateId gate = kInvalidGate;
+  InjectClass inject_class = InjectClass::kAndLike;
+  std::vector<ModOption> options;
+};
+
+struct FingerprintLocation {
+  GateId primary = kInvalidGate;
+  int y_pin = -1;                 ///< Primary pin fed by the FFC.
+  NetId y_net = kInvalidNet;      ///< FFC output signal Y.
+  GateId y_driver = kInvalidGate; ///< Root gate of the FFC.
+  int trigger_pin = -1;           ///< Primary pin carrying the trigger X.
+  NetId trigger_net = kInvalidNet;
+  int trigger_value = 0;          ///< X == v makes Y unobservable.
+  std::vector<InjectionSite> sites;
+
+  /// log2 of the number of distinct configurations (including "no
+  /// change"): sum over sites of log2(1 + |options|).
+  double capacity_bits() const;
+
+  /// Product over sites of (1 + |options|) as a double (can be large).
+  double num_configurations() const;
+};
+
+struct LocationFinderOptions {
+  /// Include XOR/XNOR gates as injection sites. The paper's Definition 1
+  /// (criterion 3) admits only non-zero-ODC or single-input gates, which
+  /// excludes XOR; enabling this is an extension (see the ablation bench).
+  bool allow_xor_sites = false;
+
+  /// Enable the Fig. 5 reroute options.
+  bool enable_reroute = true;
+
+  /// Cap on injection sites collected per location (<=0: unlimited).
+  /// The paper's pseudo-code modifies one FFC gate per location ("choose
+  /// fan in with greatest depth"); raising this enables the multi-bit
+  /// "k input gates in the FFC" variant of §III.C.
+  int max_sites_per_location = 1;
+
+  /// Trigger choice among valid candidates (paper: earliest depth, to
+  /// bound the delay overhead of the rerouted signal).
+  enum class TriggerPolicy : std::uint8_t { kEarliestDepth, kRandom };
+  TriggerPolicy trigger_policy = TriggerPolicy::kEarliestDepth;
+  std::uint64_t seed = 7;  ///< Used by TriggerPolicy::kRandom.
+};
+
+/// Scans the netlist for fingerprint locations per Definition 1. The
+/// returned locations are mutually independent: a gate is an injection
+/// site of at most one location, each gate is primary of at most one
+/// location, and no location's Y net is tapped as another location's
+/// trigger/source (this keeps embeddings composable and removals
+/// order-independent).
+std::vector<FingerprintLocation> find_locations(
+    const Netlist& nl, const LocationFinderOptions& options = {});
+
+/// Total capacity in bits over a set of locations.
+double total_capacity_bits(const std::vector<FingerprintLocation>& locs);
+
+/// Total number of injection sites over a set of locations.
+std::size_t total_sites(const std::vector<FingerprintLocation>& locs);
+
+/// The identity class a given cell kind belongs to when used as an
+/// injection site; throws CheckError for kinds that cannot be sites.
+InjectClass inject_class_for(CellKind kind);
+
+/// True if `kind` can be an injection site under `options`.
+bool is_site_kind(CellKind kind, const LocationFinderOptions& options);
+
+}  // namespace odcfp

@@ -1,0 +1,252 @@
+#include "io/blif.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace odcfp {
+
+namespace {
+
+/// Splits a line into whitespace-delimited tokens.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) toks.push_back(t);
+  return toks;
+}
+
+/// Reads logical lines: strips comments, joins '\' continuations.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(is) {}
+
+  bool next(std::string& out) {
+    out.clear();
+    std::string raw;
+    while (std::getline(is_, raw)) {
+      ++lineno_;
+      const auto hash = raw.find('#');
+      if (hash != std::string::npos) raw.erase(hash);
+      while (!raw.empty() && (raw.back() == '\r' || raw.back() == ' ' ||
+                              raw.back() == '\t')) {
+        raw.pop_back();
+      }
+      if (!raw.empty() && raw.back() == '\\') {
+        raw.pop_back();
+        out += raw;
+        continue;  // continuation
+      }
+      out += raw;
+      if (!out.empty()) return true;
+      out.clear();
+    }
+    return !out.empty();
+  }
+
+  int lineno() const { return lineno_; }
+
+ private:
+  std::istream& is_;
+  int lineno_ = 0;
+};
+
+}  // namespace
+
+SopNetwork read_blif(std::istream& is) {
+  SopNetwork sop;
+  LineReader reader(is);
+  std::string line;
+
+  // Pending .names block state.
+  bool in_names = false;
+  SignalId target = kInvalidSignal;
+  SopNode node;
+  std::vector<std::string> onset_rows, offset_rows;
+
+  auto flush_names = [&]() {
+    if (!in_names) return;
+    ODCFP_CHECK_MSG(onset_rows.empty() || offset_rows.empty(),
+                    "mixed on-set/off-set cover for '"
+                        << sop.signal_name(target) << "'");
+    const bool use_offset = !offset_rows.empty();
+    const auto& rows = use_offset ? offset_rows : onset_rows;
+    node.complemented = use_offset;
+    for (const std::string& row : rows) {
+      ODCFP_CHECK_MSG(row.size() == node.fanins.size(),
+                      "cube width mismatch for '"
+                          << sop.signal_name(target) << "'");
+      SopCube cube;
+      for (char c : row) {
+        switch (c) {
+          case '0': cube.lits.push_back(CubeLit::kNeg); break;
+          case '1': cube.lits.push_back(CubeLit::kPos); break;
+          case '-': cube.lits.push_back(CubeLit::kDontCare); break;
+          default:
+            ODCFP_CHECK_MSG(false, "bad cube character '" << c << "'");
+        }
+      }
+      node.cubes.push_back(std::move(cube));
+    }
+    sop.set_node(target, std::move(node));
+    node = SopNode{};
+    onset_rows.clear();
+    offset_rows.clear();
+    in_names = false;
+  };
+
+  bool saw_model = false;
+  while (reader.next(line)) {
+    const std::vector<std::string> toks = tokenize(line);
+    if (toks.empty()) continue;
+    const std::string& cmd = toks[0];
+
+    if (cmd[0] == '.') {
+      if (cmd != ".names") flush_names();
+      if (cmd == ".model") {
+        ODCFP_CHECK_MSG(!saw_model, "multiple .model sections");
+        saw_model = true;
+        if (toks.size() > 1) sop.set_name(toks[1]);
+      } else if (cmd == ".inputs") {
+        for (std::size_t i = 1; i < toks.size(); ++i) {
+          sop.mark_input(sop.signal(toks[i]));
+        }
+      } else if (cmd == ".outputs") {
+        for (std::size_t i = 1; i < toks.size(); ++i) {
+          sop.mark_output(sop.signal(toks[i]));
+        }
+      } else if (cmd == ".names") {
+        flush_names();
+        ODCFP_CHECK_MSG(toks.size() >= 2, "empty .names at line "
+                                              << reader.lineno());
+        in_names = true;
+        target = sop.signal(toks.back());
+        node.fanins.clear();
+        for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+          node.fanins.push_back(sop.signal(toks[i]));
+        }
+      } else if (cmd == ".end") {
+        flush_names();
+        break;
+      } else if (cmd == ".latch") {
+        ODCFP_CHECK_MSG(false,
+                        "sequential BLIF (.latch) is not supported");
+      } else {
+        // .default_input_arrival and friends: ignore.
+      }
+      continue;
+    }
+
+    // Cube row inside .names.
+    ODCFP_CHECK_MSG(in_names, "cube row outside .names at line "
+                                  << reader.lineno());
+    if (node.fanins.empty()) {
+      // Constant: single-column rows ("1" -> const 1, "0" -> const 0).
+      ODCFP_CHECK_MSG(toks.size() == 1 && toks[0].size() == 1,
+                      "bad constant row at line " << reader.lineno());
+      if (toks[0] == "1") {
+        onset_rows.push_back("");
+      }  // "0" rows for constants add nothing to the on-set.
+    } else {
+      ODCFP_CHECK_MSG(toks.size() == 2, "bad cube row at line "
+                                            << reader.lineno());
+      ODCFP_CHECK_MSG(toks[1] == "1" || toks[1] == "0",
+                      "bad cube output at line " << reader.lineno());
+      if (toks[1] == "1") {
+        onset_rows.push_back(toks[0]);
+      } else {
+        offset_rows.push_back(toks[0]);
+      }
+    }
+  }
+  flush_names();
+  ODCFP_CHECK_MSG(saw_model, "missing .model");
+  sop.validate();
+  return sop;
+}
+
+SopNetwork read_blif_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_blif(is);
+}
+
+SopNetwork read_blif_file(const std::string& path) {
+  std::ifstream is(path);
+  ODCFP_CHECK_MSG(is.good(), "cannot open '" << path << "'");
+  return read_blif(is);
+}
+
+void write_blif(std::ostream& os, const SopNetwork& sop) {
+  os << ".model " << sop.name() << "\n.inputs";
+  for (SignalId pi : sop.inputs()) os << " " << sop.signal_name(pi);
+  os << "\n.outputs";
+  for (SignalId po : sop.outputs()) os << " " << sop.signal_name(po);
+  os << "\n";
+  for (SignalId sig : sop.topo_order()) {
+    if (sop.is_input(sig)) continue;
+    const SopNode& nd = sop.node(sig);
+    os << ".names";
+    for (SignalId in : nd.fanins) os << " " << sop.signal_name(in);
+    os << " " << sop.signal_name(sig) << "\n";
+    const char out_char = nd.complemented ? '0' : '1';
+    if (nd.cubes.empty()) {
+      // Constant-0 cover (or constant-1 when complemented): for the
+      // complemented case we must emit something that parses back; use an
+      // explicit constant row.
+      if (nd.complemented) os << "1\n";
+    } else {
+      for (const SopCube& cube : nd.cubes) {
+        for (CubeLit l : cube.lits) {
+          os << (l == CubeLit::kPos ? '1' : l == CubeLit::kNeg ? '0' : '-');
+        }
+        if (!cube.lits.empty()) os << " ";
+        os << out_char << "\n";
+      }
+    }
+  }
+  os << ".end\n";
+}
+
+void write_blif(std::ostream& os, const Netlist& nl) {
+  os << ".model " << nl.name() << "\n.inputs";
+  for (NetId pi : nl.inputs()) os << " " << nl.net(pi).name;
+  os << "\n.outputs";
+  for (const OutputPort& po : nl.outputs()) os << " " << po.name;
+  os << "\n";
+  // Output ports whose name differs from the net: emit a buffer cover.
+  for (const OutputPort& po : nl.outputs()) {
+    if (po.name != nl.net(po.net).name) {
+      os << ".names " << nl.net(po.net).name << " " << po.name << "\n1 1\n";
+    }
+  }
+  for (GateId g : nl.topo_order()) {
+    const Gate& gt = nl.gate(g);
+    const TruthTable& tt = nl.library().cell(gt.cell).function;
+    os << ".names";
+    for (NetId in : gt.fanins) os << " " << nl.net(in).name;
+    os << " " << nl.net(gt.output).name << "\n";
+    if (tt.num_inputs() == 0) {
+      if (tt.is_constant() && tt.constant_value()) os << "1\n";
+      continue;
+    }
+    for (unsigned p = 0; p < tt.num_rows(); ++p) {
+      if (!tt.eval(p)) continue;
+      for (int i = 0; i < tt.num_inputs(); ++i) {
+        os << (((p >> i) & 1) ? '1' : '0');
+      }
+      os << " 1\n";
+    }
+  }
+  os << ".end\n";
+}
+
+std::string to_blif_string(const Netlist& nl) {
+  std::ostringstream os;
+  write_blif(os, nl);
+  return os.str();
+}
+
+}  // namespace odcfp

@@ -1,0 +1,34 @@
+// BLIF (Berkeley Logic Interchange Format) reader and writer.
+//
+// The reader accepts the combinational subset used by the MCNC / ISCAS'85
+// benchmark distributions: .model/.inputs/.outputs/.names/.end, cube
+// covers with on-set ('1') or off-set ('0') output columns, '\'-line
+// continuation and '#' comments. Latches are rejected (the paper's flow is
+// purely combinational).
+//
+// The writer emits a Netlist as BLIF, one .names block per gate, so that
+// mapped and fingerprinted circuits can round-trip through other tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "synth/sop_network.hpp"
+
+namespace odcfp {
+
+/// Parses BLIF from a stream. Throws CheckError on malformed input.
+SopNetwork read_blif(std::istream& is);
+SopNetwork read_blif_string(const std::string& text);
+SopNetwork read_blif_file(const std::string& path);
+
+/// Writes a SopNetwork as BLIF.
+void write_blif(std::ostream& os, const SopNetwork& sop);
+
+/// Writes a mapped Netlist as BLIF (each gate becomes a .names block whose
+/// cover enumerates the cell's on-set).
+void write_blif(std::ostream& os, const Netlist& nl);
+std::string to_blif_string(const Netlist& nl);
+
+}  // namespace odcfp

@@ -1,0 +1,379 @@
+#include "io/verilog.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace odcfp {
+
+std::string verilog_pin_name(int index) {
+  ODCFP_CHECK(index >= 0 && index < 6);
+  return std::string(1, static_cast<char>('A' + index));
+}
+
+namespace {
+
+bool is_plain_identifier(const std::string& s) {
+  if (s.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_') {
+    return false;
+  }
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '$') {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Writes `name`, escaping it if it is not a plain identifier.
+void emit_id(std::ostream& os, const std::string& name) {
+  if (is_plain_identifier(name)) {
+    os << name;
+  } else {
+    os << '\\' << name << ' ';
+  }
+}
+
+}  // namespace
+
+void write_verilog(std::ostream& os, const Netlist& nl) {
+  os << "// ODC-fingerprinting structural netlist\n";
+  os << "module ";
+  emit_id(os, nl.name());
+  os << " (";
+  bool first = true;
+  for (NetId pi : nl.inputs()) {
+    if (!first) os << ", ";
+    emit_id(os, nl.net(pi).name);
+    first = false;
+  }
+  for (const OutputPort& po : nl.outputs()) {
+    if (!first) os << ", ";
+    emit_id(os, po.name);
+    first = false;
+  }
+  os << ");\n";
+
+  for (NetId pi : nl.inputs()) {
+    os << "  input ";
+    emit_id(os, nl.net(pi).name);
+    os << ";\n";
+  }
+  std::unordered_set<std::string> port_names;
+  for (const OutputPort& po : nl.outputs()) {
+    os << "  output ";
+    emit_id(os, po.name);
+    os << ";\n";
+    port_names.insert(po.name);
+  }
+
+  // Wire declarations for every named internal net.
+  for (GateId g : nl.topo_order()) {
+    const std::string& net_name = nl.net(nl.gate(g).output).name;
+    if (!port_names.count(net_name)) {
+      os << "  wire ";
+      emit_id(os, net_name);
+      os << ";\n";
+    }
+  }
+
+  // Aliases for output ports whose name differs from the driving net.
+  for (const OutputPort& po : nl.outputs()) {
+    if (po.name != nl.net(po.net).name) {
+      os << "  assign ";
+      emit_id(os, po.name);
+      os << " = ";
+      emit_id(os, nl.net(po.net).name);
+      os << ";\n";
+    }
+  }
+
+  for (GateId g : nl.topo_order()) {
+    const Gate& gt = nl.gate(g);
+    const Cell& cell = nl.library().cell(gt.cell);
+    os << "  " << cell.name << " ";
+    emit_id(os, gt.name);
+    os << " (";
+    for (int pin = 0; pin < cell.num_inputs(); ++pin) {
+      os << "." << verilog_pin_name(pin) << "(";
+      emit_id(os, nl.net(gt.fanins[static_cast<std::size_t>(pin)]).name);
+      os << "), ";
+    }
+    os << ".Y(";
+    emit_id(os, nl.net(gt.output).name);
+    os << "));\n";
+  }
+  os << "endmodule\n";
+}
+
+std::string to_verilog_string(const Netlist& nl) {
+  std::ostringstream os;
+  write_verilog(os, nl);
+  return os.str();
+}
+
+void write_verilog_file(const std::string& path, const Netlist& nl) {
+  std::ofstream os(path);
+  ODCFP_CHECK_MSG(os.good(), "cannot write '" << path << "'");
+  write_verilog(os, nl);
+}
+
+namespace {
+
+/// Verilog token stream over the supported subset.
+class Lexer {
+ public:
+  explicit Lexer(std::istream& is) {
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    text_ = buf.str();
+  }
+
+  /// Returns the next token; empty string at end of input. Punctuation
+  /// characters ( ) ; , = . are single-character tokens.
+  std::string next() {
+    skip_space_and_comments();
+    if (pos_ >= text_.size()) return {};
+    const char c = text_[pos_];
+    if (c == '\\') {
+      // Escaped identifier: up to the next whitespace.
+      ++pos_;
+      std::string id;
+      while (pos_ < text_.size() &&
+             !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        id.push_back(text_[pos_++]);
+      }
+      ODCFP_CHECK_MSG(!id.empty(), "empty escaped identifier");
+      return id;
+    }
+    if (std::strchr("();,=.", c)) {
+      ++pos_;
+      return std::string(1, c);
+    }
+    std::string tok;
+    while (pos_ < text_.size()) {
+      const char d = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(d)) ||
+          std::strchr("();,=.", d) || d == '\\') {
+        break;
+      }
+      tok.push_back(d);
+      ++pos_;
+    }
+    ODCFP_CHECK_MSG(!tok.empty(), "lexer stuck at position " << pos_);
+    return tok;
+  }
+
+ private:
+  void skip_space_and_comments() {
+    for (;;) {
+      while (pos_ < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ + 1 < text_.size() && text_[pos_] == '/' &&
+          text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (pos_ + 1 < text_.size() && text_[pos_] == '/' &&
+          text_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < text_.size() &&
+               !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+          ++pos_;
+        }
+        pos_ = std::min(pos_ + 2, text_.size());
+        continue;
+      }
+      return;
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+struct Instance {
+  std::string cell_name;
+  std::string instance_name;
+  std::unordered_map<std::string, std::string> pins;  // pin -> net name
+};
+
+}  // namespace
+
+Netlist read_verilog(std::istream& is, const CellLibrary& lib) {
+  Lexer lex(is);
+  auto expect = [&lex](const std::string& want) {
+    const std::string got = lex.next();
+    ODCFP_CHECK_MSG(got == want,
+                    "expected '" << want << "', got '" << got << "'");
+  };
+
+  std::string tok = lex.next();
+  ODCFP_CHECK_MSG(tok == "module", "expected 'module'");
+  const std::string module_name = lex.next();
+  // Skip the port list — directions come from the declarations.
+  tok = lex.next();
+  if (tok == "(") {
+    while (tok != ")") {
+      tok = lex.next();
+      ODCFP_CHECK_MSG(!tok.empty(), "unterminated port list");
+    }
+    expect(";");
+  } else {
+    ODCFP_CHECK_MSG(tok == ";", "malformed module header");
+  }
+
+  std::vector<std::string> input_names, output_names;
+  std::vector<Instance> instances;
+  std::vector<std::pair<std::string, std::string>> assigns;  // lhs = rhs
+
+  for (;;) {
+    tok = lex.next();
+    ODCFP_CHECK_MSG(!tok.empty(), "unexpected end of file (no endmodule)");
+    if (tok == "endmodule") break;
+    if (tok == "input" || tok == "output" || tok == "wire") {
+      std::vector<std::string>* list = nullptr;
+      if (tok == "input") list = &input_names;
+      if (tok == "output") list = &output_names;
+      for (;;) {
+        const std::string name = lex.next();
+        ODCFP_CHECK_MSG(!name.empty(), "unterminated declaration");
+        if (list != nullptr) list->push_back(name);
+        const std::string sep = lex.next();
+        if (sep == ";") break;
+        ODCFP_CHECK_MSG(sep == ",", "bad declaration separator");
+      }
+      continue;
+    }
+    if (tok == "assign") {
+      const std::string lhs = lex.next();
+      expect("=");
+      const std::string rhs = lex.next();
+      expect(";");
+      assigns.emplace_back(lhs, rhs);
+      continue;
+    }
+    // Cell instance.
+    Instance inst;
+    inst.cell_name = tok;
+    inst.instance_name = lex.next();
+    expect("(");
+    for (;;) {
+      tok = lex.next();
+      if (tok == ")") break;
+      ODCFP_CHECK_MSG(tok == ".", "expected '.pin(' in instance '"
+                                      << inst.instance_name << "'");
+      const std::string pin = lex.next();
+      expect("(");
+      const std::string net = lex.next();
+      expect(")");
+      ODCFP_CHECK_MSG(inst.pins.emplace(pin, net).second,
+                      "duplicate pin '" << pin << "' on instance '"
+                                        << inst.instance_name << "'");
+      tok = lex.next();
+      if (tok == ")") break;
+      ODCFP_CHECK_MSG(tok == ",", "bad pin separator");
+    }
+    expect(";");
+    instances.push_back(std::move(inst));
+  }
+
+  // Resolve aliases to canonical names.
+  std::unordered_map<std::string, std::string> alias;
+  for (const auto& [lhs, rhs] : assigns) {
+    ODCFP_CHECK_MSG(alias.emplace(lhs, rhs).second,
+                    "net '" << lhs << "' assigned twice");
+  }
+  std::function<std::string(const std::string&)> canonical =
+      [&](const std::string& name) -> std::string {
+    auto it = alias.find(name);
+    if (it == alias.end()) return name;
+    return canonical(it->second);
+  };
+
+  Netlist nl(&lib, module_name);
+  std::unordered_map<std::string, NetId> net_of;
+  for (const std::string& in : input_names) {
+    net_of.emplace(in, nl.add_input(in));
+  }
+
+  // Kahn's algorithm over instances: create a gate once all fanins exist.
+  std::vector<bool> done(instances.size(), false);
+  std::size_t created = 0;
+  bool progress = true;
+  while (created < instances.size() && progress) {
+    progress = false;
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      if (done[i]) continue;
+      const Instance& inst = instances[i];
+      const CellId cell = lib.find(inst.cell_name);
+      ODCFP_CHECK_MSG(cell != kInvalidCell, "unknown cell '"
+                                                << inst.cell_name << "'");
+      const int arity = lib.cell(cell).num_inputs();
+      std::vector<NetId> fanins;
+      bool ready = true;
+      for (int pin = 0; pin < arity; ++pin) {
+        auto pit = inst.pins.find(verilog_pin_name(pin));
+        ODCFP_CHECK_MSG(pit != inst.pins.end(),
+                        "instance '" << inst.instance_name
+                                     << "' missing pin "
+                                     << verilog_pin_name(pin));
+        auto nit = net_of.find(canonical(pit->second));
+        if (nit == net_of.end()) { ready = false; break; }
+        fanins.push_back(nit->second);
+      }
+      if (!ready) continue;
+      auto yit = inst.pins.find("Y");
+      ODCFP_CHECK_MSG(yit != inst.pins.end(), "instance '"
+                                                  << inst.instance_name
+                                                  << "' missing pin Y");
+      const std::string out_name = canonical(yit->second);
+      ODCFP_CHECK_MSG(net_of.find(out_name) == net_of.end(),
+                      "net '" << out_name << "' driven twice");
+      const GateId g =
+          nl.add_gate(cell, fanins, inst.instance_name, out_name);
+      net_of.emplace(out_name, nl.gate(g).output);
+      done[i] = true;
+      ++created;
+      progress = true;
+    }
+  }
+  ODCFP_CHECK_MSG(created == instances.size(),
+                  "cyclic or underdriven netlist ("
+                      << (instances.size() - created)
+                      << " instances unresolved)");
+
+  for (const std::string& out : output_names) {
+    auto it = net_of.find(canonical(out));
+    ODCFP_CHECK_MSG(it != net_of.end(),
+                    "output '" << out << "' has no driver");
+    nl.add_output(it->second, out);
+  }
+  nl.validate(/*allow_dangling=*/true);
+  return nl;
+}
+
+Netlist read_verilog_string(const std::string& text, const CellLibrary& lib) {
+  std::istringstream is(text);
+  return read_verilog(is, lib);
+}
+
+Netlist read_verilog_file(const std::string& path, const CellLibrary& lib) {
+  std::ifstream is(path);
+  ODCFP_CHECK_MSG(is.good(), "cannot open '" << path << "'");
+  return read_verilog(is, lib);
+}
+
+}  // namespace odcfp

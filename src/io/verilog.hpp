@@ -1,0 +1,42 @@
+// Structural Verilog netlist writer and reader.
+//
+// The paper's circuit modifier consumes and produces Verilog netlists
+// ("Input: Circuit in Verilog netlist format / Output: Circuit in Verilog
+// netlist format with fingerprints inserted"). This module implements that
+// interface for netlists mapped onto a CellLibrary:
+//
+//   module top (a, b, f);
+//     input a; input b;
+//     output f;
+//     wire n1;
+//     NAND2 g1 (.A(a), .B(b), .Y(n1));
+//     INV   g2 (.A(n1), .Y(f));
+//   endmodule
+//
+// Cell input pins are named A..F in fanin order; the output pin is Y.
+// Identifiers that are not plain Verilog identifiers are written in
+// escaped form (\name ). `assign lhs = rhs;` aliases are supported on
+// read and used on write when an output port name differs from its net.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace odcfp {
+
+/// Pin name used for input pin `index` of a cell instance ("A".."F").
+std::string verilog_pin_name(int index);
+
+void write_verilog(std::ostream& os, const Netlist& nl);
+std::string to_verilog_string(const Netlist& nl);
+void write_verilog_file(const std::string& path, const Netlist& nl);
+
+/// Parses a structural Verilog netlist over the cells of `lib`.
+/// Throws CheckError on syntax errors, unknown cells, or cyclic netlists.
+Netlist read_verilog(std::istream& is, const CellLibrary& lib);
+Netlist read_verilog_string(const std::string& text, const CellLibrary& lib);
+Netlist read_verilog_file(const std::string& path, const CellLibrary& lib);
+
+}  // namespace odcfp

@@ -1,0 +1,53 @@
+// A standard cell: a named logic function with area, timing, and power
+// attributes. Cells are owned by a CellLibrary and referenced by CellId.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "library/truth_table.hpp"
+
+namespace odcfp {
+
+using CellId = std::uint32_t;
+inline constexpr CellId kInvalidCell = ~CellId{0};
+
+/// Structural families of cells. Used by the mapper (to pick an
+/// implementation shape), by the ODC analysis (controlling values exist for
+/// AND/OR/NAND/NOR families), and by the fingerprint modification catalog
+/// (which injection polarity preserves the function).
+enum class CellKind : std::uint8_t {
+  kConst0,
+  kConst1,
+  kBuf,
+  kInv,
+  kAnd,
+  kOr,
+  kNand,
+  kNor,
+  kXor,
+  kXnor,
+  kAoi21,
+  kOai21,
+  kMux,
+};
+
+/// Human-readable kind name ("AND", "NOR", ...).
+const char* cell_kind_name(CellKind kind);
+
+struct Cell {
+  std::string name;       ///< Library name, e.g. "NAND3".
+  CellKind kind;
+  TruthTable function;    ///< Output as a function of the input pins.
+
+  // --- physical attributes (library units; see default_cell_library()) ---
+  double area = 0;            ///< Cell area.
+  double intrinsic_delay = 0; ///< Pin-to-pin delay at zero load.
+  double load_coeff = 0;      ///< Delay increase per unit of output load.
+  double input_cap = 0;       ///< Capacitance presented by each input pin.
+  double switch_energy = 0;   ///< Internal energy per output transition.
+
+  int num_inputs() const { return function.num_inputs(); }
+};
+
+}  // namespace odcfp

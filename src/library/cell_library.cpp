@@ -1,0 +1,223 @@
+#include "library/cell_library.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace odcfp {
+
+const char* cell_kind_name(CellKind kind) {
+  switch (kind) {
+    case CellKind::kConst0: return "CONST0";
+    case CellKind::kConst1: return "CONST1";
+    case CellKind::kBuf:    return "BUF";
+    case CellKind::kInv:    return "INV";
+    case CellKind::kAnd:    return "AND";
+    case CellKind::kOr:     return "OR";
+    case CellKind::kNand:   return "NAND";
+    case CellKind::kNor:    return "NOR";
+    case CellKind::kXor:    return "XOR";
+    case CellKind::kXnor:   return "XNOR";
+    case CellKind::kAoi21:  return "AOI21";
+    case CellKind::kOai21:  return "OAI21";
+    case CellKind::kMux:    return "MUX";
+  }
+  return "?";
+}
+
+CellKind parse_cell_kind(const std::string& name) {
+  static const std::unordered_map<std::string, CellKind> kMap = {
+      {"CONST0", CellKind::kConst0}, {"CONST1", CellKind::kConst1},
+      {"BUF", CellKind::kBuf},       {"INV", CellKind::kInv},
+      {"AND", CellKind::kAnd},       {"OR", CellKind::kOr},
+      {"NAND", CellKind::kNand},     {"NOR", CellKind::kNor},
+      {"XOR", CellKind::kXor},       {"XNOR", CellKind::kXnor},
+      {"AOI21", CellKind::kAoi21},   {"OAI21", CellKind::kOai21},
+      {"MUX", CellKind::kMux},
+  };
+  auto it = kMap.find(name);
+  ODCFP_CHECK_MSG(it != kMap.end(), "unknown cell kind '" << name << "'");
+  return it->second;
+}
+
+TruthTable make_kind_function(CellKind kind, int num_inputs) {
+  switch (kind) {
+    case CellKind::kConst0: return TruthTable::constant(0, false);
+    case CellKind::kConst1: return TruthTable::constant(0, true);
+    case CellKind::kBuf:    ODCFP_CHECK(num_inputs == 1);
+                            return TruthTable::identity();
+    case CellKind::kInv:    ODCFP_CHECK(num_inputs == 1);
+                            return TruthTable::inverter();
+    case CellKind::kAnd:    return TruthTable::and_n(num_inputs);
+    case CellKind::kOr:     return TruthTable::or_n(num_inputs);
+    case CellKind::kNand:   return TruthTable::and_n(num_inputs, true);
+    case CellKind::kNor:    return TruthTable::or_n(num_inputs, true);
+    case CellKind::kXor:    return TruthTable::xor_n(num_inputs);
+    case CellKind::kXnor:   return TruthTable::xor_n(num_inputs, true);
+    case CellKind::kAoi21:  ODCFP_CHECK(num_inputs == 3);
+                            return TruthTable::aoi21();
+    case CellKind::kOai21:  ODCFP_CHECK(num_inputs == 3);
+                            return TruthTable::oai21();
+    case CellKind::kMux:    ODCFP_CHECK(num_inputs == 3);
+                            return TruthTable::mux();
+  }
+  ODCFP_CHECK_MSG(false, "bad cell kind");
+}
+
+CellId CellLibrary::add(Cell cell) {
+  ODCFP_CHECK_MSG(by_name_.find(cell.name) == by_name_.end(),
+                  "duplicate cell name '" << cell.name << "'");
+  const CellId id = static_cast<CellId>(cells_.size());
+  by_name_.emplace(cell.name, id);
+  cells_.push_back(std::move(cell));
+  return id;
+}
+
+const Cell& CellLibrary::cell(CellId id) const {
+  ODCFP_CHECK(id < cells_.size());
+  return cells_[id];
+}
+
+CellId CellLibrary::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidCell : it->second;
+}
+
+CellId CellLibrary::find_kind(CellKind kind, int num_inputs) const {
+  for (CellId id = 0; id < cells_.size(); ++id) {
+    if (cells_[id].kind == kind && cells_[id].num_inputs() == num_inputs) {
+      return id;
+    }
+  }
+  return kInvalidCell;
+}
+
+CellId CellLibrary::find_function(const TruthTable& tt) const {
+  for (CellId id = 0; id < cells_.size(); ++id) {
+    if (cells_[id].function == tt) return id;
+  }
+  return kInvalidCell;
+}
+
+int CellLibrary::max_arity(CellKind kind) const {
+  int best = 0;
+  for (const Cell& c : cells_) {
+    if (c.kind == kind && c.num_inputs() > best) best = c.num_inputs();
+  }
+  return best;
+}
+
+void CellLibrary::write(std::ostream& os) const {
+  for (const Cell& c : cells_) {
+    os << "cell " << c.name << " kind=" << cell_kind_name(c.kind)
+       << " inputs=" << c.num_inputs() << " area=" << c.area
+       << " delay=" << c.intrinsic_delay << " load=" << c.load_coeff
+       << " cap=" << c.input_cap << " energy=" << c.switch_energy << "\n";
+  }
+}
+
+CellLibrary CellLibrary::parse(std::istream& is) {
+  CellLibrary lib;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok) || tok[0] == '#') continue;
+    ODCFP_CHECK_MSG(tok == "cell",
+                    "library line " << lineno << ": expected 'cell'");
+    Cell c;
+    ODCFP_CHECK_MSG(static_cast<bool>(ls >> c.name),
+                    "library line " << lineno << ": missing cell name");
+    std::string kind_name;
+    int inputs = -1;
+    while (ls >> tok) {
+      auto eq = tok.find('=');
+      ODCFP_CHECK_MSG(eq != std::string::npos,
+                      "library line " << lineno << ": bad attribute '"
+                                      << tok << "'");
+      const std::string key = tok.substr(0, eq);
+      const std::string val = tok.substr(eq + 1);
+      if (key == "kind") {
+        kind_name = val;
+      } else {
+        const double d = std::stod(val);
+        if (key == "inputs") inputs = static_cast<int>(d);
+        else if (key == "area") c.area = d;
+        else if (key == "delay") c.intrinsic_delay = d;
+        else if (key == "load") c.load_coeff = d;
+        else if (key == "cap") c.input_cap = d;
+        else if (key == "energy") c.switch_energy = d;
+        else ODCFP_CHECK_MSG(false, "library line " << lineno
+                                    << ": unknown key '" << key << "'");
+      }
+    }
+    ODCFP_CHECK_MSG(!kind_name.empty() && inputs >= 0,
+                    "library line " << lineno << ": kind/inputs required");
+    c.kind = parse_cell_kind(kind_name);
+    c.function = make_kind_function(c.kind, inputs);
+    lib.add(std::move(c));
+  }
+  return lib;
+}
+
+namespace {
+
+CellLibrary build_default_library() {
+  CellLibrary lib;
+  // Area unit loosely follows MCNC-style cell areas scaled so that mapped
+  // benchmark circuits land near the paper's Table II magnitudes.
+  // Delay model: d = intrinsic + load_coeff * (sum of sink pin caps).
+  auto add = [&lib](const char* name, CellKind kind, int inputs, double area,
+                    double delay, double load, double cap, double energy) {
+    Cell c;
+    c.name = name;
+    c.kind = kind;
+    c.function = make_kind_function(kind, inputs);
+    c.area = area;
+    c.intrinsic_delay = delay;
+    c.load_coeff = load;
+    c.input_cap = cap;
+    c.switch_energy = energy;
+    lib.add(std::move(c));
+  };
+
+  // Intrinsic delays grow steeply with arity (series transistor stacks):
+  // roughly x1.55 per extra input for NAND/AND, worse for NOR/OR (series
+  // PMOS). This is what makes gate-widening fingerprint modifications
+  // expensive in delay, as the paper observes.
+  add("CONST0", CellKind::kConst0, 0,    0, 0.00, 0.00, 0.0, 0.0);
+  add("CONST1", CellKind::kConst1, 0,    0, 0.00, 0.00, 0.0, 0.0);
+  add("BUF",    CellKind::kBuf,    1,  928, 0.18, 0.06, 1.0, 1.0);
+  add("INV",    CellKind::kInv,    1,  464, 0.10, 0.05, 1.0, 0.8);
+  add("NAND2",  CellKind::kNand,   2,  928, 0.14, 0.07, 1.0, 1.4);
+  add("NAND3",  CellKind::kNand,   3, 1392, 0.22, 0.09, 1.1, 1.9);
+  add("NAND4",  CellKind::kNand,   4, 1856, 0.34, 0.11, 1.2, 2.4);
+  add("NOR2",   CellKind::kNor,    2,  928, 0.16, 0.08, 1.0, 1.4);
+  add("NOR3",   CellKind::kNor,    3, 1392, 0.27, 0.11, 1.1, 1.9);
+  add("NOR4",   CellKind::kNor,    4, 1856, 0.45, 0.14, 1.2, 2.4);
+  add("AND2",   CellKind::kAnd,    2, 1392, 0.20, 0.06, 1.0, 1.7);
+  add("AND3",   CellKind::kAnd,    3, 1856, 0.31, 0.08, 1.1, 2.2);
+  add("AND4",   CellKind::kAnd,    4, 2320, 0.47, 0.10, 1.2, 2.7);
+  add("OR2",    CellKind::kOr,     2, 1392, 0.22, 0.07, 1.0, 1.7);
+  add("OR3",    CellKind::kOr,     3, 1856, 0.35, 0.09, 1.1, 2.2);
+  add("OR4",    CellKind::kOr,     4, 2320, 0.53, 0.11, 1.2, 2.7);
+  add("XOR2",   CellKind::kXor,    2, 1856, 0.30, 0.10, 1.4, 3.0);
+  add("XNOR2",  CellKind::kXnor,   2, 1856, 0.30, 0.10, 1.4, 3.0);
+  add("AOI21",  CellKind::kAoi21,  3, 1392, 0.20, 0.09, 1.1, 1.9);
+  add("OAI21",  CellKind::kOai21,  3, 1392, 0.20, 0.09, 1.1, 1.9);
+  add("MUX2",   CellKind::kMux,    3, 1856, 0.26, 0.09, 1.2, 2.5);
+  return lib;
+}
+
+}  // namespace
+
+const CellLibrary& default_cell_library() {
+  static const CellLibrary lib = build_default_library();
+  return lib;
+}
+
+}  // namespace odcfp

@@ -1,0 +1,68 @@
+// CellLibrary: the collection of standard cells a netlist is mapped onto.
+//
+// The paper maps MCNC/ISCAS'85 BLIF through ABC with "a library of gate
+// cells" and reads area/delay from ABC. Our substitute is this library plus
+// the mapper in src/synth and the STA in src/timing. Absolute units are our
+// own; the paper's results are all *relative* overheads, which do not
+// depend on the unit scale.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "library/cell.hpp"
+
+namespace odcfp {
+
+class CellLibrary {
+ public:
+  /// Adds a cell; the name must be unique. Returns its id.
+  CellId add(Cell cell);
+
+  const Cell& cell(CellId id) const;
+  std::size_t size() const { return cells_.size(); }
+
+  /// Looks up a cell by library name; kInvalidCell if absent.
+  CellId find(const std::string& name) const;
+
+  /// Finds the cell of a given kind and arity (e.g. kNand, 3 -> NAND3);
+  /// kInvalidCell if the library has none.
+  CellId find_kind(CellKind kind, int num_inputs) const;
+
+  /// Finds any cell whose function matches `tt` exactly (inputs in order).
+  CellId find_function(const TruthTable& tt) const;
+
+  /// The largest arity available for a kind (0 if the kind is absent).
+  int max_arity(CellKind kind) const;
+
+  /// Serializes to / parses from a small genlib-like text format:
+  ///   cell NAND2 kind=NAND inputs=2 area=1392 delay=0.25 load=0.09
+  ///        cap=1.0 energy=1.8     (one line per cell)
+  /// Truth tables are implied by kind+arity.
+  void write(std::ostream& os) const;
+  static CellLibrary parse(std::istream& is);
+
+  const std::vector<Cell>& cells() const { return cells_; }
+
+ private:
+  std::vector<Cell> cells_;
+  std::unordered_map<std::string, CellId> by_name_;
+};
+
+/// The default technology library used throughout the experiments:
+/// INV, BUF, AND2-4, OR2-4, NAND2-4, NOR2-4, XOR2, XNOR2, AOI21, OAI21,
+/// MUX2, CONST0/1. Attribute scales are chosen so that mapped MCNC/ISCAS
+/// circuits land in the same numeric ballpark as the paper's Table II
+/// (areas of ~1e5..5e6, delays of ~5..35, powers of ~1e3..2e4).
+const CellLibrary& default_cell_library();
+
+/// Builds the TruthTable implied by a kind and arity.
+TruthTable make_kind_function(CellKind kind, int num_inputs);
+
+/// Parses a kind name ("NAND" -> kNand); throws CheckError on unknown names.
+CellKind parse_cell_kind(const std::string& name);
+
+}  // namespace odcfp

@@ -1,0 +1,200 @@
+// Gate-level netlist IR.
+//
+// A Netlist is a DAG of cell instances ("gates") connected by nets. Primary
+// inputs are driverless nets; primary outputs are named ports referencing
+// nets. The structure supports the local rewrites the fingerprint embedder
+// performs (widening a gate, appending a gate on a net, repointing a pin)
+// with full fanout bookkeeping, plus the global queries (topological order,
+// logic depth, fanout-free cones) used by the location finder, STA, and
+// simulation.
+//
+// Gates and nets are referenced by dense integer ids. Removing a gate
+// leaves a tombstone so ids stay stable during a fingerprinting session;
+// compact() squeezes tombstones out and returns the id remapping.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "library/cell_library.hpp"
+
+namespace odcfp {
+
+using GateId = std::uint32_t;
+using NetId = std::uint32_t;
+inline constexpr GateId kInvalidGate = ~GateId{0};
+inline constexpr NetId kInvalidNet = ~NetId{0};
+
+/// One sink pin of a net: input pin `pin` of gate `gate`.
+struct FanoutRef {
+  GateId gate;
+  std::uint8_t pin;
+  bool operator==(const FanoutRef&) const = default;
+};
+
+struct Gate {
+  CellId cell = kInvalidCell;       ///< kInvalidCell marks a tombstone.
+  std::vector<NetId> fanins;        ///< One net per input pin, pin order.
+  NetId output = kInvalidNet;
+  std::string name;                 ///< Instance name (unique).
+
+  bool is_dead() const { return cell == kInvalidCell; }
+};
+
+struct Net {
+  std::string name;                 ///< Unique signal name.
+  GateId driver = kInvalidGate;     ///< kInvalidGate: PI or dangling.
+  bool is_pi = false;
+  std::vector<FanoutRef> fanouts;   ///< Gate input pins this net feeds.
+};
+
+/// A named primary-output port. Distinct ports may reference the same net.
+struct OutputPort {
+  std::string name;
+  NetId net = kInvalidNet;
+};
+
+class Netlist {
+ public:
+  explicit Netlist(const CellLibrary* library = &default_cell_library(),
+                   std::string name = "top");
+
+  const CellLibrary& library() const { return *library_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // ---- construction ----
+
+  /// Creates a primary input. Name must be unique (empty = auto).
+  NetId add_input(const std::string& name = {});
+
+  /// Declares net `net` as (the target of) a primary output port.
+  void add_output(NetId net, const std::string& port_name = {});
+
+  /// Creates a gate of cell `cell` with the given fanin nets and a fresh
+  /// output net. Fanin count must match the cell arity.
+  GateId add_gate(CellId cell, const std::vector<NetId>& fanins,
+                  const std::string& gate_name = {},
+                  const std::string& out_net_name = {});
+
+  /// Convenience: looks the cell up by kind+arity in the library.
+  GateId add_gate_kind(CellKind kind, const std::vector<NetId>& fanins,
+                       const std::string& gate_name = {});
+
+  // ---- local rewrites (used by the fingerprint embedder) ----
+
+  /// Replaces the cell and fanins of an existing gate; the output net is
+  /// kept, so all fanouts are preserved. Arity must match the new cell.
+  void rewire_gate(GateId gate, CellId new_cell,
+                   const std::vector<NetId>& new_fanins);
+
+  /// Repoints input pin `pin` of `gate` to `new_net`.
+  void reconnect_pin(GateId gate, int pin, NetId new_net);
+
+  /// Removes a gate (tombstone). Its output net keeps its fanouts — the
+  /// caller must have repointed or be about to repoint them; validate()
+  /// reports nets that end up dangling-with-fanouts.
+  void remove_gate(GateId gate);
+
+  /// Moves every fanout pin of `from` (and every output port on `from`)
+  /// onto `to`.
+  void transfer_fanouts(NetId from, NetId to);
+
+  /// Like transfer_fanouts, but skips input pins of `except_gate` (used
+  /// when a freshly inserted gate on `from` must keep reading it).
+  void transfer_fanouts_except(NetId from, NetId to, GateId except_gate);
+
+  /// Repoints output ports referencing `from` to `to` (no pin changes).
+  void repoint_output_ports(NetId from, NetId to);
+
+  // ---- access ----
+
+  std::size_t num_gates() const { return gates_.size(); }   // incl. dead
+  std::size_t num_live_gates() const { return live_gates_; }
+  std::size_t num_nets() const { return nets_.size(); }
+
+  const Gate& gate(GateId id) const;
+  const Net& net(NetId id) const;
+  const Cell& cell_of(GateId id) const;
+
+  const std::vector<NetId>& inputs() const { return pis_; }
+  const std::vector<OutputPort>& outputs() const { return pos_; }
+
+  NetId find_net(const std::string& name) const;
+  GateId find_gate(const std::string& name) const;
+
+  /// Renames a net; the new name must be unique.
+  void rename_net(NetId id, const std::string& name);
+
+  // ---- global queries ----
+
+  /// Live gates in topological (fanin-before-fanout) order, deterministic
+  /// regardless of fanout-list order (min-id first). Use this wherever
+  /// the order is observable (serialization, iteration that must be
+  /// reproducible). Throws CheckError on a combinational cycle.
+  std::vector<GateId> topo_order() const;
+
+  /// Fast topological order (plain Kahn queue, order depends on fanout
+  /// lists). Same validity guarantees; use in analysis hot paths (STA,
+  /// power, simulation) where only topological validity matters.
+  std::vector<GateId> topo_order_fast() const;
+
+  /// Logic depth of each gate (PI = level 0 source; a gate's level is
+  /// 1 + max level over fanins). Indexed by GateId; dead gates get 0.
+  std::vector<int> gate_levels() const;
+
+  /// Maximum gate level (0 for an empty netlist).
+  int depth() const;
+
+  /// Sum of cell areas over live gates.
+  double total_area() const;
+
+  /// True if `net` feeds exactly one gate input pin and no output port.
+  bool has_single_fanout(NetId net) const;
+
+  /// Structural sanity check; throws CheckError with a description of the
+  /// first violated invariant. `allow_dangling` tolerates nets without
+  /// sinks (useful mid-rewrite).
+  void validate(bool allow_dangling = false) const;
+
+  /// Removes gates whose output reaches no primary output (iteratively),
+  /// returning how many gates were swept.
+  std::size_t sweep_dangling();
+
+  /// Squeezes out tombstoned gates. Net ids are preserved; gate ids are
+  /// remapped (old id -> new id map returned, dead gates -> kInvalidGate).
+  std::vector<GateId> compact();
+
+  /// Fresh unique net / gate names with the given prefix.
+  std::string fresh_net_name(const std::string& prefix);
+  std::string fresh_gate_name(const std::string& prefix);
+
+ private:
+  NetId add_net(const std::string& name, GateId driver, bool is_pi);
+  void detach_pin(GateId gate, int pin);
+  void attach_pin(GateId gate, int pin, NetId net);
+
+  const CellLibrary* library_;
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<Net> nets_;
+  std::vector<NetId> pis_;
+  std::vector<OutputPort> pos_;
+  std::unordered_map<std::string, NetId> net_by_name_;
+  std::unordered_map<std::string, GateId> gate_by_name_;
+  /// Tombstoned gate ids whose output nets are free for reuse — keeps
+  /// heavy apply/undo churn (the reactive heuristic performs tens of
+  /// thousands of trial modifications) from growing the arrays.
+  std::vector<GateId> free_gates_;
+  std::size_t live_gates_ = 0;
+  std::uint64_t name_counter_ = 0;
+};
+
+/// Per-kind gate histogram of live gates.
+std::vector<std::pair<CellKind, std::size_t>> kind_histogram(
+    const Netlist& nl);
+
+}  // namespace odcfp

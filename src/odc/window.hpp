@@ -1,0 +1,60 @@
+// Exact don't-care analysis over bounded circuit windows, using BDDs.
+//
+// The paper computes ODCs gate-locally (Eq. 1) and notes that "ODCs can be
+// several layers deep". This module quantifies that headroom exactly:
+//
+//  * window_odc — for a net y, build the transitive-fanout window of
+//    bounded depth, treat the window's side inputs as free variables, and
+//    compute the exact condition under which y is unobservable at every
+//    window output. Because unobservability through the window implies
+//    unobservability at the primary outputs only when the window is
+//    output-closed, the reported condition is a sound *lower bound* on
+//    the true global ODC when the window is truncated, and exact when the
+//    window reaches the POs.
+//
+//  * window_sdc — for a gate g, build the bounded fanin cone of its input
+//    signals and compute exactly which input patterns of g can never
+//    occur (satisfiability don't cares). With the cone truncated, the
+//    free boundary variables over-approximate reachability, so every
+//    reported-impossible pattern is guaranteed impossible. SDC-based
+//    fingerprinting is the authors' companion technique (ASP-DAC'15,
+//    ref. [9] of the paper).
+#pragma once
+
+#include "bdd/bdd.hpp"
+#include "netlist/netlist.hpp"
+
+namespace odcfp {
+
+struct WindowOptions {
+  /// Levels of transitive fanout (ODC) / fanin (SDC) included.
+  int depth = 3;
+  /// Skip windows with more free variables than this (BDD size guard).
+  int max_window_inputs = 16;
+};
+
+struct WindowOdcResult {
+  bool computed = false;       ///< false: window exceeded the input cap.
+  double odc_fraction = 0;     ///< fraction of side-input assignments
+                               ///< hiding the net (0 = always observable
+                               ///< through the window).
+  bool output_closed = false;  ///< window reached only POs (result exact).
+  int window_inputs = 0;
+  std::size_t window_gates = 0;
+};
+
+WindowOdcResult window_odc(const Netlist& nl, NetId net,
+                           const WindowOptions& options = {});
+
+struct WindowSdcResult {
+  bool computed = false;
+  int num_patterns = 0;         ///< 2^k for a k-input gate.
+  int impossible_patterns = 0;  ///< provably unreachable input patterns.
+  unsigned impossible_mask = 0; ///< bit p set = pattern p unreachable.
+  int cone_inputs = 0;
+};
+
+WindowSdcResult window_sdc(const Netlist& nl, GateId gate,
+                           const WindowOptions& options = {});
+
+}  // namespace odcfp

@@ -1,0 +1,69 @@
+#include "sat/tseitin.hpp"
+
+#include "common/check.hpp"
+
+namespace odcfp::sat {
+
+TseitinEncoding::TseitinEncoding(Solver& solver, const Netlist& nl,
+                                 const std::vector<Var>* share_inputs)
+    : var_of_(nl.num_nets(), kUndefVar) {
+  if (share_inputs != nullptr) {
+    ODCFP_CHECK(share_inputs->size() == nl.inputs().size());
+  }
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    const Var v = (share_inputs != nullptr) ? (*share_inputs)[i]
+                                            : solver.new_var();
+    var_of_[nl.inputs()[i]] = v;
+    input_vars_.push_back(v);
+  }
+  for (GateId g : nl.topo_order()) {
+    const Gate& gt = nl.gate(g);
+    const TruthTable& tt = nl.library().cell(gt.cell).function;
+    const Var out = solver.new_var();
+    var_of_[gt.output] = out;
+    const int k = tt.num_inputs();
+    std::vector<Var> in_vars;
+    in_vars.reserve(static_cast<std::size_t>(k));
+    for (NetId in : gt.fanins) {
+      ODCFP_CHECK_MSG(var_of_[in] != kUndefVar,
+                      "net used before being driven");
+      in_vars.push_back(var_of_[in]);
+    }
+    for (unsigned p = 0; p < tt.num_rows(); ++p) {
+      std::vector<Lit> clause;
+      clause.reserve(static_cast<std::size_t>(k) + 1);
+      for (int i = 0; i < k; ++i) {
+        // "input i differs from pattern bit" escapes the row.
+        const bool bit = (p >> i) & 1;
+        clause.push_back(Lit(in_vars[static_cast<std::size_t>(i)], bit));
+      }
+      clause.push_back(Lit(out, !tt.eval(p)));
+      solver.add_clause(std::move(clause));
+    }
+  }
+}
+
+Var TseitinEncoding::var_of(NetId net) const {
+  ODCFP_CHECK(net < var_of_.size() && var_of_[net] != kUndefVar);
+  return var_of_[net];
+}
+
+void encode_xor(Solver& solver, Var a, Var b, Var out) {
+  solver.add_clause(neg_lit(a), neg_lit(b), neg_lit(out));
+  solver.add_clause(pos_lit(a), pos_lit(b), neg_lit(out));
+  solver.add_clause(pos_lit(a), neg_lit(b), pos_lit(out));
+  solver.add_clause(neg_lit(a), pos_lit(b), pos_lit(out));
+}
+
+void encode_or(Solver& solver, const std::vector<Var>& ins, Var out) {
+  std::vector<Lit> big;
+  big.reserve(ins.size() + 1);
+  for (Var v : ins) {
+    solver.add_clause(neg_lit(v), pos_lit(out));
+    big.push_back(pos_lit(v));
+  }
+  big.push_back(neg_lit(out));
+  solver.add_clause(std::move(big));
+}
+
+}  // namespace odcfp::sat

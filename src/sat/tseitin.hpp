@@ -1,0 +1,38 @@
+// Tseitin encoding of a gate-level netlist into CNF.
+//
+// One SAT variable per net; each gate contributes 2^k clauses (k = fanin
+// count, k <= 6 by construction of TruthTable) asserting out == F(inputs)
+// row by row. Small and simple; the solver's propagation handles the rest.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sat/solver.hpp"
+
+namespace odcfp::sat {
+
+/// Maps NetId -> SAT variable for one encoded netlist.
+class TseitinEncoding {
+ public:
+  /// Encodes all gates of `nl` into `solver`. If `share_inputs` is given
+  /// (indexed by PI position), those variables are used for the primary
+  /// inputs instead of fresh ones — this is how a miter shares PIs.
+  TseitinEncoding(Solver& solver, const Netlist& nl,
+                  const std::vector<Var>* share_inputs = nullptr);
+
+  Var var_of(NetId net) const;
+  const std::vector<Var>& input_vars() const { return input_vars_; }
+
+ private:
+  std::vector<Var> var_of_;  // indexed by NetId
+  std::vector<Var> input_vars_;
+};
+
+/// Adds clauses asserting out == (a XOR b); returns nothing (out given).
+void encode_xor(Solver& solver, Var a, Var b, Var out);
+
+/// Adds clauses asserting out == OR(ins); ins may be empty (out = false).
+void encode_or(Solver& solver, const std::vector<Var>& ins, Var out);
+
+}  // namespace odcfp::sat

@@ -1,0 +1,78 @@
+#include "synth/isop.hpp"
+
+#include "common/check.hpp"
+
+namespace odcfp {
+
+namespace {
+
+/// Recursive Minato-Morreale: returns a cover C with L <= C <= U
+/// (as sets of minterms over `n` variables, represented as TruthTables of
+/// the full arity so cofactoring stays uniform).
+std::vector<IsopCube> isop_rec(const TruthTable& lower,
+                               const TruthTable& upper, int var) {
+  if (lower.bits() == 0) return {};
+  if (upper.bits() == upper.mask()) {
+    return {IsopCube{}};  // the universal cube
+  }
+  ODCFP_CHECK_MSG(var >= 0, "ISOP invariant violated: L not <= U");
+
+  // Find a variable both functions still depend on (scan downward).
+  int x = var;
+  while (x >= 0 && !lower.depends_on(x) && !upper.depends_on(x)) --x;
+  ODCFP_CHECK_MSG(x >= 0, "no splitting variable but U not universal");
+
+  const TruthTable l0 = lower.cofactor(x, false);
+  const TruthTable l1 = lower.cofactor(x, true);
+  const TruthTable u0 = upper.cofactor(x, false);
+  const TruthTable u1 = upper.cofactor(x, true);
+
+  // Cubes that must carry the literal x' / x.
+  std::vector<IsopCube> c0 = isop_rec(l0 & ~u1, u0, x - 1);
+  std::vector<IsopCube> c1 = isop_rec(l1 & ~u0, u1, x - 1);
+
+  const TruthTable cov0 = cover_to_tt(c0, lower.num_inputs());
+  const TruthTable cov1 = cover_to_tt(c1, lower.num_inputs());
+  const TruthTable l_rest = (l0 & ~cov0) | (l1 & ~cov1);
+  std::vector<IsopCube> cd = isop_rec(l_rest, u0 & u1, x - 1);
+
+  std::vector<IsopCube> result;
+  result.reserve(c0.size() + c1.size() + cd.size());
+  for (IsopCube c : c0) {
+    c.mask |= static_cast<std::uint8_t>(1u << x);
+    result.push_back(c);  // x' literal: values bit stays 0
+  }
+  for (IsopCube c : c1) {
+    c.mask |= static_cast<std::uint8_t>(1u << x);
+    c.values |= static_cast<std::uint8_t>(1u << x);
+    result.push_back(c);
+  }
+  for (const IsopCube& c : cd) result.push_back(c);
+  return result;
+}
+
+}  // namespace
+
+std::vector<IsopCube> isop_cover(const TruthTable& tt) {
+  if (tt.num_inputs() == 0) {
+    if (tt.is_constant() && !tt.constant_value()) return {};
+    return {IsopCube{}};
+  }
+  return isop_rec(tt, tt, tt.num_inputs() - 1);
+}
+
+TruthTable cover_to_tt(const std::vector<IsopCube>& cover, int num_inputs) {
+  TruthTable out(num_inputs, 0);
+  std::uint64_t bits = 0;
+  for (unsigned p = 0; p < out.num_rows(); ++p) {
+    for (const IsopCube& c : cover) {
+      if ((p & c.mask) == (c.values & c.mask)) {
+        bits |= 1ull << p;
+        break;
+      }
+    }
+  }
+  return TruthTable(num_inputs, bits);
+}
+
+}  // namespace odcfp

@@ -1,0 +1,184 @@
+#include "timing/sta.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace odcfp {
+
+double StaticTimingAnalyzer::net_load(const Netlist& nl, NetId net) const {
+  const Net& n = nl.net(net);
+  double load = 0;
+  for (const FanoutRef& ref : n.fanouts) {
+    load += nl.cell_of(ref.gate).input_cap;
+    load += options_.wire_cap_per_fanout;
+  }
+  for (const OutputPort& p : nl.outputs()) {
+    if (p.net == net) load += options_.po_load;
+  }
+  return load;
+}
+
+double StaticTimingAnalyzer::gate_delay(const Netlist& nl,
+                                        GateId gate) const {
+  const Cell& c = nl.cell_of(gate);
+  return c.intrinsic_delay + c.load_coeff * net_load(nl, nl.gate(gate).output);
+}
+
+double StaticTimingAnalyzer::critical_delay(const Netlist& nl) const {
+  std::vector<double> arrival(nl.num_nets(), options_.pi_arrival);
+  for (GateId g : nl.topo_order_fast()) {
+    const Gate& gt = nl.gate(g);
+    double at = options_.pi_arrival;
+    for (NetId in : gt.fanins) at = std::max(at, arrival[in]);
+    arrival[gt.output] = at + gate_delay(nl, g);
+  }
+  double worst = 0;
+  for (const OutputPort& p : nl.outputs()) {
+    worst = std::max(worst, arrival[p.net]);
+  }
+  return worst;
+}
+
+TimingReport StaticTimingAnalyzer::analyze(const Netlist& nl) const {
+  TimingReport rep;
+  rep.arrival.assign(nl.num_nets(), options_.pi_arrival);
+
+  const std::vector<GateId> order = nl.topo_order_fast();
+  // Cache per-gate delays: they depend only on the (static) fanout loads.
+  std::vector<double> delay(nl.num_gates(), 0);
+  for (GateId g : order) delay[g] = gate_delay(nl, g);
+
+  for (GateId g : order) {
+    const Gate& gt = nl.gate(g);
+    double at = options_.pi_arrival;
+    for (NetId in : gt.fanins) at = std::max(at, rep.arrival[in]);
+    rep.arrival[gt.output] = at + delay[g];
+  }
+  for (const OutputPort& p : nl.outputs()) {
+    rep.critical_delay = std::max(rep.critical_delay, rep.arrival[p.net]);
+  }
+
+  // Required times: POs must settle by the critical delay.
+  const double inf = std::numeric_limits<double>::infinity();
+  rep.required.assign(nl.num_nets(), inf);
+  for (const OutputPort& p : nl.outputs()) {
+    rep.required[p.net] = std::min(rep.required[p.net], rep.critical_delay);
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const Gate& gt = nl.gate(*it);
+    const double in_required = rep.required[gt.output] - delay[*it];
+    for (NetId in : gt.fanins) {
+      rep.required[in] = std::min(rep.required[in], in_required);
+    }
+  }
+
+  rep.gate_slack.assign(nl.num_gates(), inf);
+  for (GateId g : order) {
+    const NetId out = nl.gate(g).output;
+    rep.gate_slack[g] = rep.required[out] - rep.arrival[out];
+  }
+
+  // One critical path: walk back from the latest output.
+  NetId worst_net = kInvalidNet;
+  for (const OutputPort& p : nl.outputs()) {
+    if (worst_net == kInvalidNet ||
+        rep.arrival[p.net] > rep.arrival[worst_net]) {
+      worst_net = p.net;
+    }
+  }
+  std::vector<GateId> path;
+  while (worst_net != kInvalidNet) {
+    const GateId d = nl.net(worst_net).driver;
+    if (d == kInvalidGate) break;
+    path.push_back(d);
+    NetId next = kInvalidNet;
+    for (NetId in : nl.gate(d).fanins) {
+      if (next == kInvalidNet || rep.arrival[in] > rep.arrival[next]) {
+        next = in;
+      }
+    }
+    worst_net = next;
+  }
+  std::reverse(path.begin(), path.end());
+  rep.critical_path = std::move(path);
+  return rep;
+}
+
+ArrivalTracker::ArrivalTracker(const Netlist& nl,
+                               const StaticTimingAnalyzer& sta)
+    : nl_(&nl), sta_(&sta) {
+  full_recompute();
+}
+
+void ArrivalTracker::full_recompute() {
+  arrival_.assign(nl_->num_nets(), sta_->options().pi_arrival);
+  queued_.assign(nl_->num_gates(), false);
+  for (GateId g : nl_->topo_order_fast()) {
+    const Gate& gt = nl_->gate(g);
+    double at = sta_->options().pi_arrival;
+    for (NetId in : gt.fanins) at = std::max(at, arrival_[in]);
+    arrival_[gt.output] = at + sta_->gate_delay(*nl_, g);
+  }
+}
+
+void ArrivalTracker::recompute_gate(GateId g, std::vector<GateId>& queue) {
+  const Gate& gt = nl_->gate(g);
+  double at = sta_->options().pi_arrival;
+  for (NetId in : gt.fanins) at = std::max(at, arrival_[in]);
+  const double new_arrival = at + sta_->gate_delay(*nl_, g);
+  if (new_arrival != arrival_[gt.output]) {
+    arrival_[gt.output] = new_arrival;
+    for (const FanoutRef& ref : nl_->net(gt.output).fanouts) {
+      if (!queued_[ref.gate]) {
+        queued_[ref.gate] = true;
+        queue.push_back(ref.gate);
+      }
+    }
+  }
+}
+
+void ArrivalTracker::update(const std::vector<GateId>& seeds) {
+  // Structures may have grown (new nets/gates) since construction.
+  if (arrival_.size() < nl_->num_nets()) {
+    arrival_.resize(nl_->num_nets(), sta_->options().pi_arrival);
+  }
+  if (queued_.size() < nl_->num_gates()) {
+    queued_.resize(nl_->num_gates(), false);
+  }
+  std::vector<GateId> queue;
+  for (GateId g : seeds) {
+    if (g < nl_->num_gates() && !nl_->gate(g).is_dead() && !queued_[g]) {
+      queued_[g] = true;
+      queue.push_back(g);
+    }
+  }
+  // Worklist relaxation; the arrival system on a DAG has a unique
+  // fixpoint, and each pop recomputes a gate exactly from its fanins.
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const GateId g = queue[head];
+    queued_[g] = false;
+    if (nl_->gate(g).is_dead()) continue;
+    recompute_gate(g, queue);
+  }
+  // Reset any still-set flags (gates queued multiple times).
+  for (GateId g : queue) {
+    if (g < queued_.size()) queued_[g] = false;
+  }
+}
+
+double ArrivalTracker::critical_delay() const {
+  double worst = 0;
+  for (const OutputPort& p : nl_->outputs()) {
+    worst = std::max(worst, arrival_[p.net]);
+  }
+  return worst;
+}
+
+double ArrivalTracker::arrival(NetId net) const {
+  ODCFP_CHECK(net < arrival_.size());
+  return arrival_[net];
+}
+
+}  // namespace odcfp

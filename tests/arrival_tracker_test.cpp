@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "benchgen/benchmarks.hpp"
+#include "common/rng.hpp"
+#include "fingerprint/embedder.hpp"
+#include "timing/sta.hpp"
+
+namespace odcfp {
+namespace {
+
+/// Seeds mirroring the heuristics' rule: gates + fanin drivers + sinks.
+std::vector<GateId> seeds_of(const Netlist& nl,
+                             const std::vector<GateId>& gates) {
+  std::vector<GateId> seeds;
+  for (GateId g : gates) {
+    if (g >= nl.num_gates() || nl.gate(g).is_dead()) continue;
+    seeds.push_back(g);
+    for (NetId in : nl.gate(g).fanins) {
+      const GateId d = nl.net(in).driver;
+      if (d != kInvalidGate) seeds.push_back(d);
+    }
+    for (const FanoutRef& ref : nl.net(nl.gate(g).output).fanouts) {
+      seeds.push_back(ref.gate);
+    }
+  }
+  return seeds;
+}
+
+TEST(ArrivalTracker, MatchesFullStaInitially) {
+  const Netlist nl = make_benchmark("c880");
+  const StaticTimingAnalyzer sta;
+  const ArrivalTracker tracker(nl, sta);
+  EXPECT_DOUBLE_EQ(tracker.critical_delay(), sta.critical_delay(nl));
+  const TimingReport rep = sta.analyze(nl);
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    if (nl.net(n).driver == kInvalidGate && !nl.net(n).is_pi) continue;
+    EXPECT_DOUBLE_EQ(tracker.arrival(n), rep.arrival[n]) << n;
+  }
+}
+
+TEST(ArrivalTracker, TracksFingerprintApplyRemoveExactly) {
+  Netlist nl = make_benchmark("c432");
+  const StaticTimingAnalyzer sta;
+  const auto locs = find_locations(nl);
+  FingerprintEmbedder e(nl, locs);
+  ArrivalTracker tracker(nl, sta);
+
+  Rng rng(11);
+  for (int step = 0; step < 200; ++step) {
+    const std::size_t f =
+        static_cast<std::size_t>(rng.next_below(e.num_sites()));
+    const auto ref = e.site_ref(f);
+    if (e.applied_option(ref.loc, ref.site) == 0) {
+      const int opt = 1 + static_cast<int>(rng.next_below(
+          locs[ref.loc].sites[ref.site].options.size()));
+      e.apply(ref.loc, ref.site, opt);
+      tracker.update(seeds_of(nl, e.touched_gates(ref.loc, ref.site)));
+    } else {
+      const auto pre = seeds_of(nl, e.touched_gates(ref.loc, ref.site));
+      e.remove(ref.loc, ref.site);
+      tracker.update(pre);
+    }
+    ASSERT_DOUBLE_EQ(tracker.critical_delay(), sta.critical_delay(nl))
+        << "step " << step;
+  }
+}
+
+TEST(ArrivalTracker, FullRecomputeResyncsAfterUntrackedEdits) {
+  Netlist nl = make_benchmark("c17");
+  const StaticTimingAnalyzer sta;
+  ArrivalTracker tracker(nl, sta);
+  // Untracked edit...
+  const NetId a = nl.inputs()[0];
+  const GateId g = nl.add_gate_kind(CellKind::kInv, {a});
+  nl.add_output(nl.gate(g).output, "extra");
+  // ...then resync.
+  tracker.full_recompute();
+  EXPECT_DOUBLE_EQ(tracker.critical_delay(), sta.critical_delay(nl));
+}
+
+}  // namespace
+}  // namespace odcfp

@@ -1,0 +1,165 @@
+#include "bdd/bdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace odcfp {
+namespace {
+
+TEST(Bdd, TerminalsAndVars) {
+  BddManager mgr(3);
+  EXPECT_TRUE(mgr.is_constant(mgr.zero()));
+  EXPECT_TRUE(mgr.is_constant(mgr.one()));
+  EXPECT_FALSE(mgr.constant_value(mgr.zero()));
+  EXPECT_TRUE(mgr.constant_value(mgr.one()));
+  const BddRef x = mgr.var(1);
+  EXPECT_FALSE(mgr.is_constant(x));
+  EXPECT_TRUE(mgr.evaluate(x, {false, true, false}));
+  EXPECT_FALSE(mgr.evaluate(x, {true, false, true}));
+  EXPECT_EQ(mgr.nvar(1), mgr.not_(x));
+}
+
+TEST(Bdd, CanonicalityHashConsing) {
+  BddManager mgr(4);
+  // Same function built differently yields the same node.
+  const BddRef a = mgr.var(0);
+  const BddRef b = mgr.var(1);
+  const BddRef ab1 = mgr.and_(a, b);
+  const BddRef ab2 = mgr.and_(b, a);
+  EXPECT_EQ(ab1, ab2);
+  const BddRef demorgan = mgr.not_(mgr.or_(mgr.not_(a), mgr.not_(b)));
+  EXPECT_EQ(ab1, demorgan);
+  // Shannon expansion of XOR.
+  const BddRef x1 = mgr.xor_(a, b);
+  const BddRef x2 = mgr.ite(a, mgr.not_(b), b);
+  EXPECT_EQ(x1, x2);
+}
+
+TEST(Bdd, BasicIdentities) {
+  BddManager mgr(3);
+  const BddRef a = mgr.var(0);
+  EXPECT_EQ(mgr.and_(a, mgr.one()), a);
+  EXPECT_EQ(mgr.and_(a, mgr.zero()), mgr.zero());
+  EXPECT_EQ(mgr.or_(a, mgr.zero()), a);
+  EXPECT_EQ(mgr.or_(a, mgr.one()), mgr.one());
+  EXPECT_EQ(mgr.xor_(a, a), mgr.zero());
+  EXPECT_EQ(mgr.xnor_(a, a), mgr.one());
+  EXPECT_EQ(mgr.and_(a, mgr.not_(a)), mgr.zero());
+  EXPECT_EQ(mgr.or_(a, mgr.not_(a)), mgr.one());
+  EXPECT_EQ(mgr.not_(mgr.not_(a)), a);
+}
+
+TEST(Bdd, CofactorAndQuantification) {
+  BddManager mgr(3);
+  const BddRef a = mgr.var(0);
+  const BddRef b = mgr.var(1);
+  const BddRef c = mgr.var(2);
+  const BddRef f = mgr.or_(mgr.and_(a, b), c);  // ab + c
+  EXPECT_EQ(mgr.cofactor(f, 0, true), mgr.or_(b, c));
+  EXPECT_EQ(mgr.cofactor(f, 0, false), c);
+  EXPECT_EQ(mgr.exists(f, 1), mgr.or_(a, c));
+  EXPECT_EQ(mgr.forall(f, 0), c);
+  // Quantifying a variable the function ignores is a no-op.
+  EXPECT_EQ(mgr.exists(c, 0), c);
+}
+
+TEST(Bdd, CountMinterms) {
+  BddManager mgr(4);
+  EXPECT_DOUBLE_EQ(mgr.count_minterms(mgr.zero()), 0.0);
+  EXPECT_DOUBLE_EQ(mgr.count_minterms(mgr.one()), 16.0);
+  EXPECT_DOUBLE_EQ(mgr.count_minterms(mgr.var(2)), 8.0);
+  const BddRef f = mgr.and_(mgr.var(0), mgr.var(3));
+  EXPECT_DOUBLE_EQ(mgr.count_minterms(f), 4.0);
+  const BddRef g = mgr.xor_(mgr.var(1), mgr.var(2));
+  EXPECT_DOUBLE_EQ(mgr.count_minterms(g), 8.0);
+}
+
+TEST(Bdd, AnySatSatisfies) {
+  BddManager mgr(5);
+  Rng rng(3);
+  // Random conjunctions of literals.
+  for (int trial = 0; trial < 50; ++trial) {
+    BddRef f = mgr.one();
+    for (int v = 0; v < 5; ++v) {
+      const int mode = static_cast<int>(rng.next_below(3));
+      if (mode == 0) f = mgr.and_(f, mgr.var(v));
+      if (mode == 1) f = mgr.and_(f, mgr.nvar(v));
+    }
+    const auto assignment = mgr.any_sat(f);
+    EXPECT_TRUE(mgr.evaluate(f, assignment));
+  }
+  EXPECT_THROW(mgr.any_sat(mgr.zero()), CheckError);
+}
+
+/// Reference evaluator: random expression trees compared exhaustively.
+struct RandomExpr {
+  BddManager& mgr;
+  Rng& rng;
+  int num_vars;
+  int budget;
+
+  struct Result {
+    BddRef bdd;
+    std::vector<std::uint64_t> truth;  // one word (num_vars <= 6)
+  };
+
+  Result gen(int depth) {
+    if (depth == 0 || rng.next_bool(0.3)) {
+      const int v = static_cast<int>(rng.next_below(num_vars));
+      std::uint64_t w = 0;
+      for (unsigned p = 0; p < (1u << num_vars); ++p) {
+        if ((p >> v) & 1) w |= 1ull << p;
+      }
+      return {mgr.var(v), {w}};
+    }
+    const Result l = gen(depth - 1);
+    const Result r = gen(depth - 1);
+    const std::uint64_t mask =
+        (num_vars == 6) ? ~0ull : ((1ull << (1u << num_vars)) - 1);
+    switch (rng.next_below(4)) {
+      case 0: return {mgr.and_(l.bdd, r.bdd), {l.truth[0] & r.truth[0]}};
+      case 1: return {mgr.or_(l.bdd, r.bdd), {l.truth[0] | r.truth[0]}};
+      case 2: return {mgr.xor_(l.bdd, r.bdd), {l.truth[0] ^ r.truth[0]}};
+      default: return {mgr.not_(l.bdd), {~l.truth[0] & mask}};
+    }
+  }
+};
+
+class BddRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddRandomTest, AgreesWithTruthTableSemantics) {
+  const int num_vars = 5;
+  BddManager mgr(num_vars);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 7);
+  RandomExpr gen{mgr, rng, num_vars, 0};
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto res = gen.gen(4);
+    for (unsigned p = 0; p < (1u << num_vars); ++p) {
+      std::vector<bool> values;
+      for (int v = 0; v < num_vars; ++v) values.push_back((p >> v) & 1);
+      EXPECT_EQ(mgr.evaluate(res.bdd, values),
+                static_cast<bool>((res.truth[0] >> p) & 1))
+          << "trial " << trial << " pattern " << p;
+    }
+    // Minterm count agrees with popcount.
+    EXPECT_DOUBLE_EQ(mgr.count_minterms(res.bdd),
+                     static_cast<double>(
+                         __builtin_popcountll(res.truth[0])));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddRandomTest, ::testing::Range(0, 4));
+
+TEST(Bdd, NodeCountOrderSensitivity) {
+  // f = x0 x1 + x2 x3 is small in this order.
+  BddManager mgr(4);
+  const BddRef f = mgr.or_(mgr.and_(mgr.var(0), mgr.var(1)),
+                           mgr.and_(mgr.var(2), mgr.var(3)));
+  EXPECT_LE(mgr.node_count(f), 6u + 2u);
+  EXPECT_GE(mgr.node_count(f), 4u);
+}
+
+}  // namespace
+}  // namespace odcfp

@@ -1,0 +1,161 @@
+#include "io/blif.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "benchgen/benchmarks.hpp"
+#include "common/check.hpp"
+#include "sim/simulator.hpp"
+#include "synth/mapper.hpp"
+
+namespace odcfp {
+namespace {
+
+constexpr const char* kSmallBlif = R"(
+# a tiny circuit
+.model tiny
+.inputs a b c
+.outputs f g
+.names a b t1
+11 1
+.names t1 c f
+1- 1
+-1 1
+.names c g
+0 1
+.end
+)";
+
+TEST(BlifReader, ParsesSmallModel) {
+  const SopNetwork sop = read_blif_string(kSmallBlif);
+  EXPECT_EQ(sop.name(), "tiny");
+  EXPECT_EQ(sop.inputs().size(), 3u);
+  EXPECT_EQ(sop.outputs().size(), 2u);
+  // f = (a & b) | c; g = !c. Evaluate all 8 patterns in one word.
+  std::vector<std::uint64_t> ins(3);
+  for (int i = 0; i < 3; ++i) {
+    std::uint64_t w = 0;
+    for (unsigned p = 0; p < 8; ++p) {
+      if ((p >> i) & 1) w |= 1ull << p;
+    }
+    ins[static_cast<std::size_t>(i)] = w;
+  }
+  const auto outs = sop.evaluate(ins);
+  for (unsigned p = 0; p < 8; ++p) {
+    const bool a = p & 1, b = p & 2, c = p & 4;
+    EXPECT_EQ((outs[0] >> p) & 1, ((a && b) || c) ? 1u : 0u) << p;
+    EXPECT_EQ((outs[1] >> p) & 1, (!c) ? 1u : 0u) << p;
+  }
+}
+
+TEST(BlifReader, OffsetCover) {
+  // Cover rows with output 0 define the complement.
+  const char* text = R"(
+.model offs
+.inputs a b
+.outputs f
+.names a b f
+11 0
+.end
+)";
+  const SopNetwork sop = read_blif_string(text);
+  const auto outs = sop.evaluate({0xAAAAAAAAAAAAAAAAull,
+                                  0xCCCCCCCCCCCCCCCCull});
+  // f = !(a & b)
+  EXPECT_EQ(outs[0],
+            ~(0xAAAAAAAAAAAAAAAAull & 0xCCCCCCCCCCCCCCCCull));
+}
+
+TEST(BlifReader, Constants) {
+  const char* text = R"(
+.model consts
+.inputs a
+.outputs one zero pass
+.names one
+1
+.names zero
+.names a pass
+1 1
+.end
+)";
+  const SopNetwork sop = read_blif_string(text);
+  const auto outs = sop.evaluate({0x0123456789abcdefull});
+  EXPECT_EQ(outs[0], ~0ull);
+  EXPECT_EQ(outs[1], 0ull);
+  EXPECT_EQ(outs[2], 0x0123456789abcdefull);
+}
+
+TEST(BlifReader, LineContinuationAndComments) {
+  const char* text =
+      ".model cont\n.inputs a \\\nb\n.outputs f # trailing\n"
+      ".names a b f\n11 1\n.end\n";
+  const SopNetwork sop = read_blif_string(text);
+  EXPECT_EQ(sop.inputs().size(), 2u);
+}
+
+TEST(BlifReader, RejectsLatchesAndMalformed) {
+  EXPECT_THROW(read_blif_string(".model x\n.latch a b\n.end\n"),
+               CheckError);
+  EXPECT_THROW(read_blif_string(".inputs a\n.end\n"), CheckError);
+  EXPECT_THROW(
+      read_blif_string(".model x\n.inputs a\n.outputs f\n"
+                       ".names a f\n12 1\n.end\n"),
+      CheckError);
+  // Cube width mismatch.
+  EXPECT_THROW(
+      read_blif_string(".model x\n.inputs a b\n.outputs f\n"
+                       ".names a b f\n111 1\n.end\n"),
+      CheckError);
+}
+
+TEST(BlifRoundTrip, SopNetwork) {
+  const SopNetwork sop = read_blif_string(kSmallBlif);
+  std::ostringstream os;
+  write_blif(os, sop);
+  const SopNetwork again = read_blif_string(os.str());
+  // Same interface and same function on all 8 patterns.
+  ASSERT_EQ(again.inputs().size(), sop.inputs().size());
+  ASSERT_EQ(again.outputs().size(), sop.outputs().size());
+  std::vector<std::uint64_t> ins(3);
+  for (int i = 0; i < 3; ++i) {
+    std::uint64_t w = 0;
+    for (unsigned p = 0; p < 8; ++p) {
+      if ((p >> i) & 1) w |= 1ull << p;
+    }
+    ins[static_cast<std::size_t>(i)] = w;
+  }
+  EXPECT_EQ(sop.evaluate(ins), again.evaluate(ins));
+}
+
+TEST(BlifRoundTrip, MappedNetlistThroughBlif) {
+  // Netlist -> BLIF -> SopNetwork -> remap: functions must agree.
+  const Netlist nl = make_benchmark("c17");
+  const std::string text = to_blif_string(nl);
+  const SopNetwork sop = read_blif_string(text);
+  ASSERT_EQ(sop.inputs().size(), nl.inputs().size());
+  ASSERT_EQ(sop.outputs().size(), nl.outputs().size());
+  // Evaluate both on counting patterns (5 inputs -> 32 rows).
+  std::vector<std::uint64_t> ins(5);
+  for (int i = 0; i < 5; ++i) {
+    std::uint64_t w = 0;
+    for (unsigned p = 0; p < 32; ++p) {
+      if ((p >> i) & 1) w |= 1ull << p;
+    }
+    ins[static_cast<std::size_t>(i)] = w;
+  }
+  const auto sop_out = sop.evaluate(ins);
+  Netlist remapped = map_to_cells(sop, nl.library());
+  // Compare against direct simulation of the original netlist.
+  Simulator sim(nl);
+  for (std::size_t i = 0; i < 5; ++i) sim.set_input_word(i, ins[i]);
+  sim.run();
+  const auto nl_out = sim.output_words();
+  const std::uint64_t mask = (1ull << 32) - 1;
+  for (std::size_t o = 0; o < nl_out.size(); ++o) {
+    EXPECT_EQ(sop_out[o] & mask, nl_out[o] & mask) << "output " << o;
+  }
+}
+
+}  // namespace
+}  // namespace odcfp

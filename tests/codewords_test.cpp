@@ -1,0 +1,140 @@
+#include "fingerprint/codewords.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "benchgen/benchmarks.hpp"
+#include "common/check.hpp"
+
+namespace odcfp {
+namespace {
+
+struct Fixture {
+  Netlist golden = make_benchmark("c432");
+  std::vector<FingerprintLocation> locs = find_locations(golden);
+};
+
+TEST(Encoding, UsableBitsPositiveAndConsistent) {
+  Fixture f;
+  const std::size_t bits = usable_bits(f.locs);
+  EXPECT_GT(bits, 0u);
+  // usable (floor-log2) never exceeds the information-theoretic capacity.
+  EXPECT_LE(static_cast<double>(bits),
+            total_capacity_bits(f.locs) + 1e-9);
+}
+
+TEST(Encoding, BitsRoundTrip) {
+  Fixture f;
+  Rng rng(1);
+  const std::size_t n = usable_bits(f.locs);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<bool> bits(n);
+    for (std::size_t i = 0; i < n; ++i) bits[i] = rng.next_bool();
+    const FingerprintCode code = encode_bits(f.locs, bits);
+    EXPECT_EQ(decode_bits(f.locs, code), bits);
+  }
+  EXPECT_THROW(encode_bits(f.locs, std::vector<bool>(n + 1)), CheckError);
+}
+
+TEST(Encoding, CodeValuesWithinSiteAlphabet) {
+  Fixture f;
+  std::vector<bool> ones(usable_bits(f.locs), true);
+  const FingerprintCode code = encode_bits(f.locs, ones);
+  for (std::size_t l = 0; l < f.locs.size(); ++l) {
+    for (std::size_t s = 0; s < f.locs[l].sites.size(); ++s) {
+      EXPECT_LE(code[l][s], f.locs[l].sites[s].options.size());
+    }
+  }
+}
+
+TEST(Codebook, DistinctCodewords) {
+  Fixture f;
+  const Codebook book(f.locs, 50, 7);
+  EXPECT_EQ(book.num_buyers(), 50u);
+  std::set<FingerprintCode> unique;
+  for (std::size_t b = 0; b < 50; ++b) unique.insert(book.code(b));
+  EXPECT_EQ(unique.size(), 50u);
+}
+
+TEST(Codebook, DeterministicPerSeed) {
+  Fixture f;
+  const Codebook a(f.locs, 8, 42), b(f.locs, 8, 42);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.code(i), b.code(i));
+  }
+}
+
+TEST(Collusion, AgreementSitesAreKept) {
+  Fixture f;
+  const Codebook book(f.locs, 16, 11);
+  Rng rng(2);
+  const std::vector<std::size_t> colluders{1, 4, 9};
+  const FingerprintCode attacked =
+      collude(book, colluders, CollusionStrategy::kRandomObserved, rng);
+  for (std::size_t l = 0; l < attacked.size(); ++l) {
+    for (std::size_t s = 0; s < attacked[l].size(); ++s) {
+      std::set<std::uint8_t> observed;
+      for (std::size_t b : colluders) observed.insert(book.code(b)[l][s]);
+      if (observed.size() == 1) {
+        // Undetectable site: value must be kept verbatim.
+        EXPECT_EQ(attacked[l][s], *observed.begin());
+      } else {
+        // Overwritten with one of the observed values.
+        EXPECT_TRUE(observed.count(attacked[l][s]));
+      }
+    }
+  }
+}
+
+TEST(Collusion, StripZeroesDetectedSites) {
+  Fixture f;
+  const Codebook book(f.locs, 8, 13);
+  Rng rng(3);
+  const std::vector<std::size_t> colluders{0, 7};
+  const FingerprintCode attacked =
+      collude(book, colluders, CollusionStrategy::kStrip, rng);
+  for (std::size_t l = 0; l < attacked.size(); ++l) {
+    for (std::size_t s = 0; s < attacked[l].size(); ++s) {
+      if (book.code(0)[l][s] != book.code(7)[l][s]) {
+        EXPECT_EQ(attacked[l][s], 0);
+      }
+    }
+  }
+}
+
+TEST(Trace, SingleLeakIsPerfectlyIdentified) {
+  Fixture f;
+  const Codebook book(f.locs, 24, 5);
+  // A non-colluding "leak": the copy is exactly buyer 17's code.
+  const TraceResult tr = trace(book, book.code(17));
+  EXPECT_EQ(tr.ranked[0], 17u);
+  EXPECT_DOUBLE_EQ(tr.scores[0], 1.0);
+  EXPECT_LT(tr.scores[1], 1.0);
+}
+
+TEST(Trace, ColludersOutrankInnocents) {
+  Fixture f;
+  const Codebook book(f.locs, 24, 19);
+  Rng rng(23);
+  const std::vector<std::size_t> colluders{2, 13};
+  const FingerprintCode attacked =
+      collude(book, colluders, CollusionStrategy::kRandomObserved, rng);
+  const TraceResult tr = trace(book, attacked);
+  // Both colluders in the top 2.
+  const std::set<std::size_t> top{tr.ranked[0], tr.ranked[1]};
+  EXPECT_TRUE(top.count(2));
+  EXPECT_TRUE(top.count(13));
+}
+
+TEST(Trace, ScoresSortedDescending) {
+  Fixture f;
+  const Codebook book(f.locs, 10, 29);
+  const TraceResult tr = trace(book, book.code(3));
+  for (std::size_t i = 1; i < tr.scores.size(); ++i) {
+    EXPECT_GE(tr.scores[i - 1], tr.scores[i]);
+  }
+}
+
+}  // namespace
+}  // namespace odcfp

@@ -1,0 +1,91 @@
+// Property tests for cone queries and netlist global invariants, swept
+// over the benchmark circuits.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "benchgen/benchmarks.hpp"
+#include "netlist/cones.hpp"
+
+namespace odcfp {
+namespace {
+
+class ConesPropertyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ConesPropertyTest, MffcDefinitionHolds) {
+  const Netlist nl = make_benchmark(GetParam());
+  // For a sample of gates: every non-root member of mffc(g) has all its
+  // fanouts inside the cone, and no member output is a primary output.
+  std::unordered_set<NetId> po_nets;
+  for (const OutputPort& p : nl.outputs()) po_nets.insert(p.net);
+
+  const auto order = nl.topo_order();
+  for (std::size_t i = 0; i < order.size(); i += 7) {
+    const GateId root = order[i];
+    const auto cone = mffc(nl, root);
+    std::unordered_set<GateId> inside(cone.begin(), cone.end());
+    ASSERT_TRUE(inside.count(root));
+    for (GateId g : cone) {
+      if (g == root) continue;
+      EXPECT_FALSE(po_nets.count(nl.gate(g).output))
+          << "PO inside MFFC of " << nl.gate(root).name;
+      for (const FanoutRef& ref : nl.net(nl.gate(g).output).fanouts) {
+        EXPECT_TRUE(inside.count(ref.gate))
+            << nl.gate(g).name << " escapes the MFFC of "
+            << nl.gate(root).name;
+      }
+    }
+  }
+}
+
+TEST_P(ConesPropertyTest, TfiTfoAreConsistent) {
+  const Netlist nl = make_benchmark(GetParam());
+  // g in TFO(net) iff driver(net) in TFI(g.output) for sampled pairs.
+  const auto order = nl.topo_order();
+  for (std::size_t i = 0; i < order.size(); i += 31) {
+    const GateId g = order[i];
+    const NetId out = nl.gate(g).output;
+    const auto tfi = transitive_fanin(nl, out);
+    for (GateId up : tfi) {
+      if (up == g) continue;
+      const auto tfo = transitive_fanout(nl, nl.gate(up).output);
+      EXPECT_NE(std::find(tfo.begin(), tfo.end(), g), tfo.end())
+          << nl.gate(up).name << " -> " << nl.gate(g).name;
+    }
+  }
+}
+
+TEST_P(ConesPropertyTest, TopoOrderIsDeterministicAndValid) {
+  const Netlist nl = make_benchmark(GetParam());
+  const auto a = nl.topo_order();
+  const auto b = nl.topo_order();
+  EXPECT_EQ(a, b);
+  // Every gate appears after all its fanin drivers.
+  std::vector<std::size_t> pos(nl.num_gates(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) pos[a[i]] = i;
+  for (GateId g : a) {
+    for (NetId in : nl.gate(g).fanins) {
+      const GateId d = nl.net(in).driver;
+      if (d != kInvalidGate) {
+        EXPECT_LT(pos[d], pos[g]);
+      }
+    }
+  }
+  // Levels are consistent with the order.
+  const auto levels = nl.gate_levels();
+  for (GateId g : a) {
+    for (NetId in : nl.gate(g).fanins) {
+      const GateId d = nl.net(in).driver;
+      if (d != kInvalidGate) {
+        EXPECT_LT(levels[d], levels[g]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, ConesPropertyTest,
+                         ::testing::Values("c17", "c432", "c880", "c1908",
+                                           "vda"));
+
+}  // namespace
+}  // namespace odcfp

@@ -1,0 +1,60 @@
+#include "netlist/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/benchmarks.hpp"
+
+namespace odcfp {
+namespace {
+
+TEST(Dot, EmitsWellFormedGraph) {
+  const Netlist nl = make_benchmark("c17");
+  const std::string dot = to_dot_string(nl);
+  EXPECT_NE(dot.find("digraph \"c17\""), std::string::npos);
+  // One node per gate and PI marker nodes.
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    EXPECT_NE(dot.find("\"" + nl.gate(g).name + "\""), std::string::npos);
+  }
+  EXPECT_NE(dot.find("pi_1"), std::string::npos);
+  EXPECT_NE(dot.find("po_22"), std::string::npos);
+  // Balanced braces, ends with }\n.
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(Dot, GateAttributesApplied) {
+  const Netlist nl = make_benchmark("c17");
+  DotOptions opts;
+  const std::string first = nl.gate(nl.topo_order()[0]).name;
+  opts.gate_attributes[first] = "fillcolor=red,style=filled";
+  const std::string dot = to_dot_string(nl, opts);
+  EXPECT_NE(dot.find("fillcolor=red"), std::string::npos);
+}
+
+TEST(Dot, EscapesSpecialCharacters) {
+  Netlist nl(&default_cell_library(), "m\"odel");
+  const NetId a = nl.add_input("a[0]");
+  const GateId g = nl.add_gate_kind(CellKind::kInv, {a}, "g\"1");
+  nl.add_output(nl.gate(g).output, "f");
+  const std::string dot = to_dot_string(nl);
+  EXPECT_NE(dot.find("\\\""), std::string::npos);
+}
+
+TEST(Dot, EdgeCountMatchesPins) {
+  const Netlist nl = make_benchmark("c432");
+  const std::string dot = to_dot_string(nl);
+  std::size_t edges = 0;
+  for (std::size_t pos = dot.find(" -> "); pos != std::string::npos;
+       pos = dot.find(" -> ", pos + 1)) {
+    ++edges;
+  }
+  std::size_t pins = 0;
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    if (!nl.gate(g).is_dead()) pins += nl.gate(g).fanins.size();
+  }
+  EXPECT_EQ(edges, pins + nl.outputs().size());
+}
+
+}  // namespace
+}  // namespace odcfp

@@ -1,0 +1,149 @@
+#include "fingerprint/ecc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/benchmarks.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace odcfp {
+namespace {
+
+TEST(Secded, CodedBitsFormula) {
+  EXPECT_EQ(secded_coded_bits(0), 0u);
+  EXPECT_EQ(secded_coded_bits(1), 4u);    // 1 data + 2 parity + 1 overall
+  EXPECT_EQ(secded_coded_bits(4), 8u);    // Hamming(7,4) + overall
+  EXPECT_EQ(secded_coded_bits(11), 16u);  // Hamming(15,11) + overall
+  EXPECT_EQ(secded_max_data_bits(8), 4u);
+  EXPECT_EQ(secded_max_data_bits(16), 11u);
+  EXPECT_EQ(secded_max_data_bits(3), 0u);
+}
+
+TEST(Secded, RoundTripNoErrors) {
+  Rng rng(1);
+  for (std::size_t k : {1u, 4u, 7u, 11u, 20u, 33u}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<bool> data(k);
+      for (std::size_t i = 0; i < k; ++i) data[i] = rng.next_bool();
+      const auto coded = secded_encode(data);
+      ASSERT_EQ(coded.size(), secded_coded_bits(k));
+      bool corrected = true;
+      const auto decoded = secded_decode(coded, k, &corrected);
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_FALSE(corrected);
+      EXPECT_EQ(*decoded, data);
+    }
+  }
+}
+
+TEST(Secded, CorrectsEverySingleBitError) {
+  Rng rng(2);
+  for (std::size_t k : {4u, 11u, 26u}) {
+    std::vector<bool> data(k);
+    for (std::size_t i = 0; i < k; ++i) data[i] = rng.next_bool();
+    const auto coded = secded_encode(data);
+    for (std::size_t flip = 0; flip < coded.size(); ++flip) {
+      auto damaged = coded;
+      damaged[flip] = !damaged[flip];
+      bool corrected = false;
+      const auto decoded = secded_decode(damaged, k, &corrected);
+      ASSERT_TRUE(decoded.has_value()) << "k=" << k << " flip=" << flip;
+      EXPECT_EQ(*decoded, data) << "k=" << k << " flip=" << flip;
+    }
+  }
+}
+
+TEST(Secded, DetectsDoubleBitErrors) {
+  Rng rng(3);
+  const std::size_t k = 11;
+  std::vector<bool> data(k);
+  for (std::size_t i = 0; i < k; ++i) data[i] = rng.next_bool();
+  const auto coded = secded_encode(data);
+  // Flipping any two distinct non-extended positions must be detected OR
+  // (when one of them is the extended bit) corrected.
+  int detected = 0, total = 0;
+  for (std::size_t i = 0; i + 1 < coded.size() - 1; ++i) {
+    for (std::size_t j = i + 1; j < coded.size() - 1; ++j) {
+      auto damaged = coded;
+      damaged[i] = !damaged[i];
+      damaged[j] = !damaged[j];
+      if (!secded_decode(damaged, k).has_value()) ++detected;
+      ++total;
+    }
+  }
+  EXPECT_EQ(detected, total);
+}
+
+struct Fixture {
+  Netlist golden = make_benchmark("c880");
+  std::vector<FingerprintLocation> locs = find_locations(golden);
+};
+
+TEST(Ecc, PayloadRoundTrip) {
+  Fixture f;
+  const EccParams params{3};
+  const std::size_t k = ecc_payload_bits(f.locs, params);
+  ASSERT_GT(k, 4u);
+  Rng rng(5);
+  std::vector<bool> payload(k);
+  for (std::size_t i = 0; i < k; ++i) payload[i] = rng.next_bool();
+  const FingerprintCode code = ecc_encode(f.locs, payload, params);
+  const auto decoded = ecc_decode(f.locs, code, params);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->payload, payload);
+  EXPECT_EQ(decoded->repetition_corrections, 0u);
+  EXPECT_FALSE(decoded->hamming_corrected);
+}
+
+TEST(Ecc, SurvivesScatteredTampering) {
+  // Tamper with a modest number of individual sites (an adversary
+  // flipping modifications it guessed): the repetition + SECDED layers
+  // must still recover the payload.
+  Fixture f;
+  const EccParams params{5};
+  const std::size_t k = ecc_payload_bits(f.locs, params);
+  ASSERT_GT(k, 0u);
+  Rng rng(7);
+  std::vector<bool> payload(k);
+  for (std::size_t i = 0; i < k; ++i) payload[i] = rng.next_bool();
+  const FingerprintCode clean = ecc_encode(f.locs, payload, params);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    FingerprintCode tampered = clean;
+    // Flip 4 random sites to other valid option values.
+    for (int t = 0; t < 4; ++t) {
+      const std::size_t l = static_cast<std::size_t>(
+          rng.next_below(tampered.size()));
+      if (tampered[l].empty()) continue;
+      const std::size_t s = static_cast<std::size_t>(
+          rng.next_below(tampered[l].size()));
+      // Stay within the encodable alphabet.
+      std::size_t radix = 1 + f.locs[l].sites[s].options.size();
+      std::size_t pow2 = 1;
+      while (pow2 * 2 <= radix) pow2 *= 2;
+      tampered[l][s] = static_cast<std::uint8_t>(
+          (tampered[l][s] + 1) % pow2);
+    }
+    const auto decoded = ecc_decode(f.locs, tampered, params);
+    ASSERT_TRUE(decoded.has_value()) << "trial " << trial;
+    EXPECT_EQ(decoded->payload, payload) << "trial " << trial;
+  }
+}
+
+TEST(Ecc, HigherRepetitionLowersPayload) {
+  Fixture f;
+  EXPECT_GT(ecc_payload_bits(f.locs, EccParams{1}),
+            ecc_payload_bits(f.locs, EccParams{3}));
+  EXPECT_GT(ecc_payload_bits(f.locs, EccParams{3}),
+            ecc_payload_bits(f.locs, EccParams{7}));
+}
+
+TEST(Ecc, RejectsWrongPayloadSize) {
+  Fixture f;
+  const std::size_t k = ecc_payload_bits(f.locs, EccParams{3});
+  EXPECT_THROW(ecc_encode(f.locs, std::vector<bool>(k + 1), EccParams{3}),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace odcfp

@@ -1,0 +1,116 @@
+#include "fingerprint/fuse_flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/benchmarks.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "equiv/cec.hpp"
+#include "io/verilog.hpp"
+
+namespace odcfp {
+namespace {
+
+struct Fixture {
+  Netlist golden = make_benchmark("c432");
+  std::vector<FingerprintLocation> locs = find_locations(golden);
+};
+
+TEST(FuseFlow, IntactMasterIsEquivalentToGolden) {
+  Fixture f;
+  const FusedMaster master = build_fused_master(f.golden, f.locs);
+  EXPECT_EQ(master.num_fuses(), total_sites(f.locs));
+  EXPECT_TRUE(random_sim_equal(f.golden, master.netlist, 128, 3));
+  // All fuses read as 0 before programming.
+  for (bool b : read_fuses(master)) EXPECT_FALSE(b);
+}
+
+TEST(FuseFlow, EveryProgrammingIsFunctionallyInvisible) {
+  // This is the point of the scheme: any fuse pattern yields the golden
+  // function — the fingerprint lives purely in the fuse states.
+  Fixture f;
+  FusedMaster master = build_fused_master(f.golden, f.locs);
+  Rng rng(9);
+  for (int trial = 0; trial < 5; ++trial) {
+    FuseVector bits(master.num_fuses());
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      bits[i] = rng.next_bool();
+    }
+    program_fuses(master, bits);
+    EXPECT_EQ(read_fuses(master), bits) << trial;
+    ASSERT_TRUE(random_sim_equal(f.golden, master.netlist, 64,
+                                 100 + trial))
+        << trial;
+  }
+}
+
+TEST(FuseFlow, AllOnesEqualsSatProvenEquivalence) {
+  // Blow every fuse and prove equivalence outright.
+  Fixture f;
+  FusedMaster master = build_fused_master(f.golden, f.locs);
+  program_fuses(master, FuseVector(master.num_fuses(), true));
+  const CecResult r = check_equivalence_sat(f.golden, master.netlist);
+  EXPECT_EQ(r.status, CecResult::Status::kEquivalent);
+}
+
+TEST(FuseFlow, FabricatedCopiesAreIdenticalPreProgramming) {
+  // "every IC fabricated is identical" — the master build is
+  // deterministic, so two builds serialize identically.
+  Fixture f;
+  const FusedMaster m1 = build_fused_master(f.golden, f.locs);
+  const FusedMaster m2 = build_fused_master(f.golden, f.locs);
+  EXPECT_EQ(to_verilog_string(m1.netlist), to_verilog_string(m2.netlist));
+}
+
+TEST(FuseFlow, ReprogrammingOverwrites) {
+  Fixture f;
+  FusedMaster master = build_fused_master(f.golden, f.locs);
+  FuseVector a(master.num_fuses(), false);
+  a[0] = true;
+  program_fuses(master, a);
+  EXPECT_EQ(read_fuses(master), a);
+  FuseVector b(master.num_fuses(), true);
+  b[0] = false;
+  program_fuses(master, b);
+  EXPECT_EQ(read_fuses(master), b);
+}
+
+TEST(FuseFlow, FusesSurviveVerilogRoundTrip) {
+  Fixture f;
+  FusedMaster master = build_fused_master(f.golden, f.locs);
+  Rng rng(17);
+  FuseVector bits(master.num_fuses());
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = rng.next_bool();
+  program_fuses(master, bits);
+  const Netlist copy = read_verilog_string(
+      to_verilog_string(master.netlist), f.golden.library());
+  EXPECT_EQ(read_fuses_from_copy(copy, master), bits);
+  EXPECT_TRUE(random_sim_equal(f.golden, copy, 64, 5));
+}
+
+TEST(FuseFlow, WrongSizeVectorRejected) {
+  Fixture f;
+  FusedMaster master = build_fused_master(f.golden, f.locs);
+  EXPECT_THROW(program_fuses(master,
+                             FuseVector(master.num_fuses() + 1, false)),
+               CheckError);
+}
+
+TEST(FuseFlow, WorksAcrossBenchmarks) {
+  for (const char* name : {"c880", "c1908", "vda"}) {
+    const Netlist golden = make_benchmark(name);
+    const auto locs = find_locations(golden);
+    FusedMaster master = build_fused_master(golden, locs);
+    ASSERT_TRUE(random_sim_equal(golden, master.netlist, 32, 7)) << name;
+    Rng rng(23);
+    FuseVector bits(master.num_fuses());
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      bits[i] = rng.next_bool();
+    }
+    program_fuses(master, bits);
+    ASSERT_TRUE(random_sim_equal(golden, master.netlist, 32, 8)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace odcfp

@@ -1,0 +1,154 @@
+// Fuzz-style property testing of the full fingerprinting pipeline on
+// randomly generated netlists: for hundreds of random circuits, every
+// embedded random code must (a) preserve the function — proven
+// exhaustively, the circuits are kept at <= 12 PIs — (b) round-trip
+// through extraction, and (c) undo back to a byte-identical netlist.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "equiv/cec.hpp"
+#include "fingerprint/embedder.hpp"
+#include "io/verilog.hpp"
+#include "netlist/netlist.hpp"
+
+namespace odcfp {
+namespace {
+
+/// Random DAG netlist over the default library. All gates are kept alive
+/// by collecting unused signals into the outputs.
+Netlist random_netlist(Rng& rng, int num_pis, int num_gates) {
+  Netlist nl(&default_cell_library(), "fuzz");
+  std::vector<NetId> pool;
+  for (int i = 0; i < num_pis; ++i) {
+    pool.push_back(nl.add_input("i" + std::to_string(i)));
+  }
+  const CellKind kinds[] = {CellKind::kAnd,  CellKind::kOr,
+                            CellKind::kNand, CellKind::kNor,
+                            CellKind::kInv,  CellKind::kXor,
+                            CellKind::kBuf};
+  std::vector<std::size_t> uses(pool.size(), 0);
+  for (int g = 0; g < num_gates; ++g) {
+    const CellKind kind = kinds[rng.next_below(7)];
+    int arity;
+    switch (kind) {
+      case CellKind::kInv:
+      case CellKind::kBuf: arity = 1; break;
+      case CellKind::kXor: arity = 2; break;
+      default: arity = static_cast<int>(rng.next_in(2, 4)); break;
+    }
+    std::vector<NetId> fanins;
+    for (int i = 0; i < arity; ++i) {
+      // Bias toward recent, less-used signals (creates single-fanout
+      // cones — fingerprintable structure).
+      std::size_t idx = pool.size() - 1 -
+                        static_cast<std::size_t>(rng.next_below(
+                            std::min<std::size_t>(pool.size(), 8)));
+      if (rng.next_bool(0.3)) {
+        idx = static_cast<std::size_t>(rng.next_below(pool.size()));
+      }
+      if (std::find(fanins.begin(), fanins.end(), pool[idx]) !=
+          fanins.end()) {
+        idx = static_cast<std::size_t>(rng.next_below(pool.size()));
+      }
+      fanins.push_back(pool[idx]);
+      uses[idx]++;
+    }
+    const GateId gate = nl.add_gate_kind(kind, fanins);
+    pool.push_back(nl.gate(gate).output);
+    uses.push_back(0);
+  }
+  int out_count = 0;
+  for (std::size_t i = static_cast<std::size_t>(num_pis);
+       i < pool.size(); ++i) {
+    if (uses[i] == 0) {
+      nl.add_output(pool[i], "o" + std::to_string(out_count++));
+    }
+  }
+  if (out_count == 0) nl.add_output(pool.back(), "o0");
+  nl.validate();
+  return nl;
+}
+
+class FuzzPipelineTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzPipelineTest, RandomCircuitsSurviveTheFullPipeline) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6364136223846793005ull +
+          1442695040888963407ull);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int num_pis = static_cast<int>(rng.next_in(4, 12));
+    const int num_gates = static_cast<int>(rng.next_in(10, 60));
+    const Netlist golden = random_netlist(rng, num_pis, num_gates);
+
+    LocationFinderOptions lopts;
+    lopts.max_sites_per_location =
+        static_cast<int>(rng.next_in(1, 4));
+    lopts.allow_xor_sites = rng.next_bool(0.3);
+    const auto locs = find_locations(golden, lopts);
+    if (locs.empty()) continue;
+
+    Netlist work = golden;
+    const std::string before = to_verilog_string(work);
+    FingerprintEmbedder e(work, locs);
+
+    // Random code.
+    FingerprintCode code = blank_code(locs);
+    for (std::size_t l = 0; l < locs.size(); ++l) {
+      for (std::size_t s = 0; s < locs[l].sites.size(); ++s) {
+        code[l][s] = static_cast<std::uint8_t>(
+            rng.next_below(locs[l].sites[s].options.size() + 1));
+      }
+    }
+    e.apply_code(code);
+    work.validate(/*allow_dangling=*/true);
+
+    // (a) exhaustive functional equivalence.
+    ASSERT_TRUE(exhaustive_equal(golden, work))
+        << "seed " << GetParam() << " trial " << trial << "\n"
+        << before << "\nvs\n" << to_verilog_string(work);
+
+    // (b) extraction round-trip.
+    ASSERT_EQ(extract_code(work, golden, locs), code)
+        << "seed " << GetParam() << " trial " << trial;
+
+    // (c) removal restores the exact structure, in random order.
+    std::vector<std::size_t> order(e.num_sites());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.shuffle(order);
+    for (std::size_t f : order) {
+      const auto ref = e.site_ref(f);
+      e.remove(ref.loc, ref.site);
+    }
+    ASSERT_EQ(to_verilog_string(work), before)
+        << "seed " << GetParam() << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipelineTest, ::testing::Range(0, 8));
+
+TEST(NetlistSlotReuse, ChurnDoesNotGrowArrays) {
+  Rng rng(5);
+  Netlist golden = random_netlist(rng, 8, 40);
+  const auto locs = find_locations(golden);
+  if (locs.empty()) GTEST_SKIP();
+  FingerprintEmbedder e(golden, locs);
+  e.apply_all_generic();
+  const std::size_t gates_after_embed = golden.num_gates();
+  const std::size_t nets_after_embed = golden.num_nets();
+  // Thousands of remove/re-apply cycles must reuse tombstoned slots.
+  for (int cycle = 0; cycle < 2000; ++cycle) {
+    const auto ref = e.site_ref(
+        static_cast<std::size_t>(rng.next_below(e.num_sites())));
+    const int option = e.applied_option(ref.loc, ref.site);
+    if (option == 0) {
+      e.apply(ref.loc, ref.site, 1);
+    } else {
+      e.remove(ref.loc, ref.site);
+    }
+  }
+  EXPECT_LE(golden.num_gates(), gates_after_embed + 4);
+  EXPECT_LE(golden.num_nets(), nets_after_embed + 8);
+  golden.validate(/*allow_dangling=*/true);
+}
+
+}  // namespace
+}  // namespace odcfp

@@ -1,0 +1,144 @@
+#include "fingerprint/heuristics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/benchmarks.hpp"
+#include "equiv/cec.hpp"
+
+namespace odcfp {
+namespace {
+
+struct Fixture {
+  Netlist golden;
+  StaticTimingAnalyzer sta;
+  PowerAnalyzer power;
+  Baseline base;
+  std::vector<FingerprintLocation> locs;
+
+  explicit Fixture(const char* name)
+      : golden(make_benchmark(name)),
+        base(Baseline::measure(golden, sta, power)),
+        locs(find_locations(golden)) {}
+};
+
+TEST(Baseline, MatchesDirectMeasurements) {
+  Fixture f("c432");
+  EXPECT_DOUBLE_EQ(f.base.area, f.golden.total_area());
+  EXPECT_DOUBLE_EQ(f.base.delay, f.sta.critical_delay(f.golden));
+  EXPECT_DOUBLE_EQ(f.base.power,
+                   f.power.analyze(f.golden).dynamic_power);
+  const Overheads none =
+      Overheads::measure(f.golden, f.base, f.sta, f.power);
+  EXPECT_NEAR(none.area_ratio, 0, 1e-12);
+  EXPECT_NEAR(none.delay_ratio, 0, 1e-12);
+  EXPECT_NEAR(none.power_ratio, 0, 1e-12);
+}
+
+TEST(Reactive, MeetsDelayBudget) {
+  Fixture f("c432");
+  for (double budget : {0.10, 0.05, 0.01}) {
+    Netlist work = f.golden;
+    FingerprintEmbedder e(work, f.locs);
+    ReactiveOptions opt;
+    opt.max_delay_overhead = budget;
+    opt.restarts = 2;
+    const HeuristicOutcome out =
+        reactive_reduce(e, f.base, f.sta, f.power, opt);
+    EXPECT_LE(out.overheads.delay_ratio, budget + 1e-9)
+        << "budget " << budget;
+    EXPECT_GT(out.sites_kept, 0u) << "budget " << budget;
+    EXPECT_LT(out.sites_kept, out.sites_total) << "budget " << budget;
+    // The netlist still computes the original function.
+    EXPECT_TRUE(random_sim_equal(f.golden, work, 16, 3));
+    // Outcome bookkeeping is consistent.
+    std::size_t nonzero = 0;
+    for (const auto& per_loc : out.code) {
+      for (auto v : per_loc) nonzero += (v != 0);
+    }
+    EXPECT_EQ(nonzero, out.sites_kept);
+    EXPECT_LE(out.bits_kept, out.bits_total + 1e-9);
+  }
+}
+
+TEST(Reactive, TighterBudgetKeepsFewerBits) {
+  Fixture f("c1908");
+  double prev_bits = 1e100;
+  for (double budget : {0.20, 0.05, 0.01}) {
+    Netlist work = f.golden;
+    FingerprintEmbedder e(work, f.locs);
+    ReactiveOptions opt;
+    opt.max_delay_overhead = budget;
+    opt.restarts = 1;
+    const HeuristicOutcome out =
+        reactive_reduce(e, f.base, f.sta, f.power, opt);
+    EXPECT_LE(out.bits_kept, prev_bits + 1e-9) << budget;
+    prev_bits = out.bits_kept;
+  }
+}
+
+TEST(Proactive, MeetsDelayBudgetAndKeepsSites) {
+  Fixture f("c432");
+  for (double budget : {0.10, 0.01}) {
+    Netlist work = f.golden;
+    FingerprintEmbedder e(work, f.locs);
+    ProactiveOptions opt;
+    opt.max_delay_overhead = budget;
+    const HeuristicOutcome out =
+        proactive_insert(e, f.base, f.sta, f.power, opt);
+    EXPECT_LE(out.overheads.delay_ratio, budget + 1e-9);
+    EXPECT_GT(out.sites_kept, 0u);
+    EXPECT_TRUE(random_sim_equal(f.golden, work, 16, 7));
+  }
+}
+
+TEST(Heuristics, LooseBudgetKeepsEverything) {
+  Fixture f("c880");
+  Netlist work = f.golden;
+  FingerprintEmbedder e(work, f.locs);
+  ReactiveOptions opt;
+  opt.max_delay_overhead = 10.0;  // 1000%: nothing needs removing
+  const HeuristicOutcome out =
+      reactive_reduce(e, f.base, f.sta, f.power, opt);
+  EXPECT_EQ(out.sites_kept, out.sites_total);
+  EXPECT_NEAR(out.fingerprint_reduction(), 0.0, 1e-12);
+}
+
+TEST(Heuristics, OutcomeCodeReproducesNetlistState) {
+  Fixture f("c880");
+  Netlist work = f.golden;
+  FingerprintEmbedder e(work, f.locs);
+  ReactiveOptions opt;
+  opt.max_delay_overhead = 0.05;
+  opt.restarts = 1;
+  const HeuristicOutcome out =
+      reactive_reduce(e, f.base, f.sta, f.power, opt);
+  // Applying the outcome code to a fresh copy gives the same structure.
+  Netlist work2 = f.golden;
+  FingerprintEmbedder e2(work2, f.locs);
+  e2.apply_code(out.code);
+  EXPECT_TRUE(random_sim_equal(work, work2, 16, 9));
+  EXPECT_NEAR(f.sta.critical_delay(work), f.sta.critical_delay(work2),
+              1e-9);
+}
+
+TEST(Heuristics, ProactivePrefersCheapSources) {
+  // With prefer_reroute the proactive heuristic should retain at least as
+  // many bits as without, at a tight budget.
+  Fixture f("c3540");
+  ProactiveOptions cheap;
+  cheap.max_delay_overhead = 0.02;
+  cheap.prefer_reroute = true;
+  ProactiveOptions plain = cheap;
+  plain.prefer_reroute = false;
+
+  Netlist w1 = f.golden;
+  FingerprintEmbedder e1(w1, f.locs);
+  const auto r1 = proactive_insert(e1, f.base, f.sta, f.power, cheap);
+  Netlist w2 = f.golden;
+  FingerprintEmbedder e2(w2, f.locs);
+  const auto r2 = proactive_insert(e2, f.base, f.sta, f.power, plain);
+  EXPECT_GE(r1.sites_kept + 5, r2.sites_kept);  // allow small noise
+}
+
+}  // namespace
+}  // namespace odcfp

@@ -1,0 +1,93 @@
+#include "synth/isop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "library/cell_library.hpp"
+
+namespace odcfp {
+namespace {
+
+TEST(Isop, Constants) {
+  EXPECT_TRUE(isop_cover(TruthTable::constant(3, false)).empty());
+  const auto ones = isop_cover(TruthTable::constant(3, true));
+  ASSERT_EQ(ones.size(), 1u);
+  EXPECT_EQ(ones[0].mask, 0);
+}
+
+TEST(Isop, SingleLiteral) {
+  // f = x1 over 3 inputs.
+  TruthTable tt(3, 0);
+  std::uint64_t bits = 0;
+  for (unsigned p = 0; p < 8; ++p) {
+    if ((p >> 1) & 1) bits |= 1ull << p;
+  }
+  tt = TruthTable(3, bits);
+  const auto cover = isop_cover(tt);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].mask, 0b010);
+  EXPECT_EQ(cover[0].values & cover[0].mask, 0b010);
+}
+
+TEST(Isop, CoverEqualsFunctionForAllCells) {
+  const CellLibrary& lib = default_cell_library();
+  for (CellId c = 0; c < lib.size(); ++c) {
+    const TruthTable& tt = lib.cell(c).function;
+    const auto cover = isop_cover(tt);
+    EXPECT_EQ(cover_to_tt(cover, tt.num_inputs()).bits(), tt.bits())
+        << lib.cell(c).name;
+  }
+}
+
+TEST(Isop, AndOrAreMinimal) {
+  EXPECT_EQ(isop_cover(TruthTable::and_n(4)).size(), 1u);
+  EXPECT_EQ(isop_cover(TruthTable::or_n(4)).size(), 4u);
+  // XOR has no don't cares: 2^(n-1) cubes required.
+  EXPECT_EQ(isop_cover(TruthTable::xor_n(3)).size(), 4u);
+}
+
+class IsopRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsopRandomTest, CoverExactAndIrredundant) {
+  const int n = GetParam();
+  Rng rng(1000 + static_cast<std::uint64_t>(n));
+  for (int trial = 0; trial < 200; ++trial) {
+    const TruthTable tt(
+        n, rng.next_u64() &
+               (n == 6 ? ~0ull : ((1ull << (1u << n)) - 1)));
+    const auto cover = isop_cover(tt);
+    // Exactness.
+    ASSERT_EQ(cover_to_tt(cover, n).bits(), tt.bits())
+        << "n=" << n << " trial=" << trial;
+    // Irredundancy: removing any cube loses a minterm.
+    for (std::size_t i = 0; i < cover.size(); ++i) {
+      std::vector<IsopCube> reduced = cover;
+      reduced.erase(reduced.begin() + static_cast<long>(i));
+      EXPECT_NE(cover_to_tt(reduced, n).bits(), tt.bits())
+          << "n=" << n << " trial=" << trial << " cube " << i
+          << " is redundant";
+    }
+    // Every cube is an implicant (lies within the on-set).
+    for (const IsopCube& cube : cover) {
+      const TruthTable one = cover_to_tt({cube}, n);
+      EXPECT_EQ(one.bits() & ~tt.bits(), 0ull)
+          << "cube covers off-set minterms";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Arity, IsopRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Isop, BeatsMintermCoverOnDenseFunctions) {
+  // A pseudo-random dense 6-input function: ISOP must be much smaller
+  // than the number of minterms.
+  Rng rng(77);
+  const TruthTable tt(6, rng.next_u64());
+  const auto cover = isop_cover(tt);
+  const int minterms = __builtin_popcountll(tt.bits());
+  EXPECT_LT(static_cast<int>(cover.size()), minterms);
+}
+
+}  // namespace
+}  // namespace odcfp

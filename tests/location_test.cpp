@@ -1,0 +1,219 @@
+#include "fingerprint/location.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "benchgen/benchmarks.hpp"
+#include "common/check.hpp"
+#include "netlist/cones.hpp"
+
+namespace odcfp {
+namespace {
+
+/// The paper's Fig. 1 circuit: F = (A & B) & (C | D).
+struct Fig1 {
+  Netlist nl{&default_cell_library(), "fig1"};
+  NetId a, b, c, d;
+  GateId gx, gy, gf;
+
+  Fig1() {
+    a = nl.add_input("A");
+    b = nl.add_input("B");
+    c = nl.add_input("C");
+    d = nl.add_input("D");
+    gx = nl.add_gate_kind(CellKind::kAnd, {a, b}, "gx");
+    gy = nl.add_gate_kind(CellKind::kOr, {c, d}, "gy");
+    gf = nl.add_gate_kind(CellKind::kAnd,
+                          {nl.gate(gx).output, nl.gate(gy).output}, "gf");
+    nl.add_output(nl.gate(gf).output, "F");
+  }
+};
+
+TEST(FindLocations, Fig1HasOneLocation) {
+  Fig1 f;
+  const auto locs = find_locations(f.nl);
+  ASSERT_EQ(locs.size(), 1u);
+  const FingerprintLocation& loc = locs[0];
+  EXPECT_EQ(loc.primary, f.gf);
+  // Trigger value 0 (controlling value of AND) on the other pin.
+  EXPECT_EQ(loc.trigger_value, 0);
+  EXPECT_NE(loc.y_pin, loc.trigger_pin);
+  ASSERT_EQ(loc.sites.size(), 1u);
+  // The site is the driver of the Y pin.
+  EXPECT_EQ(f.nl.gate(loc.sites[0].gate).output, loc.y_net);
+  // OR-driver trigger has no forcing single inputs -> only the generic
+  // option (1 bit).
+  EXPECT_EQ(loc.sites[0].options.size(), 1u);
+  EXPECT_NEAR(loc.capacity_bits(), 1.0, 1e-12);
+}
+
+TEST(FindLocations, MultiFanoutYDisqualifies) {
+  Fig1 f;
+  // Give gx's output a second fanout: no longer an FFC output.
+  const GateId extra =
+      f.nl.add_gate_kind(CellKind::kInv, {f.nl.gate(f.gx).output});
+  f.nl.add_output(f.nl.gate(extra).output, "G");
+  const auto locs = find_locations(f.nl);
+  // gf can still use the gy side (Y = gy.out, trigger = gx.out).
+  for (const auto& loc : locs) {
+    EXPECT_TRUE(f.nl.has_single_fanout(loc.y_net));
+  }
+}
+
+TEST(FindLocations, XorPrimaryHasNoTrigger) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId c = nl.add_input("c");
+  const GateId g1 = nl.add_gate_kind(CellKind::kAnd, {a, b});
+  const GateId g2 =
+      nl.add_gate_kind(CellKind::kXor, {nl.gate(g1).output, c});
+  nl.add_output(nl.gate(g2).output, "f");
+  EXPECT_TRUE(find_locations(nl).empty());
+}
+
+TEST(FindLocations, PiFaninsDisqualify) {
+  // Primary whose candidate Y pins are all PIs -> criterion 1 fails.
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const GateId g = nl.add_gate_kind(CellKind::kAnd, {a, b});
+  nl.add_output(nl.gate(g).output, "f");
+  EXPECT_TRUE(find_locations(nl).empty());
+}
+
+TEST(FindLocations, RerouteOptionsFollowForcingInputs) {
+  // Y = INV(e); X = AND(a, b) feeding primary AND: X's trigger value is
+  // 0, and each of a=0, b=0 forces X=0 -> n=2 forcing inputs ->
+  // n(n+1)/2 = 3 reroute options + 1 generic.
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId e = nl.add_input("e");
+  const GateId gx = nl.add_gate_kind(CellKind::kAnd, {a, b});
+  const GateId gy = nl.add_gate_kind(CellKind::kInv, {e});
+  const GateId gf = nl.add_gate_kind(
+      CellKind::kAnd, {nl.gate(gy).output, nl.gate(gx).output});
+  nl.add_output(nl.gate(gf).output, "f");
+  const auto locs = find_locations(nl);
+  ASSERT_EQ(locs.size(), 1u);
+  ASSERT_EQ(locs[0].sites.size(), 1u);
+  EXPECT_EQ(locs[0].sites[0].gate, gy);
+  EXPECT_EQ(locs[0].sites[0].options.size(), 4u);
+  EXPECT_NEAR(locs[0].capacity_bits(), std::log2(5.0), 1e-12);
+  // Paper: log2(n(n+1)/2) extra bits available via rerouting.
+  int reroute1 = 0, reroute2 = 0;
+  for (const auto& o : locs[0].sites[0].options) {
+    if (o.kind == ModOption::Kind::kRerouteOne) ++reroute1;
+    if (o.kind == ModOption::Kind::kRerouteTwo) ++reroute2;
+  }
+  EXPECT_EQ(reroute1, 2);
+  EXPECT_EQ(reroute2, 1);
+}
+
+TEST(FindLocations, DisableRerouteDropsOptions) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId e = nl.add_input("e");
+  const GateId gx = nl.add_gate_kind(CellKind::kAnd, {a, b});
+  const GateId gy = nl.add_gate_kind(CellKind::kInv, {e});
+  const GateId gf = nl.add_gate_kind(
+      CellKind::kAnd, {nl.gate(gy).output, nl.gate(gx).output});
+  nl.add_output(nl.gate(gf).output, "f");
+  LocationFinderOptions opts;
+  opts.enable_reroute = false;
+  const auto locs = find_locations(nl, opts);
+  ASSERT_EQ(locs.size(), 1u);
+  EXPECT_EQ(locs[0].sites[0].options.size(), 1u);
+}
+
+class LocationInvariantsTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LocationInvariantsTest, StructuralInvariantsHold) {
+  const Netlist nl = make_benchmark(GetParam());
+  const auto locs = find_locations(nl);
+  EXPECT_FALSE(locs.empty());
+
+  std::unordered_set<GateId> primaries, sites;
+  std::unordered_set<NetId> y_nets, tapped;
+  for (const auto& loc : locs) {
+    // One location per primary gate.
+    EXPECT_TRUE(primaries.insert(loc.primary).second);
+    // Y is a non-PI single-fanout net feeding the primary.
+    EXPECT_FALSE(nl.net(loc.y_net).is_pi);
+    EXPECT_TRUE(nl.has_single_fanout(loc.y_net));
+    EXPECT_EQ(nl.gate(loc.primary).fanins[static_cast<std::size_t>(
+                  loc.y_pin)],
+              loc.y_net);
+    EXPECT_EQ(nl.gate(loc.primary).fanins[static_cast<std::size_t>(
+                  loc.trigger_pin)],
+              loc.trigger_net);
+    // The trigger value really hides Y through the primary cell.
+    const TruthTable& tt = nl.cell_of(loc.primary).function;
+    EXPECT_FALSE(tt.cofactor(loc.trigger_pin, loc.trigger_value != 0)
+                     .depends_on(loc.y_pin));
+    y_nets.insert(loc.y_net);
+    for (const auto& site : loc.sites) {
+      // Sites are unique across locations and live in Y's MFFC.
+      EXPECT_TRUE(sites.insert(site.gate).second);
+      const auto cone = mffc(nl, loc.y_driver);
+      EXPECT_NE(std::find(cone.begin(), cone.end(), site.gate),
+                cone.end());
+      EXPECT_FALSE(site.options.empty());
+      for (const auto& o : site.options) {
+        tapped.insert(o.source);
+        if (o.source2 != kInvalidNet) tapped.insert(o.source2);
+      }
+    }
+    tapped.insert(loc.trigger_net);
+  }
+  // No location's Y net is tapped as a trigger/source anywhere.
+  for (NetId y : y_nets) {
+    EXPECT_EQ(tapped.count(y), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, LocationInvariantsTest,
+                         ::testing::Values("c432", "c499", "c880",
+                                           "c1908", "c3540", "vda",
+                                           "dalu"));
+
+TEST(FindLocations, Deterministic) {
+  const Netlist nl = make_benchmark("c432");
+  const auto a = find_locations(nl);
+  const auto b = find_locations(nl);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].primary, b[i].primary);
+    EXPECT_EQ(a[i].y_net, b[i].y_net);
+    EXPECT_EQ(a[i].trigger_net, b[i].trigger_net);
+    ASSERT_EQ(a[i].sites.size(), b[i].sites.size());
+  }
+}
+
+TEST(FindLocations, MaxSitesCapRespected) {
+  LocationFinderOptions opts;
+  opts.max_sites_per_location = 3;
+  const Netlist nl = make_benchmark("c3540");
+  for (const auto& loc : find_locations(nl, opts)) {
+    EXPECT_LE(loc.sites.size(), 3u);
+  }
+}
+
+TEST(InjectClass, Mapping) {
+  EXPECT_EQ(inject_class_for(CellKind::kAnd), InjectClass::kAndLike);
+  EXPECT_EQ(inject_class_for(CellKind::kNand), InjectClass::kAndLike);
+  EXPECT_EQ(inject_class_for(CellKind::kInv), InjectClass::kAndLike);
+  EXPECT_EQ(inject_class_for(CellKind::kOr), InjectClass::kOrLike);
+  EXPECT_EQ(inject_class_for(CellKind::kNor), InjectClass::kOrLike);
+  EXPECT_EQ(inject_class_for(CellKind::kXor), InjectClass::kXorLike);
+  EXPECT_THROW(inject_class_for(CellKind::kMux), CheckError);
+}
+
+}  // namespace
+}  // namespace odcfp

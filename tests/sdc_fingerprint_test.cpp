@@ -1,0 +1,134 @@
+#include "fingerprint/sdc_fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/benchmarks.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "equiv/cec.hpp"
+#include "io/verilog.hpp"
+
+namespace odcfp {
+namespace {
+
+/// g = OR(t, u) where t = AND(a, b), u = AND(a, !b): t and u can never be
+/// 1 simultaneously, so pattern 11 at the OR is an SDC and OR2 <-> XOR2
+/// are interchangeable there.
+struct OrXorCircuit {
+  Netlist nl{&default_cell_library(), "sdc"};
+  GateId g_or;
+
+  OrXorCircuit() {
+    const NetId a = nl.add_input("a");
+    const NetId b = nl.add_input("b");
+    const GateId inv = nl.add_gate_kind(CellKind::kInv, {b});
+    const GateId t = nl.add_gate_kind(CellKind::kAnd, {a, b});
+    const GateId u =
+        nl.add_gate_kind(CellKind::kAnd, {a, nl.gate(inv).output});
+    g_or = nl.add_gate_kind(CellKind::kOr,
+                            {nl.gate(t).output, nl.gate(u).output});
+    nl.add_output(nl.gate(g_or).output, "f");
+  }
+};
+
+TEST(SdcFingerprint, FindsTheOrXorSwap) {
+  OrXorCircuit c;
+  const auto locs = find_sdc_locations(c.nl);
+  bool found = false;
+  for (const SdcLocation& l : locs) {
+    if (l.gate != c.g_or) continue;
+    found = true;
+    EXPECT_EQ(l.impossible_mask & 0b1000u, 0b1000u);  // pattern 11
+    // XOR2 must be among the alternatives.
+    bool has_xor = false;
+    for (CellId alt : l.alternatives) {
+      if (c.nl.library().cell(alt).kind == CellKind::kXor) has_xor = true;
+    }
+    EXPECT_TRUE(has_xor);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SdcFingerprint, SwapPreservesFunctionExhaustively) {
+  OrXorCircuit c;
+  const Netlist golden = c.nl;
+  auto locs = find_sdc_locations(c.nl);
+  ASSERT_FALSE(locs.empty());
+  SdcEmbedder e(c.nl, locs);
+  for (std::size_t l = 0; l < locs.size(); ++l) {
+    for (int o = 1; o <= static_cast<int>(locs[l].alternatives.size());
+         ++o) {
+      e.apply(l, o);
+      EXPECT_TRUE(exhaustive_equal(golden, c.nl))
+          << "loc " << l << " option " << o;
+      e.remove(l);
+    }
+  }
+  EXPECT_TRUE(exhaustive_equal(golden, c.nl));
+}
+
+TEST(SdcFingerprint, IndependentInputsYieldNoLocations) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const GateId g = nl.add_gate_kind(CellKind::kNand, {a, b});
+  nl.add_output(nl.gate(g).output, "f");
+  EXPECT_TRUE(find_sdc_locations(nl).empty());
+}
+
+class SdcBenchmarkTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SdcBenchmarkTest, CodesRoundTripAndPreserveFunction) {
+  Netlist golden = make_benchmark(GetParam());
+  auto locs = find_sdc_locations(golden);
+  if (locs.empty()) GTEST_SKIP() << "no SDC locations";
+  Netlist work = golden;
+  SdcEmbedder e(work, locs);
+
+  Rng rng(3);
+  std::vector<std::uint8_t> code(locs.size());
+  for (std::size_t i = 0; i < locs.size(); ++i) {
+    code[i] = static_cast<std::uint8_t>(
+        rng.next_below(locs[i].alternatives.size() + 1));
+  }
+  e.apply_code(code);
+  EXPECT_EQ(e.current_code(), code);
+  // Function preserved (the whole point: swaps hide under SDCs).
+  ASSERT_TRUE(random_sim_equal(golden, work, 256, 11));
+  // Structural extraction recovers the code, also through Verilog.
+  EXPECT_EQ(extract_sdc_code(work, golden, locs), code);
+  const Netlist copy =
+      read_verilog_string(to_verilog_string(work), golden.library());
+  EXPECT_EQ(extract_sdc_code(copy, golden, locs), code);
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, SdcBenchmarkTest,
+                         ::testing::Values("c432", "c880", "c3540",
+                                           "vda", "dalu"));
+
+TEST(SdcFingerprint, CapacityAccounting) {
+  OrXorCircuit c;
+  const auto locs = find_sdc_locations(c.nl);
+  double bits = 0;
+  for (const auto& l : locs) {
+    EXPECT_GT(l.capacity_bits(), 0);
+    bits += l.capacity_bits();
+  }
+  EXPECT_DOUBLE_EQ(total_sdc_capacity_bits(locs), bits);
+}
+
+TEST(SdcFingerprint, RejectsBadOptions) {
+  OrXorCircuit c;
+  auto locs = find_sdc_locations(c.nl);
+  ASSERT_FALSE(locs.empty());
+  SdcEmbedder e(c.nl, locs);
+  EXPECT_THROW(e.apply(0, 99), CheckError);
+  e.apply(0, 1);
+  EXPECT_THROW(e.apply(0, 1), CheckError);  // double apply
+  e.remove(0);
+  e.remove(0);  // idempotent
+  EXPECT_EQ(e.applied_option(0), 0);
+}
+
+}  // namespace
+}  // namespace odcfp

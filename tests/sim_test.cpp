@@ -1,0 +1,95 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace odcfp {
+namespace {
+
+TEST(EvalTtWords, MatchesTruthTableBitwise) {
+  // For every default-library cell, word evaluation must agree with the
+  // truth table on counting patterns.
+  const CellLibrary& lib = default_cell_library();
+  for (CellId c = 0; c < lib.size(); ++c) {
+    const TruthTable& tt = lib.cell(c).function;
+    const int k = tt.num_inputs();
+    std::vector<std::uint64_t> ins(static_cast<std::size_t>(k), 0);
+    for (int i = 0; i < k; ++i) {
+      std::uint64_t w = 0;
+      for (unsigned b = 0; b < 64; ++b) {
+        if ((b >> i) & 1) w |= 1ull << b;
+      }
+      ins[static_cast<std::size_t>(i)] = w;
+    }
+    const std::uint64_t out = eval_tt_words(tt, ins);
+    for (unsigned b = 0; b < 64; ++b) {
+      const unsigned pattern = b & ((1u << k) - 1);
+      EXPECT_EQ((out >> b) & 1, tt.eval(k == 0 ? 0 : pattern) ? 1u : 0u)
+          << lib.cell(c).name << " pattern " << pattern;
+    }
+  }
+}
+
+TEST(Simulator, FullAdderExhaustive) {
+  // sum = a ^ b ^ cin, carry = maj(a, b, cin), built from gates.
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId cin = nl.add_input("cin");
+  const GateId x1 = nl.add_gate_kind(CellKind::kXor, {a, b});
+  const GateId sum =
+      nl.add_gate_kind(CellKind::kXor, {nl.gate(x1).output, cin});
+  const GateId a1 = nl.add_gate_kind(CellKind::kAnd, {a, b});
+  const GateId a2 =
+      nl.add_gate_kind(CellKind::kAnd, {nl.gate(x1).output, cin});
+  const GateId carry = nl.add_gate_kind(
+      CellKind::kOr, {nl.gate(a1).output, nl.gate(a2).output});
+  nl.add_output(nl.gate(sum).output, "sum");
+  nl.add_output(nl.gate(carry).output, "carry");
+
+  Simulator sim(nl);
+  sim.load_counting_patterns(0);
+  sim.run();
+  const auto outs = sim.output_words();
+  for (unsigned p = 0; p < 8; ++p) {
+    const int av = p & 1, bv = (p >> 1) & 1, cv = (p >> 2) & 1;
+    const int s = av ^ bv ^ cv;
+    const int c = (av + bv + cv) >= 2;
+    EXPECT_EQ((outs[0] >> p) & 1, static_cast<unsigned>(s)) << p;
+    EXPECT_EQ((outs[1] >> p) & 1, static_cast<unsigned>(c)) << p;
+  }
+}
+
+TEST(Simulator, CountingPatternsAreExhaustive) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const GateId g = nl.add_gate_kind(CellKind::kNand, {a, b});
+  nl.add_output(nl.gate(g).output, "y");
+  Simulator sim(nl);
+  sim.load_counting_patterns(0);
+  sim.run();
+  const std::uint64_t y = sim.output_words()[0];
+  // Pattern b: a = bit0 of b, b = bit1 of b; NAND false only when both 1
+  // (b % 4 == 3).
+  for (unsigned bit = 0; bit < 64; ++bit) {
+    EXPECT_EQ((y >> bit) & 1, (bit % 4 == 3) ? 0u : 1u) << bit;
+  }
+}
+
+TEST(Simulator, RandomizeIsDeterministicPerSeed) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const GateId g = nl.add_gate_kind(CellKind::kInv, {a});
+  nl.add_output(nl.gate(g).output, "y");
+  Simulator s1(nl), s2(nl);
+  Rng r1(123), r2(123);
+  s1.randomize_inputs(r1);
+  s2.randomize_inputs(r2);
+  s1.run();
+  s2.run();
+  EXPECT_EQ(s1.output_words()[0], s2.output_words()[0]);
+  EXPECT_EQ(s1.value(a), ~s1.output_words()[0]);
+}
+
+}  // namespace
+}  // namespace odcfp

@@ -1,0 +1,117 @@
+#include "library/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "library/cell_library.hpp"
+
+namespace odcfp {
+namespace {
+
+TEST(TruthTable, And2Rows) {
+  const TruthTable tt = TruthTable::and_n(2);
+  EXPECT_FALSE(tt.eval(0b00));
+  EXPECT_FALSE(tt.eval(0b01));
+  EXPECT_FALSE(tt.eval(0b10));
+  EXPECT_TRUE(tt.eval(0b11));
+}
+
+TEST(TruthTable, OrNandNorXor) {
+  const TruthTable o = TruthTable::or_n(2);
+  EXPECT_FALSE(o.eval(0));
+  EXPECT_TRUE(o.eval(1));
+  EXPECT_TRUE(o.eval(2));
+  EXPECT_TRUE(o.eval(3));
+  EXPECT_EQ(TruthTable::and_n(2, true).bits(),
+            (~TruthTable::and_n(2)).bits());
+  EXPECT_EQ(TruthTable::or_n(3, true).bits(),
+            (~TruthTable::or_n(3)).bits());
+  const TruthTable x = TruthTable::xor_n(2);
+  EXPECT_FALSE(x.eval(0));
+  EXPECT_TRUE(x.eval(1));
+  EXPECT_TRUE(x.eval(2));
+  EXPECT_FALSE(x.eval(3));
+}
+
+TEST(TruthTable, CofactorAndDependence) {
+  const TruthTable a = TruthTable::and_n(2);
+  EXPECT_TRUE(a.cofactor(0, false).is_constant());
+  EXPECT_FALSE(a.cofactor(0, false).constant_value());
+  EXPECT_TRUE(a.depends_on(0));
+  EXPECT_TRUE(a.depends_on(1));
+  const TruthTable c = TruthTable::constant(3, true);
+  EXPECT_FALSE(c.depends_on(0));
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_TRUE(c.constant_value());
+}
+
+TEST(TruthTable, Mux) {
+  const TruthTable m = TruthTable::mux();
+  // inputs: a=bit0, b=bit1, s=bit2.
+  for (unsigned p = 0; p < 8; ++p) {
+    const bool a = p & 1, b = p & 2, s = p & 4;
+    EXPECT_EQ(m.eval(p), s ? b : a) << "pattern " << p;
+  }
+}
+
+TEST(TruthTable, WithInputNegated) {
+  const TruthTable a = TruthTable::and_n(2);
+  const TruthTable an = a.with_input_negated(0);
+  // an(x, y) = (!x) & y
+  EXPECT_FALSE(an.eval(0b00));
+  EXPECT_FALSE(an.eval(0b01));
+  EXPECT_TRUE(an.eval(0b10));
+  EXPECT_FALSE(an.eval(0b11));
+}
+
+TEST(TruthTable, ExtendedTo) {
+  const TruthTable a = TruthTable::and_n(2).extended_to(3);
+  for (unsigned p = 0; p < 8; ++p) {
+    EXPECT_EQ(a.eval(p), (p & 3) == 3) << p;
+  }
+}
+
+TEST(TruthTable, KindFunctionsMatchDefinitions) {
+  EXPECT_EQ(make_kind_function(CellKind::kInv, 1).bits(), 0b01u);
+  EXPECT_EQ(make_kind_function(CellKind::kBuf, 1).bits(), 0b10u);
+  const TruthTable aoi = make_kind_function(CellKind::kAoi21, 3);
+  for (unsigned p = 0; p < 8; ++p) {
+    const bool a = p & 1, b = p & 2, c = p & 4;
+    EXPECT_EQ(aoi.eval(p), !((a && b) || c)) << p;
+  }
+  const TruthTable oai = make_kind_function(CellKind::kOai21, 3);
+  for (unsigned p = 0; p < 8; ++p) {
+    const bool a = p & 1, b = p & 2, c = p & 4;
+    EXPECT_EQ(oai.eval(p), !((a || b) && c)) << p;
+  }
+}
+
+TEST(CellLibrary, DefaultLibraryLookups) {
+  const CellLibrary& lib = default_cell_library();
+  EXPECT_NE(lib.find("NAND2"), kInvalidCell);
+  EXPECT_NE(lib.find_kind(CellKind::kAnd, 4), kInvalidCell);
+  EXPECT_EQ(lib.find_kind(CellKind::kAnd, 5), kInvalidCell);
+  EXPECT_EQ(lib.max_arity(CellKind::kNor), 4);
+  EXPECT_EQ(lib.max_arity(CellKind::kXor), 2);
+  const CellId nand3 = lib.find("NAND3");
+  ASSERT_NE(nand3, kInvalidCell);
+  EXPECT_EQ(lib.cell(nand3).kind, CellKind::kNand);
+  EXPECT_EQ(lib.cell(nand3).num_inputs(), 3);
+  EXPECT_EQ(lib.find_function(TruthTable::and_n(3, true)), nand3);
+}
+
+TEST(CellLibrary, RoundTripThroughText) {
+  const CellLibrary& lib = default_cell_library();
+  std::stringstream ss;
+  lib.write(ss);
+  const CellLibrary parsed = CellLibrary::parse(ss);
+  ASSERT_EQ(parsed.size(), lib.size());
+  for (CellId i = 0; i < lib.size(); ++i) {
+    EXPECT_EQ(parsed.cell(i).name, lib.cell(i).name);
+    EXPECT_EQ(parsed.cell(i).function, lib.cell(i).function);
+    EXPECT_DOUBLE_EQ(parsed.cell(i).area, lib.cell(i).area);
+    EXPECT_DOUBLE_EQ(parsed.cell(i).input_cap, lib.cell(i).input_cap);
+  }
+}
+
+}  // namespace
+}  // namespace odcfp

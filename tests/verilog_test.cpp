@@ -1,0 +1,120 @@
+#include "io/verilog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/benchmarks.hpp"
+#include "common/check.hpp"
+#include "equiv/cec.hpp"
+
+namespace odcfp {
+namespace {
+
+TEST(VerilogWriter, EmitsParsableModule) {
+  Netlist nl(&default_cell_library(), "m");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const GateId g = nl.add_gate_kind(CellKind::kNand, {a, b}, "u1");
+  nl.add_output(nl.gate(g).output, "y");
+  const std::string text = to_verilog_string(nl);
+  EXPECT_NE(text.find("module m"), std::string::npos);
+  EXPECT_NE(text.find("NAND2 u1"), std::string::npos);
+  const Netlist back = read_verilog_string(text, nl.library());
+  EXPECT_EQ(back.num_live_gates(), 1u);
+  EXPECT_EQ(back.inputs().size(), 2u);
+  EXPECT_TRUE(verify_equivalence(nl, back).equivalent());
+}
+
+TEST(VerilogRoundTrip, PreservesNamesAndFunction) {
+  for (const char* name : {"c17", "c432", "c880"}) {
+    const Netlist nl = make_benchmark(name);
+    const Netlist back =
+        read_verilog_string(to_verilog_string(nl), nl.library());
+    ASSERT_EQ(back.num_live_gates(), nl.num_live_gates()) << name;
+    // Every gate keeps its name and cell.
+    for (GateId g = 0; g < nl.num_gates(); ++g) {
+      if (nl.gate(g).is_dead()) continue;
+      const GateId g2 = back.find_gate(nl.gate(g).name);
+      ASSERT_NE(g2, kInvalidGate) << name << " " << nl.gate(g).name;
+      EXPECT_EQ(back.gate(g2).cell, nl.gate(g).cell);
+    }
+    EXPECT_TRUE(random_sim_equal(nl, back, 64, 5)) << name;
+  }
+}
+
+TEST(VerilogReader, EscapedIdentifiers) {
+  Netlist nl(&default_cell_library(), "esc");
+  const NetId a = nl.add_input("a[0]");
+  const GateId g = nl.add_gate_kind(CellKind::kInv, {a}, "g$1");
+  nl.add_output(nl.gate(g).output, "f[0]");
+  const std::string text = to_verilog_string(nl);
+  EXPECT_NE(text.find("\\a[0] "), std::string::npos);
+  const Netlist back = read_verilog_string(text, nl.library());
+  EXPECT_NE(back.find_net("a[0]"), kInvalidNet);
+  EXPECT_EQ(back.outputs()[0].name, "f[0]");
+}
+
+TEST(VerilogReader, HandlesAssignAliases) {
+  const char* text = R"(
+module top (a, b, y);
+  input a; input b;
+  output y;
+  wire n1;
+  NAND2 g1 (.A(a), .B(b), .Y(n1));
+  assign y = n1;
+endmodule
+)";
+  const Netlist nl = read_verilog_string(text, default_cell_library());
+  EXPECT_EQ(nl.num_live_gates(), 1u);
+  EXPECT_EQ(nl.outputs()[0].name, "y");
+  // The alias resolves to the NAND output net.
+  EXPECT_EQ(nl.outputs()[0].net, nl.gate(nl.find_gate("g1")).output);
+}
+
+TEST(VerilogReader, OutOfOrderInstances) {
+  // Instances given consumer-first must still link up.
+  const char* text = R"(
+module top (a, y);
+  input a;
+  output y;
+  wire n1; wire n2;
+  INV g2 (.A(n1), .Y(n2));
+  INV g1 (.A(a), .Y(n1));
+  assign y = n2;
+endmodule
+)";
+  const Netlist nl = read_verilog_string(text, default_cell_library());
+  EXPECT_EQ(nl.num_live_gates(), 2u);
+  EXPECT_EQ(nl.depth(), 2);
+}
+
+TEST(VerilogReader, RejectsBadInput) {
+  const CellLibrary& lib = default_cell_library();
+  EXPECT_THROW(read_verilog_string("module m (a); input a;", lib),
+               CheckError);  // no endmodule
+  EXPECT_THROW(read_verilog_string(
+                   "module m (y); output y; wire w;\n"
+                   "BOGUS g (.A(w), .Y(y));\nendmodule",
+                   lib),
+               CheckError);  // unknown cell
+  EXPECT_THROW(read_verilog_string(
+                   "module m (a, y); input a; output y;\n"
+                   "INV g (.A(y), .Y(y));\nendmodule",
+                   lib),
+               CheckError);  // combinational cycle / self-drive
+  EXPECT_THROW(read_verilog_string(
+                   "module m (a, y); input a; output y;\nendmodule", lib),
+               CheckError);  // undriven output
+}
+
+TEST(VerilogWriter, FileIo) {
+  const Netlist nl = make_benchmark("c17");
+  const std::string path = testing::TempDir() + "/odcfp_c17.v";
+  write_verilog_file(path, nl);
+  const Netlist back = read_verilog_file(path, nl.library());
+  EXPECT_TRUE(random_sim_equal(nl, back, 16, 3));
+  EXPECT_THROW(read_verilog_file("/nonexistent/odcfp.v", nl.library()),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace odcfp

@@ -1,0 +1,174 @@
+#include "odc/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/benchmarks.hpp"
+#include "odc/odc.hpp"
+
+namespace odcfp {
+namespace {
+
+TEST(WindowOdc, SingleAndGateMatchesLocalOdc) {
+  // f = AND(y, k): y is hidden exactly when k = 0 -> fraction 1/2.
+  Netlist nl;
+  const NetId y = nl.add_input("y");
+  const NetId k = nl.add_input("k");
+  const GateId g = nl.add_gate_kind(CellKind::kAnd, {y, k});
+  nl.add_output(nl.gate(g).output, "f");
+  const WindowOdcResult r = window_odc(nl, y, {.depth = 1});
+  ASSERT_TRUE(r.computed);
+  EXPECT_TRUE(r.output_closed);
+  EXPECT_EQ(r.window_inputs, 1);
+  EXPECT_DOUBLE_EQ(r.odc_fraction, 0.5);
+}
+
+TEST(WindowOdc, DeeperWindowsFindMoreDontCares) {
+  // y -> INV -> AND(., k): through the inverter alone y is always
+  // observable; one level deeper the AND hides it half the time.
+  // This is the paper's "ODCs can be several layers deep".
+  Netlist nl;
+  const NetId y = nl.add_input("y");
+  const NetId k = nl.add_input("k");
+  const GateId gi = nl.add_gate_kind(CellKind::kInv, {y});
+  const GateId ga = nl.add_gate_kind(CellKind::kAnd,
+                                     {nl.gate(gi).output, k});
+  nl.add_output(nl.gate(ga).output, "f");
+
+  const WindowOdcResult shallow = window_odc(nl, y, {.depth = 1});
+  ASSERT_TRUE(shallow.computed);
+  EXPECT_FALSE(shallow.output_closed);  // INV output feeds the AND
+  EXPECT_DOUBLE_EQ(shallow.odc_fraction, 0.0);
+
+  const WindowOdcResult deep = window_odc(nl, y, {.depth = 2});
+  ASSERT_TRUE(deep.computed);
+  EXPECT_TRUE(deep.output_closed);
+  EXPECT_DOUBLE_EQ(deep.odc_fraction, 0.5);
+}
+
+TEST(WindowOdc, Figure3Example) {
+  // Paper Fig. 3: out = AND(AND(A, B), AND(C, m)) — when m = 0 the
+  // bottom AND outputs 0 and the top AND blocks... we check the net
+  // between the two ANDs: C is hidden whenever m = 0, plus whenever the
+  // other AND side is 0.
+  Netlist nl;
+  const NetId a = nl.add_input("A");
+  const NetId b = nl.add_input("B");
+  const NetId c = nl.add_input("C");
+  const NetId m = nl.add_input("m");
+  const GateId top = nl.add_gate_kind(CellKind::kAnd, {a, b});
+  const GateId bottom = nl.add_gate_kind(CellKind::kAnd, {c, m});
+  const GateId out = nl.add_gate_kind(
+      CellKind::kAnd, {nl.gate(top).output, nl.gate(bottom).output});
+  nl.add_output(nl.gate(out).output, "f");
+
+  // The depth-2 window of C contains {bottom, out}; its side variables
+  // are m and the other AND's output t. C is visible only when m=1 and
+  // t=1 -> hidden fraction = 3/4.
+  const WindowOdcResult r = window_odc(nl, c, {.depth = 2});
+  ASSERT_TRUE(r.computed);
+  EXPECT_TRUE(r.output_closed);
+  EXPECT_EQ(r.window_inputs, 2);
+  EXPECT_DOUBLE_EQ(r.odc_fraction, 3.0 / 4.0);
+}
+
+TEST(WindowOdc, MatchesSimulatedObservabilityWhenClosed) {
+  // For a PI of a small circuit with the whole fanout in the window and
+  // independent side inputs, 1 - odc_fraction == simulated observability.
+  Netlist nl;
+  const NetId x = nl.add_input("x");
+  const NetId u = nl.add_input("u");
+  const NetId v = nl.add_input("v");
+  const GateId g1 = nl.add_gate_kind(CellKind::kOr, {x, u});
+  const GateId g2 = nl.add_gate_kind(CellKind::kAnd,
+                                     {nl.gate(g1).output, v});
+  nl.add_output(nl.gate(g2).output, "f");
+  const WindowOdcResult r = window_odc(nl, x, {.depth = 4});
+  ASSERT_TRUE(r.computed);
+  ASSERT_TRUE(r.output_closed);
+  const double sim = simulated_observability(nl, x, 512, 7);
+  EXPECT_NEAR(1.0 - r.odc_fraction, sim, 0.03);
+}
+
+TEST(WindowOdc, UnreadNetIsFullyHidden) {
+  Netlist nl;
+  const NetId x = nl.add_input("x");
+  const NetId y = nl.add_input("y");
+  const GateId g = nl.add_gate_kind(CellKind::kInv, {x});
+  nl.add_output(nl.gate(g).output, "f");
+  const WindowOdcResult r = window_odc(nl, y, {.depth = 2});
+  ASSERT_TRUE(r.computed);
+  EXPECT_DOUBLE_EQ(r.odc_fraction, 1.0);
+}
+
+TEST(WindowOdc, GivesUpGracefullyOnWideWindows) {
+  const Netlist nl = make_benchmark("c880");
+  // Depth 6 windows in an ALU usually exceed a tiny input cap.
+  WindowOptions opt;
+  opt.depth = 6;
+  opt.max_window_inputs = 2;
+  std::size_t computed = 0, skipped = 0;
+  for (NetId n = 0; n < nl.num_nets() && n < 60; ++n) {
+    const WindowOdcResult r = window_odc(nl, n, opt);
+    (r.computed ? computed : skipped)++;
+  }
+  EXPECT_GT(skipped, 0u);
+}
+
+TEST(WindowSdc, DetectsComplementCorrelation) {
+  // g = AND(x, INV(x)): patterns (0,0) and (1,1) can never occur.
+  Netlist nl;
+  const NetId x = nl.add_input("x");
+  const GateId inv = nl.add_gate_kind(CellKind::kInv, {x});
+  const GateId g = nl.add_gate_kind(CellKind::kAnd,
+                                    {x, nl.gate(inv).output});
+  nl.add_output(nl.gate(g).output, "f");
+  const WindowSdcResult r = window_sdc(nl, g, {.depth = 2});
+  ASSERT_TRUE(r.computed);
+  EXPECT_EQ(r.num_patterns, 4);
+  EXPECT_EQ(r.impossible_patterns, 2);
+}
+
+TEST(WindowSdc, IndependentInputsHaveNoSdc) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const GateId g = nl.add_gate_kind(CellKind::kNand, {a, b});
+  nl.add_output(nl.gate(g).output, "f");
+  const WindowSdcResult r = window_sdc(nl, g, {.depth = 3});
+  ASSERT_TRUE(r.computed);
+  EXPECT_EQ(r.impossible_patterns, 0);
+}
+
+TEST(WindowSdc, ReconvergentAndTree) {
+  // t = AND(a, b); g = AND(t, a): pattern (t=1, a=0) is impossible.
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const GateId t = nl.add_gate_kind(CellKind::kAnd, {a, b});
+  const GateId g = nl.add_gate_kind(CellKind::kAnd,
+                                    {nl.gate(t).output, a});
+  nl.add_output(nl.gate(g).output, "f");
+  const WindowSdcResult r = window_sdc(nl, g, {.depth = 2});
+  ASSERT_TRUE(r.computed);
+  EXPECT_EQ(r.impossible_patterns, 1);
+}
+
+TEST(WindowSdc, BenchmarksHaveSomeSdcGates) {
+  const Netlist nl = make_benchmark("c432");
+  WindowOptions opt;
+  opt.depth = 3;
+  std::size_t with_sdc = 0, computed = 0;
+  const auto order = nl.topo_order();
+  for (std::size_t i = 0; i < order.size(); i += 3) {
+    const WindowSdcResult r = window_sdc(nl, order[i], opt);
+    if (!r.computed) continue;
+    ++computed;
+    if (r.impossible_patterns > 0) ++with_sdc;
+    EXPECT_LT(r.impossible_patterns, r.num_patterns);
+  }
+  EXPECT_GT(computed, 10u);
+  EXPECT_GT(with_sdc, 0u);
+}
+
+}  // namespace
+}  // namespace odcfp
