@@ -1,0 +1,77 @@
+// Budgeted serving: fingerprinting as an interactive service.
+//
+// A fingerprint server answering IP-vendor requests cannot afford an
+// unbounded heuristic run or SAT proof per request. This example drives
+// the whole request flow — parse untrusted BLIF bytes, reduce the
+// fingerprint under a delay constraint, verify the result — entirely
+// through the budgeted APIs, showing how each layer degrades when its
+// wall-clock deadline dies and how the Status taxonomy reports it.
+#include <cstdio>
+
+#include "benchgen/benchmarks.hpp"
+#include "equiv/cec.hpp"
+#include "fingerprint/heuristics.hpp"
+#include "io/blif.hpp"
+#include "power/power.hpp"
+#include "timing/sta.hpp"
+
+using namespace odcfp;
+
+int main() {
+  // ---- request admission: untrusted bytes become a typed outcome ----
+  const Outcome<SopNetwork> rejected = try_read_blif_string(
+      ".model broken\n.inputs a b\n.outputs f\n.names b a\n1 1\n.end\n");
+  std::printf("malformed request -> %s: %s\n\n",
+              to_string(rejected.status()), rejected.message().c_str());
+
+  const Netlist golden = make_benchmark("c880");
+  const StaticTimingAnalyzer sta;
+  const PowerAnalyzer power;
+  const Baseline base = Baseline::measure(golden, sta, power);
+  const auto locations = find_locations(golden);
+  std::printf("serving c880-class unit: %zu gates, %zu locations\n\n",
+              golden.num_live_gates(), locations.size());
+
+  // ---- the same reduction request under shrinking deadlines ----
+  std::printf("%9s | %9s | %10s | %8s\n", "deadline", "status",
+              "bits kept", "delay OH");
+  std::printf("--------------------------------------------\n");
+  for (const std::int64_t ms : {2000, 200, 50, 5, 0}) {
+    Netlist work = golden;
+    FingerprintEmbedder embedder(work, locations);
+    const Budget budget = Budget::deadline_ms(ms);
+    ReactiveOptions opt;
+    opt.restarts = 3;
+    opt.budget = &budget;
+    const HeuristicOutcome out =
+        reactive_reduce(embedder, base, sta, power, opt);
+    std::printf("%7lld ms | %9s | %10.1f | %6.1f%%\n",
+                static_cast<long long>(ms), to_string(out.status),
+                out.bits_kept, out.overheads.delay_ratio * 100);
+  }
+
+  // ---- budgeted verification of the shipped result ----
+  Netlist shipped = golden;
+  FingerprintEmbedder embedder(shipped, locations);
+  {
+    const Budget budget = Budget::deadline_ms(50);
+    ReactiveOptions opt;
+    opt.budget = &budget;
+    reactive_reduce(embedder, base, sta, power, opt);
+  }
+  for (const std::int64_t conflicts : {-1, 2}) {
+    Budget budget;
+    budget.with_conflicts(conflicts);
+    const Outcome<CecResult> cec =
+        verify_equivalence_budgeted(golden, shipped, &budget);
+    std::printf("\nCEC (conflict budget %lld): %s via %s, confidence %.3f\n",
+                static_cast<long long>(conflicts),
+                to_string(cec.status()),
+                cec.has_value() ? cec.value().method.c_str() : "-",
+                cec.confidence());
+    if (!cec.message().empty()) {
+      std::printf("  %s\n", cec.message().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+#include "common/budget.hpp"
+
+namespace odcfp {
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::kOk:             return "ok";
+    case Status::kExhausted:      return "exhausted";
+    case Status::kInfeasible:     return "infeasible";
+    case Status::kMalformedInput: return "malformed-input";
+  }
+  return "unknown";
+}
+
+double Budget::remaining_seconds() const {
+  if (!has_deadline_) return 1e18;
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(deadline_ - now).count();
+}
+
+}  // namespace odcfp

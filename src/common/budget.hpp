@@ -1,0 +1,258 @@
+// Cross-cutting resource budgets and the graceful-degradation taxonomy.
+//
+// Every potentially unbounded computation in the pipeline — SAT CEC,
+// BDD-based window don't-care analysis, the O(sites^2) reactive reduction
+// heuristic — accepts a Budget and answers within it: on exhaustion the
+// layer returns its best sound fallback (simulation evidence instead of a
+// SAT proof, the local Eq. 1 ODC instead of the window BDD, the best
+// feasible code found so far) tagged with Status::kExhausted, instead of
+// running to completion or being killed from outside.
+//
+// A Budget combines three independent caps, any subset of which may be
+// active:
+//   * a wall-clock deadline (steady_clock; reads are amortized so that
+//     exhausted() is cheap enough for inner loops);
+//   * a step quota, charged cooperatively by the running algorithm
+//     (charge() / exhausted());
+//   * a cooperative cancellation token shared with the caller, so a
+//     serving layer can abandon a request from another thread.
+// A conflict quota for the SAT solver rides along as plain data (the
+// solver already counts conflicts itself).
+//
+// Budgets are intentionally non-copyable: one Budget describes one
+// request, and all layers working on that request share it by reference
+// (options structs hold a `const Budget*`, nullptr meaning unlimited).
+// The mutable state (spent steps, clock-check phase) is atomic so a const
+// reference can be threaded through const-taking analysis code.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace odcfp {
+
+/// How a budgeted computation ended.
+enum class Status : std::uint8_t {
+  kOk = 0,          ///< Completed within budget; result is exact/optimal.
+  kExhausted,       ///< Budget died; result (if any) is a sound fallback.
+  kInfeasible,      ///< No answer exists under the given constraints.
+  kMalformedInput,  ///< Input violated the API contract; nothing was done.
+};
+
+const char* to_string(Status status);
+
+/// Shared cooperative cancellation flag. Copies observe the same flag, so
+/// a caller can hand the token down a pipeline and cancel all stages at
+/// once from another thread.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void cancel() const { flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+class Budget {
+ public:
+  /// Default-constructed budgets are unlimited on every axis.
+  Budget() = default;
+  Budget(const Budget&) = delete;
+  Budget& operator=(const Budget&) = delete;
+  /// Moving is allowed so the named factories below can return by value;
+  /// once a Budget is shared down a pipeline it must stay put.
+  Budget(Budget&& other) noexcept
+      : deadline_(other.deadline_),
+        has_deadline_(other.has_deadline_),
+        has_steps_(other.has_steps_),
+        has_cancel_(other.has_cancel_),
+        conflicts_(other.conflicts_),
+        cancel_(std::move(other.cancel_)),
+        steps_left_(other.steps_left_.load(std::memory_order_relaxed)),
+        clock_phase_(other.clock_phase_.load(std::memory_order_relaxed)),
+        deadline_hit_(
+            other.deadline_hit_.load(std::memory_order_relaxed)) {}
+
+  // ---- construction (chainable) ----
+
+  static Budget deadline_ms(std::int64_t ms) {
+    Budget b;
+    b.with_deadline_ms(ms);
+    return b;
+  }
+  static Budget steps(std::uint64_t n) {
+    Budget b;
+    b.with_steps(n);
+    return b;
+  }
+
+  Budget& with_deadline_ms(std::int64_t ms) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(ms);
+    has_deadline_ = true;
+    return *this;
+  }
+  Budget& with_steps(std::uint64_t n) {
+    steps_left_.store(static_cast<std::int64_t>(n),
+                      std::memory_order_relaxed);
+    has_steps_ = true;
+    return *this;
+  }
+  /// Conflict quota consumed by sat::Solver::solve (< 0 = unlimited).
+  Budget& with_conflicts(std::int64_t n) {
+    conflicts_ = n;
+    return *this;
+  }
+  Budget& with_cancel(CancelToken token) {
+    cancel_ = std::move(token);
+    has_cancel_ = true;
+    return *this;
+  }
+
+  // ---- cooperative checks ----
+
+  /// True once any axis of the budget is spent. Reads the wall clock only
+  /// every kClockPeriod calls; callers place this in inner loops.
+  bool exhausted() const {
+    if (has_cancel_ && cancel_.cancelled()) return true;
+    if (has_steps_ &&
+        steps_left_.load(std::memory_order_relaxed) <= 0) {
+      return true;
+    }
+    if (!has_deadline_) return false;
+    if (deadline_hit_.load(std::memory_order_relaxed)) return true;
+    if (clock_phase_.fetch_add(1, std::memory_order_relaxed) %
+            kClockPeriod != 0) {
+      return false;
+    }
+    return expired_now();
+  }
+
+  /// Charges `n` steps and reports whether the budget still stands. Also
+  /// performs the exhausted() deadline/cancel check.
+  bool charge(std::uint64_t n = 1) const {
+    if (has_steps_) {
+      steps_left_.fetch_sub(static_cast<std::int64_t>(n),
+                            std::memory_order_relaxed);
+    }
+    return !exhausted();
+  }
+
+  /// Unamortized deadline check (one clock read).
+  bool expired_now() const {
+    if (!has_deadline_) return false;
+    if (std::chrono::steady_clock::now() >= deadline_) {
+      deadline_hit_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  bool has_step_quota() const { return has_steps_; }
+  std::int64_t steps_left() const {
+    return steps_left_.load(std::memory_order_relaxed);
+  }
+  std::int64_t conflicts() const { return conflicts_; }
+
+  /// Seconds until the deadline (negative once past; a large positive
+  /// constant when no deadline is set).
+  double remaining_seconds() const;
+
+ private:
+  static constexpr std::uint64_t kClockPeriod = 64;
+
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  bool has_steps_ = false;
+  bool has_cancel_ = false;
+  std::int64_t conflicts_ = -1;
+  CancelToken cancel_;
+  mutable std::atomic<std::int64_t> steps_left_{-1};
+  mutable std::atomic<std::uint64_t> clock_phase_{0};
+  mutable std::atomic<bool> deadline_hit_{false};
+};
+
+/// Convenience for the `const Budget*` convention in options structs.
+inline bool budget_exhausted(const Budget* b) {
+  return b != nullptr && b->exhausted();
+}
+inline bool budget_charge(const Budget* b, std::uint64_t n = 1) {
+  return b == nullptr || b->charge(n);
+}
+
+/// Result-or-degradation wrapper. Invariants:
+///  * kOk             => has_value(), confidence == 1
+///  * kExhausted      => may carry a degraded value (anytime algorithms)
+///                       with confidence in [0, 1]
+///  * kInfeasible / kMalformedInput => no value, message explains why.
+template <typename T>
+class Outcome {
+ public:
+  static Outcome success(T value) {
+    Outcome o;
+    o.status_ = Status::kOk;
+    o.value_ = std::move(value);
+    o.confidence_ = 1.0;
+    return o;
+  }
+  /// A sound-but-degraded result produced after budget exhaustion.
+  static Outcome exhausted(T value, std::string message,
+                           double confidence) {
+    Outcome o;
+    o.status_ = Status::kExhausted;
+    o.value_ = std::move(value);
+    o.message_ = std::move(message);
+    o.confidence_ = confidence;
+    return o;
+  }
+  /// Budget died before any usable result existed.
+  static Outcome exhausted(std::string message) {
+    Outcome o;
+    o.status_ = Status::kExhausted;
+    o.message_ = std::move(message);
+    o.confidence_ = 0.0;
+    return o;
+  }
+  static Outcome infeasible(std::string message) {
+    Outcome o;
+    o.status_ = Status::kInfeasible;
+    o.message_ = std::move(message);
+    return o;
+  }
+  static Outcome malformed(std::string message) {
+    Outcome o;
+    o.status_ = Status::kMalformedInput;
+    o.message_ = std::move(message);
+    return o;
+  }
+
+  Status status() const { return status_; }
+  bool ok() const { return status_ == Status::kOk; }
+  bool has_value() const { return value_.has_value(); }
+  /// Confidence in the carried value: 1 for exact results, the fallback's
+  /// evidence score for degraded ones, 0 when there is no value.
+  double confidence() const { return confidence_; }
+  const std::string& message() const { return message_; }
+
+  const T& value() const& { return value_.value(); }
+  T& value() & { return value_.value(); }
+  T&& value() && { return std::move(value_).value(); }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+ private:
+  Status status_ = Status::kOk;
+  std::optional<T> value_;
+  std::string message_;
+  double confidence_ = 0.0;
+};
+
+}  // namespace odcfp

@@ -1,0 +1,51 @@
+#include "common/fault.hpp"
+
+#include <cstring>
+#include <new>
+
+namespace odcfp::fault {
+
+namespace detail {
+
+std::atomic<Injector*> g_injector{nullptr};
+
+void fire(const char* site) {
+  Injector* inj = g_injector.load(std::memory_order_relaxed);
+  if (inj != nullptr) inj->on_point(site);
+}
+
+}  // namespace detail
+
+Injector* install(Injector* injector) {
+  return detail::g_injector.exchange(injector);
+}
+
+namespace {
+
+bool matches(const char* site, const char* prefix) {
+  return std::strncmp(site, prefix, std::strlen(prefix)) == 0;
+}
+
+}  // namespace
+
+FailNthAlloc::FailNthAlloc(std::uint64_t nth, const char* site_prefix)
+    : nth_(nth), prefix_(site_prefix) {}
+
+void FailNthAlloc::on_point(const char* site) {
+  if (!matches(site, prefix_)) return;
+  if (++hits_ == nth_) {
+    fired_ = true;
+    throw std::bad_alloc();
+  }
+}
+
+CancelAfterN::CancelAfterN(std::uint64_t nth, CancelToken token,
+                           const char* site_prefix)
+    : nth_(nth), token_(std::move(token)), prefix_(site_prefix) {}
+
+void CancelAfterN::on_point(const char* site) {
+  if (!matches(site, prefix_)) return;
+  if (++hits_ == nth_) token_.cancel();
+}
+
+}  // namespace odcfp::fault

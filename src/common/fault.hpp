@@ -1,0 +1,106 @@
+// Deterministic fault-injection hooks.
+//
+// Long-running layers mark their hazardous moments — allocations that grow
+// core structures, per-iteration checkpoints of the heuristics, parser
+// progress — with ODCFP_FAULT_POINT("layer.site"). In production no
+// injector is installed and a fault point is a single relaxed atomic load
+// of a null pointer. The fault-injection test suite installs an injector
+// that throws (simulated allocation failure) or trips a cancellation
+// token (simulated mid-flight budget expiry) at a chosen hit count,
+// making "the 17th allocation fails" a deterministic, replayable event.
+//
+// Defining ODCFP_DISABLE_FAULT_POINTS compiles the hooks out entirely for
+// builds that must not carry even the null check.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/budget.hpp"
+
+namespace odcfp::fault {
+
+/// Test-installed fault source. on_point may throw to simulate a fault at
+/// the marked site, or flip external state (e.g. cancel a Budget's token).
+class Injector {
+ public:
+  virtual ~Injector() = default;
+  virtual void on_point(const char* site) = 0;
+};
+
+namespace detail {
+extern std::atomic<Injector*> g_injector;
+void fire(const char* site);
+}  // namespace detail
+
+/// Installs a process-wide injector (tests only; not re-entrant). Pass
+/// nullptr to uninstall. The previous injector is returned.
+Injector* install(Injector* injector);
+
+/// Scoped install/uninstall for tests.
+class ScopedInjector {
+ public:
+  explicit ScopedInjector(Injector* injector)
+      : previous_(install(injector)) {}
+  ~ScopedInjector() { install(previous_); }
+  ScopedInjector(const ScopedInjector&) = delete;
+  ScopedInjector& operator=(const ScopedInjector&) = delete;
+
+ private:
+  Injector* previous_;
+};
+
+inline void point(const char* site) {
+#ifndef ODCFP_DISABLE_FAULT_POINTS
+  if (detail::g_injector.load(std::memory_order_relaxed) != nullptr) {
+    detail::fire(site);
+  }
+#else
+  (void)site;
+#endif
+}
+
+// ---- stock injectors used by the harness ----
+
+/// Throws std::bad_alloc on the nth (1-based) hit of a site whose name
+/// starts with `site_prefix` (empty = every site). Counts all hits so a
+/// sweep over n enumerates every allocation-order fault deterministically.
+class FailNthAlloc : public Injector {
+ public:
+  FailNthAlloc(std::uint64_t nth, const char* site_prefix = "");
+  void on_point(const char* site) override;
+
+  std::uint64_t hits() const { return hits_; }
+  bool fired() const { return fired_; }
+
+ private:
+  std::uint64_t nth_;
+  const char* prefix_;
+  std::uint64_t hits_ = 0;
+  bool fired_ = false;
+};
+
+/// Cancels a Budget's token after the nth matching hit — simulates a
+/// request deadline expiring at an arbitrary point mid-computation.
+class CancelAfterN : public Injector {
+ public:
+  CancelAfterN(std::uint64_t nth, CancelToken token,
+               const char* site_prefix = "");
+  void on_point(const char* site) override;
+
+  std::uint64_t hits() const { return hits_; }
+
+ private:
+  std::uint64_t nth_;
+  CancelToken token_;
+  const char* prefix_;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace odcfp::fault
+
+#ifndef ODCFP_DISABLE_FAULT_POINTS
+#define ODCFP_FAULT_POINT(site) ::odcfp::fault::point(site)
+#else
+#define ODCFP_FAULT_POINT(site) ((void)0)
+#endif

@@ -1,8 +1,10 @@
 #include "equiv/cec.hpp"
 
+#include <sstream>
 #include <unordered_map>
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
 #include "common/rng.hpp"
 #include "sat/tseitin.hpp"
 #include "sim/simulator.hpp"
@@ -129,7 +131,8 @@ bool exhaustive_equal(const Netlist& a, const Netlist& b,
 }
 
 CecResult check_equivalence_sat(const Netlist& a, const Netlist& b,
-                                std::int64_t conflict_limit) {
+                                std::int64_t conflict_limit,
+                                const Budget* budget) {
   const InterfaceMap map = match_interfaces(a, b);
   sat::Solver solver;
   const sat::TseitinEncoding enc_a(solver, a);
@@ -155,7 +158,7 @@ CecResult check_equivalence_sat(const Netlist& a, const Netlist& b,
 
   CecResult result;
   result.method = "sat";
-  switch (solver.solve({}, conflict_limit)) {
+  switch (solver.solve({}, conflict_limit, budget)) {
     case sat::Solver::Result::kUnsat:
       result.status = CecResult::Status::kEquivalent;
       break;
@@ -194,6 +197,84 @@ CecResult verify_equivalence(const Netlist& a, const Netlist& b,
     return result;
   }
   return check_equivalence_sat(a, b, sat_conflict_limit);
+}
+
+Outcome<CecResult> verify_equivalence_budgeted(
+    const Netlist& a, const Netlist& b, const Budget* budget,
+    const BudgetedCecOptions& options) {
+  // Interface mismatches are a caller contract violation, not a proof
+  // failure: surface them as typed input errors.
+  try {
+    match_interfaces(a, b);
+  } catch (const CheckError& e) {
+    return Outcome<CecResult>::malformed(e.what());
+  }
+  ODCFP_FAULT_POINT("cec.verify");
+
+  // Stage 1: cheap refutation filter (chunked so a deadline can stop it).
+  CecResult result;
+  std::size_t filter_words = 0;
+  for (std::size_t done = 0; done < options.sim_words;) {
+    if (budget_exhausted(budget)) break;
+    const std::size_t chunk = std::min<std::size_t>(
+        64, options.sim_words - done);
+    std::vector<bool> cex;
+    if (!random_sim_equal(a, b, chunk, options.seed + done, &cex)) {
+      result.status = CecResult::Status::kDifferent;
+      result.counterexample = std::move(cex);
+      result.method = "random-sim";
+      return Outcome<CecResult>::success(std::move(result));
+    }
+    done += chunk;
+    filter_words += chunk;
+    budget_charge(budget, chunk);
+  }
+
+  // Stage 2: the SAT proof, bounded by the budget.
+  if (!budget_exhausted(budget)) {
+    result = check_equivalence_sat(a, b, options.sat_conflict_limit, budget);
+    if (result.status != CecResult::Status::kUnknown) {
+      return Outcome<CecResult>::success(std::move(result));
+    }
+  } else {
+    result.status = CecResult::Status::kUnknown;
+    result.method = "sat";
+  }
+
+  // Stage 3: the proof died — burn whatever budget remains on additional
+  // refutation simulation. Finding a difference here is still exact; not
+  // finding one yields an Exhausted verdict whose confidence grows with
+  // the amount of accumulated simulation evidence.
+  std::size_t fallback_words = 0;
+  while (fallback_words < options.fallback_sim_words &&
+         budget_charge(budget, 64)) {
+    std::vector<bool> cex;
+    if (!random_sim_equal(a, b, 64,
+                          options.seed + 0x9e3779b9ull + fallback_words,
+                          &cex)) {
+      result.status = CecResult::Status::kDifferent;
+      result.counterexample = std::move(cex);
+      result.method = "sim-fallback";
+      return Outcome<CecResult>::success(std::move(result));
+    }
+    fallback_words += 64;
+  }
+
+  const std::size_t evidence_words = filter_words + fallback_words;
+  // Monotone evidence score in [0, 1): 64-pattern words of agreeing
+  // random simulation. Not a calibrated probability — a tie-breaking
+  // confidence for callers that must act on an unproven verdict.
+  const double confidence =
+      static_cast<double>(evidence_words) /
+      (static_cast<double>(evidence_words) + 64.0);
+  result.status = CecResult::Status::kUnknown;
+  result.method = "sat+sim-fallback";
+  std::ostringstream msg;
+  msg << "SAT proof exhausted its budget after "
+      << result.sat_stats.conflicts << " conflicts; "
+      << evidence_words * 64 << " random patterns found no difference";
+  return Outcome<CecResult>::exhausted(std::move(result), msg.str(),
+                                       confidence);
 }
 
 }  // namespace odcfp

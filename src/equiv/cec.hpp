@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.hpp"
 #include "netlist/netlist.hpp"
 #include "sat/solver.hpp"
 
@@ -51,8 +52,10 @@ bool exhaustive_equal(const Netlist& a, const Netlist& b,
                       std::vector<bool>* counterexample = nullptr);
 
 /// SAT CEC on a miter with shared PIs. conflict_limit < 0 = no limit.
+/// `budget` adds deadline / step / cancellation caps to the proof search.
 CecResult check_equivalence_sat(const Netlist& a, const Netlist& b,
-                                std::int64_t conflict_limit = -1);
+                                std::int64_t conflict_limit = -1,
+                                const Budget* budget = nullptr);
 
 /// The composed checker: random simulation, then exhaustive (<= 20 PIs) or
 /// SAT. `sat_conflict_limit` bounds the proof effort; on limit-exhaustion
@@ -61,5 +64,29 @@ CecResult verify_equivalence(const Netlist& a, const Netlist& b,
                              std::size_t sim_words = 256,
                              std::uint64_t seed = 42,
                              std::int64_t sat_conflict_limit = -1);
+
+struct BudgetedCecOptions {
+  std::size_t sim_words = 256;       ///< Cheap up-front refutation filter.
+  std::uint64_t seed = 42;
+  std::int64_t sat_conflict_limit = -1;
+  /// Cap on the extra refutation simulation run when the SAT proof
+  /// exhausts its budget (64 patterns per word).
+  std::size_t fallback_sim_words = 4096;
+};
+
+/// The degradation-aware checker the serving layers use. Differences from
+/// verify_equivalence:
+///  * mismatched interfaces (PI/PO count or name mismatch) return
+///    Status::kMalformedInput instead of throwing CheckError;
+///  * when the SAT proof exhausts `budget`, the checker falls back to
+///    random-simulation refutation with whatever budget remains. A
+///    difference found there is still an exact kDifferent verdict; if
+///    simulation finds nothing the call returns Status::kExhausted
+///    carrying a kUnknown CecResult whose confidence reflects the
+///    simulation evidence accumulated (0 = none, asymptotically 1).
+/// Equivalence proven within budget returns Status::kOk.
+Outcome<CecResult> verify_equivalence_budgeted(
+    const Netlist& a, const Netlist& b, const Budget* budget,
+    const BudgetedCecOptions& options = {});
 
 }  // namespace odcfp

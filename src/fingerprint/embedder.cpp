@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
 
 namespace odcfp {
 
@@ -25,6 +26,9 @@ FingerprintEmbedder::FingerprintEmbedder(
       site_gates_.insert(locations_[l].sites[s].gate);
     }
   }
+#ifndef NDEBUG
+  pristine_signature_ = structural_signature(*nl_);
+#endif
 }
 
 FingerprintEmbedder::SiteRef FingerprintEmbedder::site_ref(
@@ -162,23 +166,29 @@ void FingerprintEmbedder::apply(std::size_t loc, std::size_t site,
   ODCFP_CHECK_MSG(st.option == 0, "site already modified");
 
   const ModOption& O = S.options[static_cast<std::size_t>(option - 1)];
+  ODCFP_FAULT_POINT("embedder.apply");
+  // Strong exception safety: a failure mid-injection (e.g. an allocation
+  // fault inside add_gate) unwinds the ops already recorded, so the
+  // netlist is back in its pre-apply state when the exception escapes.
   std::vector<Op> ops;
-  const NetId lit1 = literal_net(O.source, O.invert, ops);
-  inject_literal(S.gate, S.inject_class, lit1, ops);
-  if (O.source2 != kInvalidNet) {
-    const NetId lit2 = literal_net(O.source2, O.invert2, ops);
-    inject_literal(S.gate, S.inject_class, lit2, ops);
+  try {
+    const NetId lit1 = literal_net(O.source, O.invert, ops);
+    inject_literal(S.gate, S.inject_class, lit1, ops);
+    if (O.source2 != kInvalidNet) {
+      const NetId lit2 = literal_net(O.source2, O.invert2, ops);
+      inject_literal(S.gate, S.inject_class, lit2, ops);
+    }
+  } catch (...) {
+    undo_ops(ops);
+    throw;
   }
   st.option = option;
   st.ops = std::move(ops);
   ++num_applied_;
 }
 
-void FingerprintEmbedder::remove(std::size_t loc, std::size_t site) {
-  ODCFP_CHECK(loc < state_.size() && site < state_[loc].size());
-  SiteState& st = state_[loc][site];
-  if (st.option == 0) return;
-  for (auto it = st.ops.rbegin(); it != st.ops.rend(); ++it) {
+void FingerprintEmbedder::undo_ops(const std::vector<Op>& ops) {
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
     switch (it->kind) {
       case Op::Kind::kTransfer:
         nl_->transfer_fanouts(it->to, it->from);
@@ -195,6 +205,13 @@ void FingerprintEmbedder::remove(std::size_t loc, std::size_t site) {
       }
     }
   }
+}
+
+void FingerprintEmbedder::remove(std::size_t loc, std::size_t site) {
+  ODCFP_CHECK(loc < state_.size() && site < state_[loc].size());
+  SiteState& st = state_[loc][site];
+  if (st.option == 0) return;
+  undo_ops(st.ops);
   st = SiteState{};
   --num_applied_;
 }
@@ -224,6 +241,10 @@ void FingerprintEmbedder::remove_all() {
       remove(l, s);
     }
   }
+  // Undoing every site must restore the pre-embedding structure exactly
+  // (name-wise gate/net compare) — a silent mismatch here would corrupt
+  // every later baseline measurement and extraction.
+  ODCFP_DCHECK(structural_signature(*nl_) == pristine_signature_);
 }
 
 std::vector<GateId> FingerprintEmbedder::touched_gates(

@@ -104,6 +104,9 @@ class FingerprintEmbedder {
   NetId literal_net(NetId source, bool invert, std::vector<Op>& ops);
   void inject_literal(GateId site_gate, InjectClass cls, NetId lit,
                       std::vector<Op>& ops);
+  /// Reverts `ops` (newest first); shared by remove() and the
+  /// exception-unwind path of apply().
+  void undo_ops(const std::vector<Op>& ops);
   /// The current output net of the site gate's modification chain (after
   /// appends, the appended gate's output).
   NetId chain_output(GateId site_gate) const;
@@ -114,6 +117,11 @@ class FingerprintEmbedder {
   std::vector<SiteRef> flat_sites_;
   std::unordered_set<GateId> site_gates_;
   std::size_t num_applied_ = 0;
+#ifndef NDEBUG
+  /// structural_signature of the netlist at construction; remove_all()
+  /// asserts full restoration against it in debug builds.
+  std::string pristine_signature_;
+#endif
 };
 
 /// Finds a pre-existing (non-fingerprint, non-site) inverter driven by

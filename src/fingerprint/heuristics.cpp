@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
 #include "common/rng.hpp"
 
 namespace odcfp {
@@ -94,6 +95,7 @@ struct ReactiveRun {
   double bits_kept = 0;
   double delay = std::numeric_limits<double>::infinity();
   bool met_budget = false;
+  bool truncated = false;  ///< Resource budget died mid-run.
 };
 
 ReactiveRun reactive_once(FingerprintEmbedder& e,
@@ -108,8 +110,16 @@ ReactiveRun reactive_once(FingerprintEmbedder& e,
   ++evals;
   double cur = tracker.critical_delay();
   int kicks = 0;
+  bool truncated = false;
 
   while (cur > budget && e.num_applied() > 0) {
+    ODCFP_FAULT_POINT("heuristic.reactive.iter");
+    // Checkpoint: one iteration per charge. Every modification is applied
+    // or removed atomically, so stopping here leaves a valid netlist.
+    if (!budget_charge(opt.budget)) {
+      truncated = true;
+      break;
+    }
     // Applied sites whose touched gates (or the drivers feeding them) are
     // timing-critical: only their removal can shorten the critical path.
     const TimingReport rep = sta.analyze(nl);
@@ -148,6 +158,12 @@ ReactiveRun reactive_once(FingerprintEmbedder& e,
     std::size_t best = static_cast<std::size_t>(-1);
     double best_delay = cur;
     for (std::size_t f : candidates) {
+      // A deadline can die mid-iteration; trials are remove+re-apply
+      // pairs, so breaking between them keeps the netlist consistent.
+      if (budget_exhausted(opt.budget)) {
+        truncated = true;
+        break;
+      }
       const auto ref = e.site_ref(f);
       const int option = e.applied_option(ref.loc, ref.site);
       const std::vector<GateId> pre =
@@ -162,6 +178,7 @@ ReactiveRun reactive_once(FingerprintEmbedder& e,
         best_delay = d;
       }
     }
+    if (truncated) break;
 
     if (best != static_cast<std::size_t>(-1)) {
       const auto ref = e.site_ref(best);
@@ -197,6 +214,7 @@ ReactiveRun reactive_once(FingerprintEmbedder& e,
   run.bits_kept = applied_bits(e);
   run.delay = cur;
   run.met_budget = cur <= budget;
+  run.truncated = truncated;
   return run;
 }
 
@@ -212,10 +230,16 @@ HeuristicOutcome reactive_reduce(FingerprintEmbedder& embedder,
   std::size_t evals = 0;
   ReactiveRun best;
   bool have_best = false;
+  bool truncated = false;
   for (int r = 0; r < std::max(1, options.restarts); ++r) {
+    if (r > 0 && budget_exhausted(options.budget)) {
+      truncated = true;
+      break;
+    }
     const ReactiveRun run =
         reactive_once(embedder, sta, budget, options,
                       options.seed + static_cast<std::uint64_t>(r), evals);
+    truncated = truncated || run.truncated;
     const bool better =
         !have_best ||
         (run.met_budget && !best.met_budget) ||
@@ -227,9 +251,22 @@ HeuristicOutcome reactive_reduce(FingerprintEmbedder& embedder,
       best = run;
       have_best = true;
     }
+    if (run.truncated) break;
+  }
+  // Anytime guarantee under a resource budget: never hand back an
+  // over-constraint configuration just because the budget died mid-run.
+  // The blank code is always delay-feasible (zero overhead), so it is the
+  // floor checkpoint when no reduced-but-feasible code was reached.
+  if (truncated && !best.met_budget) {
+    best = ReactiveRun{};
+    best.code = blank_code(embedder.locations());
+    best.delay = baseline.delay;
+    best.met_budget = true;
   }
   embedder.apply_code(best.code);
-  return make_outcome(embedder, baseline, sta, power, evals);
+  HeuristicOutcome out = make_outcome(embedder, baseline, sta, power, evals);
+  out.status = truncated ? Status::kExhausted : Status::kOk;
+  return out;
 }
 
 HeuristicOutcome proactive_insert(FingerprintEmbedder& embedder,
@@ -273,7 +310,16 @@ HeuristicOutcome proactive_insert(FingerprintEmbedder& embedder,
 
   ArrivalTracker tracker(nl, sta);
   ++evals;
+  bool truncated = false;
   for (std::size_t f : order) {
+    ODCFP_FAULT_POINT("heuristic.proactive.site");
+    // Every kept site was individually verified against the delay
+    // constraint, so stopping between sites degrades capacity, never
+    // feasibility.
+    if (!budget_charge(options.budget)) {
+      truncated = true;
+      break;
+    }
     const auto ref = embedder.site_ref(f);
     const InjectionSite& s = embedder.locations()[ref.loc].sites[ref.site];
     // Option order: cheapest source first (reroute options usually win).
@@ -298,7 +344,9 @@ HeuristicOutcome proactive_insert(FingerprintEmbedder& embedder,
       tracker.update(pre);
     }
   }
-  return make_outcome(embedder, baseline, sta, power, evals);
+  HeuristicOutcome out = make_outcome(embedder, baseline, sta, power, evals);
+  out.status = truncated ? Status::kExhausted : Status::kOk;
+  return out;
 }
 
 }  // namespace odcfp

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "common/budget.hpp"
 #include "fingerprint/embedder.hpp"
 #include "power/power.hpp"
 #include "timing/sta.hpp"
@@ -55,6 +56,11 @@ struct HeuristicOutcome {
   double bits_kept = 0;        ///< Capacity of kept sites.
   Overheads overheads;
   std::size_t sta_evaluations = 0;
+  /// kOk when the heuristic ran to completion; kExhausted when its budget
+  /// died first — `code` is then the best checkpoint found so far (for
+  /// reactive_reduce always a delay-feasible one, falling back to the
+  /// blank code when no better feasible checkpoint existed yet).
+  Status status = Status::kOk;
 
   double fingerprint_reduction() const {
     return bits_total <= 0 ? 0 : 1.0 - bits_kept / bits_total;
@@ -71,6 +77,11 @@ struct ReactiveOptions {
   /// Trial-remove at most this many candidates per iteration (the most
   /// critical ones); bounds the O(sites^2) worst case on large circuits.
   int max_candidates_per_iteration = 32;
+  /// Deadline / step / cancellation caps. When the budget dies
+  /// mid-restart the heuristic stops at the next checkpoint and returns
+  /// the best feasible code seen so far (HeuristicOutcome::status ==
+  /// kExhausted) instead of running to completion.
+  const Budget* budget = nullptr;
 };
 
 struct ProactiveOptions {
@@ -78,6 +89,10 @@ struct ProactiveOptions {
   /// Try reroute options (earlier-arriving sources) before the generic
   /// trigger injection at each site.
   bool prefer_reroute = true;
+  /// Deadline / step / cancellation caps; on exhaustion the sites kept so
+  /// far (each individually verified feasible) are returned with
+  /// HeuristicOutcome::status == kExhausted.
+  const Budget* budget = nullptr;
 };
 
 /// Runs the reactive heuristic. The embedder's netlist is left in the

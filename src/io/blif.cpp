@@ -3,8 +3,10 @@
 #include <fstream>
 #include <ostream>
 #include <sstream>
+#include <unordered_map>
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
 
 namespace odcfp {
 
@@ -61,37 +63,53 @@ SopNetwork read_blif(std::istream& is) {
   LineReader reader(is);
   std::string line;
 
-  // Pending .names block state.
+  // Pending .names block state. Cube rows remember the line they came
+  // from so every diagnostic can name its source line.
+  struct Row {
+    std::string bits;
+    int line;
+  };
   bool in_names = false;
+  int names_line = 0;  // line of the pending .names header
   SignalId target = kInvalidSignal;
   SopNode node;
-  std::vector<std::string> onset_rows, offset_rows;
+  std::vector<Row> onset_rows, offset_rows;
+  // Where each signal got its defining .names (for redefinition errors).
+  std::unordered_map<SignalId, int> defined_at;
+  // Where each signal was declared a primary input.
+  std::unordered_map<SignalId, int> input_at;
 
   auto flush_names = [&]() {
     if (!in_names) return;
     ODCFP_CHECK_MSG(onset_rows.empty() || offset_rows.empty(),
                     "mixed on-set/off-set cover for '"
-                        << sop.signal_name(target) << "'");
+                        << sop.signal_name(target)
+                        << "' in .names at line " << names_line);
     const bool use_offset = !offset_rows.empty();
     const auto& rows = use_offset ? offset_rows : onset_rows;
     node.complemented = use_offset;
-    for (const std::string& row : rows) {
-      ODCFP_CHECK_MSG(row.size() == node.fanins.size(),
+    for (const Row& row : rows) {
+      ODCFP_CHECK_MSG(row.bits.size() == node.fanins.size(),
                       "cube width mismatch for '"
-                          << sop.signal_name(target) << "'");
+                          << sop.signal_name(target) << "' at line "
+                          << row.line << " (expected "
+                          << node.fanins.size() << " columns, got "
+                          << row.bits.size() << ")");
       SopCube cube;
-      for (char c : row) {
+      for (char c : row.bits) {
         switch (c) {
           case '0': cube.lits.push_back(CubeLit::kNeg); break;
           case '1': cube.lits.push_back(CubeLit::kPos); break;
           case '-': cube.lits.push_back(CubeLit::kDontCare); break;
           default:
-            ODCFP_CHECK_MSG(false, "bad cube character '" << c << "'");
+            ODCFP_CHECK_MSG(false, "bad cube character '"
+                                       << c << "' at line " << row.line);
         }
       }
       node.cubes.push_back(std::move(cube));
     }
     sop.set_node(target, std::move(node));
+    defined_at.emplace(target, names_line);
     node = SopNode{};
     onset_rows.clear();
     offset_rows.clear();
@@ -100,6 +118,7 @@ SopNetwork read_blif(std::istream& is) {
 
   bool saw_model = false;
   while (reader.next(line)) {
+    ODCFP_FAULT_POINT("io.blif.line");
     const std::vector<std::string> toks = tokenize(line);
     if (toks.empty()) continue;
     const std::string& cmd = toks[0];
@@ -107,12 +126,30 @@ SopNetwork read_blif(std::istream& is) {
     if (cmd[0] == '.') {
       if (cmd != ".names") flush_names();
       if (cmd == ".model") {
-        ODCFP_CHECK_MSG(!saw_model, "multiple .model sections");
+        ODCFP_CHECK_MSG(!saw_model, "multiple .model sections at line "
+                                        << reader.lineno());
         saw_model = true;
         if (toks.size() > 1) sop.set_name(toks[1]);
       } else if (cmd == ".inputs") {
         for (std::size_t i = 1; i < toks.size(); ++i) {
-          sop.mark_input(sop.signal(toks[i]));
+          const SignalId sig = sop.signal(toks[i]);
+          const auto prev = input_at.find(sig);
+          ODCFP_CHECK_MSG(prev == input_at.end(),
+                          "primary input '"
+                              << toks[i] << "' redeclared at line "
+                              << reader.lineno()
+                              << " (first declared at line "
+                              << prev->second << ")");
+          const auto def = defined_at.find(sig);
+          ODCFP_CHECK_MSG(def == defined_at.end(),
+                          "signal '" << toks[i]
+                                     << "' declared .inputs at line "
+                                     << reader.lineno()
+                                     << " but already defined by .names "
+                                        "at line "
+                                     << def->second);
+          input_at.emplace(sig, reader.lineno());
+          sop.mark_input(sig);
         }
       } else if (cmd == ".outputs") {
         for (std::size_t i = 1; i < toks.size(); ++i) {
@@ -123,7 +160,23 @@ SopNetwork read_blif(std::istream& is) {
         ODCFP_CHECK_MSG(toks.size() >= 2, "empty .names at line "
                                               << reader.lineno());
         in_names = true;
+        names_line = reader.lineno();
         target = sop.signal(toks.back());
+        const auto prev = defined_at.find(target);
+        ODCFP_CHECK_MSG(prev == defined_at.end(),
+                        "duplicate .names output '"
+                            << toks.back() << "' at line "
+                            << reader.lineno()
+                            << " (first defined at line " << prev->second
+                            << ")");
+        const auto pi = input_at.find(target);
+        ODCFP_CHECK_MSG(pi == input_at.end(),
+                        "primary input '"
+                            << toks.back()
+                            << "' redefined by .names at line "
+                            << reader.lineno() << " (declared .inputs at "
+                                                  "line "
+                            << pi->second << ")");
         node.fanins.clear();
         for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
           node.fanins.push_back(sop.signal(toks[i]));
@@ -132,8 +185,9 @@ SopNetwork read_blif(std::istream& is) {
         flush_names();
         break;
       } else if (cmd == ".latch") {
-        ODCFP_CHECK_MSG(false,
-                        "sequential BLIF (.latch) is not supported");
+        ODCFP_CHECK_MSG(false, "sequential BLIF (.latch) is not "
+                               "supported, at line "
+                                   << reader.lineno());
       } else {
         // .default_input_arrival and friends: ignore.
       }
@@ -148,7 +202,7 @@ SopNetwork read_blif(std::istream& is) {
       ODCFP_CHECK_MSG(toks.size() == 1 && toks[0].size() == 1,
                       "bad constant row at line " << reader.lineno());
       if (toks[0] == "1") {
-        onset_rows.push_back("");
+        onset_rows.push_back({"", reader.lineno()});
       }  // "0" rows for constants add nothing to the on-set.
     } else {
       ODCFP_CHECK_MSG(toks.size() == 2, "bad cube row at line "
@@ -156,16 +210,39 @@ SopNetwork read_blif(std::istream& is) {
       ODCFP_CHECK_MSG(toks[1] == "1" || toks[1] == "0",
                       "bad cube output at line " << reader.lineno());
       if (toks[1] == "1") {
-        onset_rows.push_back(toks[0]);
+        onset_rows.push_back({toks[0], reader.lineno()});
       } else {
-        offset_rows.push_back(toks[0]);
+        offset_rows.push_back({toks[0], reader.lineno()});
       }
     }
   }
   flush_names();
-  ODCFP_CHECK_MSG(saw_model, "missing .model");
+  ODCFP_CHECK_MSG(saw_model,
+                  "missing .model (input ends at line " << reader.lineno()
+                                                        << ")");
   sop.validate();
   return sop;
+}
+
+Outcome<SopNetwork> try_read_blif(std::istream& is) {
+  try {
+    return Outcome<SopNetwork>::success(read_blif(is));
+  } catch (const CheckError& e) {
+    return Outcome<SopNetwork>::malformed(e.what());
+  }
+}
+
+Outcome<SopNetwork> try_read_blif_string(const std::string& text) {
+  std::istringstream is(text);
+  return try_read_blif(is);
+}
+
+Outcome<SopNetwork> try_read_blif_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) {
+    return Outcome<SopNetwork>::malformed("cannot open '" + path + "'");
+  }
+  return try_read_blif(is);
 }
 
 SopNetwork read_blif_string(const std::string& text) {

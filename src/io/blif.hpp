@@ -13,15 +13,25 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/budget.hpp"
 #include "netlist/netlist.hpp"
 #include "synth/sop_network.hpp"
 
 namespace odcfp {
 
-/// Parses BLIF from a stream. Throws CheckError on malformed input.
+/// Parses BLIF from a stream. Throws CheckError on malformed input; every
+/// diagnostic names the offending source line. Duplicate .names outputs
+/// and .names blocks redefining a declared primary input are rejected.
 SopNetwork read_blif(std::istream& is);
 SopNetwork read_blif_string(const std::string& text);
 SopNetwork read_blif_file(const std::string& path);
+
+/// Non-throwing variants for serving paths handling untrusted bytes:
+/// malformed input (including an unopenable file) becomes
+/// Status::kMalformedInput with the parser's diagnostic as message.
+Outcome<SopNetwork> try_read_blif(std::istream& is);
+Outcome<SopNetwork> try_read_blif_string(const std::string& text);
+Outcome<SopNetwork> try_read_blif_file(const std::string& path);
 
 /// Writes a SopNetwork as BLIF.
 void write_blif(std::ostream& os, const SopNetwork& sop);

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
 
 namespace odcfp {
 
@@ -42,6 +43,7 @@ void Netlist::add_output(NetId net, const std::string& port_name) {
 GateId Netlist::add_gate(CellId cell, const std::vector<NetId>& fanins,
                          const std::string& gate_name,
                          const std::string& out_net_name) {
+  ODCFP_FAULT_POINT("netlist.add_gate");
   const Cell& c = library_->cell(cell);
   ODCFP_CHECK_MSG(static_cast<int>(fanins.size()) == c.num_inputs(),
                   "cell " << c.name << " needs " << c.num_inputs()
@@ -416,6 +418,37 @@ std::string Netlist::fresh_gate_name(const std::string& prefix) {
       return candidate;
     }
   }
+}
+
+std::string structural_signature(const Netlist& nl) {
+  std::vector<std::string> lines;
+  lines.reserve(nl.num_live_gates() + nl.inputs().size() +
+                nl.outputs().size());
+  for (NetId pi : nl.inputs()) {
+    lines.push_back("pi " + nl.net(pi).name);
+  }
+  for (const OutputPort& po : nl.outputs()) {
+    lines.push_back("po " + po.name + " = " + nl.net(po.net).name);
+  }
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gt = nl.gate(g);
+    if (gt.is_dead()) continue;
+    std::string line = "gate " + gt.name + " " +
+                       nl.library().cell(gt.cell).name + " (";
+    for (std::size_t i = 0; i < gt.fanins.size(); ++i) {
+      if (i > 0) line += ",";
+      line += nl.net(gt.fanins[i]).name;
+    }
+    line += ") -> " + nl.net(gt.output).name;
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string sig;
+  for (const std::string& l : lines) {
+    sig += l;
+    sig += '\n';
+  }
+  return sig;
 }
 
 std::vector<std::pair<CellKind, std::size_t>> kind_histogram(

@@ -193,6 +193,13 @@ class Netlist {
   std::uint64_t name_counter_ = 0;
 };
 
+/// Canonical name-wise description of the netlist's structure: sorted
+/// lines for PIs, output ports, and live gates (name, cell, fanin net
+/// names, output net name). Two netlists with equal signatures are
+/// structurally identical up to gate/net id numbering. Used to verify
+/// that undoing all fingerprint modifications restores the original.
+std::string structural_signature(const Netlist& nl);
+
 /// Per-kind gate histogram of live gates.
 std::vector<std::pair<CellKind, std::size_t>> kind_histogram(
     const Netlist& nl);

@@ -6,6 +6,8 @@
 #include <unordered_set>
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
+#include "odc/odc.hpp"
 
 namespace odcfp {
 
@@ -33,6 +35,27 @@ BddRef build_gate_bdd(BddManager& mgr, const TruthTable& tt,
 }
 
 }  // namespace
+
+double local_odc_fraction(const Netlist& nl, NetId net) {
+  double fraction = 1.0;
+  for (const FanoutRef& ref : nl.net(net).fanouts) {
+    const TruthTable& tt =
+        nl.library().cell(nl.gate(ref.gate).cell).function;
+    const TruthTable odc = pin_odc(tt, ref.pin);
+    unsigned hidden = 0;
+    for (unsigned p = 0; p < odc.num_rows(); ++p) {
+      if (odc.eval(p)) ++hidden;
+    }
+    fraction *= static_cast<double>(hidden) /
+                static_cast<double>(odc.num_rows());
+    if (fraction == 0.0) break;
+  }
+  // An output-port net is directly observable: no ODC through that path.
+  for (const OutputPort& po : nl.outputs()) {
+    if (po.net == net) return 0.0;
+  }
+  return fraction;
+}
 
 WindowOdcResult window_odc(const Netlist& nl, NetId net,
                            const WindowOptions& options) {
@@ -94,7 +117,8 @@ WindowOdcResult window_odc(const Netlist& nl, NetId net,
   std::sort(side_inputs.begin(), side_inputs.end());
   result.window_inputs = static_cast<int>(side_inputs.size());
   if (result.window_inputs > options.max_window_inputs) {
-    return result;  // computed == false
+    result.status = Status::kInfeasible;  // refused by the input cap
+    return result;                        // computed == false
   }
 
   // 3. Evaluate the window twice (net = 0 and net = 1) over BDDs.
@@ -110,6 +134,18 @@ WindowOdcResult window_odc(const Netlist& nl, NetId net,
 
   for (GateId g : nl.topo_order()) {
     if (!window.count(g)) continue;
+    ODCFP_FAULT_POINT("odc.window.gate");
+    // Degradation point: BDD blow-up or budget expiry mid-window falls
+    // back to the sound local Eq. 1 estimate instead of churning on.
+    if (mgr.size() > options.max_bdd_nodes ||
+        !budget_charge(options.budget)) {
+      result.computed = true;
+      result.degraded = true;
+      result.status = Status::kExhausted;
+      result.output_closed = false;
+      result.odc_fraction = local_odc_fraction(nl, net);
+      return result;
+    }
     const TruthTable& tt = nl.library().cell(nl.gate(g).cell).function;
     std::vector<BddRef> in0, in1;
     for (NetId in : nl.gate(g).fanins) {
@@ -176,6 +212,7 @@ WindowSdcResult window_sdc(const Netlist& nl, GateId gate,
   std::sort(boundary.begin(), boundary.end());
   result.cone_inputs = static_cast<int>(boundary.size());
   if (result.cone_inputs > options.max_window_inputs) {
+    result.status = Status::kInfeasible;
     return result;
   }
 
@@ -187,6 +224,17 @@ WindowSdcResult window_sdc(const Netlist& nl, GateId gate,
   }
   for (GateId g : nl.topo_order()) {
     if (!cone.count(g)) continue;
+    ODCFP_FAULT_POINT("odc.sdc.gate");
+    // Degradation point: an empty impossible set is always sound (it
+    // merely claims nothing about reachability), so a blown node cap or
+    // budget reports "no patterns proved impossible" rather than failing.
+    if (mgr.size() > options.max_bdd_nodes ||
+        !budget_charge(options.budget)) {
+      result.computed = true;
+      result.degraded = true;
+      result.status = Status::kExhausted;
+      return result;
+    }
     const TruthTable& tt = nl.library().cell(nl.gate(g).cell).function;
     std::vector<BddRef> ins;
     for (NetId in : nl.gate(g).fanins) {

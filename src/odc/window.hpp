@@ -22,6 +22,7 @@
 #pragma once
 
 #include "bdd/bdd.hpp"
+#include "common/budget.hpp"
 #include "netlist/netlist.hpp"
 
 namespace odcfp {
@@ -31,6 +32,12 @@ struct WindowOptions {
   int depth = 3;
   /// Skip windows with more free variables than this (BDD size guard).
   int max_window_inputs = 16;
+  /// Abort the window once the BDD manager holds this many nodes and
+  /// degrade to the local Eq. 1 estimate (window_odc) / the sound partial
+  /// result (window_sdc). Caps the worst-case memory per window.
+  std::size_t max_bdd_nodes = 1u << 20;
+  /// Optional deadline / step / cancellation caps (nullptr = unlimited).
+  const Budget* budget = nullptr;
 };
 
 struct WindowOdcResult {
@@ -39,15 +46,31 @@ struct WindowOdcResult {
                                ///< hiding the net (0 = always observable
                                ///< through the window).
   bool output_closed = false;  ///< window reached only POs (result exact).
+  /// True when the BDD build hit the node cap or the budget and the
+  /// reported fraction is the local one-level Eq. 1 estimate instead of
+  /// the exact window condition. status is kExhausted in that case.
+  bool degraded = false;
+  Status status = Status::kOk;
   int window_inputs = 0;
   std::size_t window_gates = 0;
 };
+
+/// Local Eq. 1 estimate of a net's ODC fraction: per fanout pin, the
+/// fraction of the other-pin assignments hiding the net through that
+/// cell, combined across fanout pins under an independence assumption.
+/// Exact for a single fanout whose side inputs are uniform and
+/// independent; used as the degradation fallback of window_odc.
+double local_odc_fraction(const Netlist& nl, NetId net);
 
 WindowOdcResult window_odc(const Netlist& nl, NetId net,
                            const WindowOptions& options = {});
 
 struct WindowSdcResult {
   bool computed = false;
+  /// True when the cone build hit the node cap or budget; the reported
+  /// impossible set is then a sound subset (possibly empty) of the truth.
+  bool degraded = false;
+  Status status = Status::kOk;
   int num_patterns = 0;         ///< 2^k for a k-input gate.
   int impossible_patterns = 0;  ///< provably unreachable input patterns.
   unsigned impossible_mask = 0; ///< bit p set = pattern p unreachable.

@@ -225,9 +225,17 @@ std::uint64_t Solver::luby(std::uint64_t i) {
 }
 
 Solver::Result Solver::solve(const std::vector<Lit>& assumptions,
-                             std::int64_t conflict_limit) {
+                             std::int64_t conflict_limit,
+                             const Budget* budget) {
   if (!ok_) return Result::kUnsat;
   backtrack(0);
+  // Fold the budget's conflict quota into the explicit limit (tighter
+  // wins); the deadline / cancellation axes are checked per conflict.
+  if (budget != nullptr && budget->conflicts() >= 0 &&
+      (conflict_limit < 0 || budget->conflicts() < conflict_limit)) {
+    conflict_limit = budget->conflicts();
+  }
+  if (budget_exhausted(budget)) return Result::kUnknown;
 
   std::uint64_t restart_count = 0;
   std::uint64_t restart_budget = 64 * luby(restart_count);
@@ -276,6 +284,13 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions,
       }
       decay_activities();
       if (conflict_limit >= 0 && total_conflicts >= conflict_limit) {
+        backtrack(0);
+        return Result::kUnknown;
+      }
+      // Conflicts are the solver's unit of progress: charging one step
+      // per conflict makes a Budget step quota a portable effort cap, and
+      // exhausted() amortizes its own clock reads for the deadline axis.
+      if (budget != nullptr && !budget->charge()) {
         backtrack(0);
         return Result::kUnknown;
       }

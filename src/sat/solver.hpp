@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/budget.hpp"
+
 namespace odcfp::sat {
 
 using Var = std::int32_t;
@@ -77,10 +79,15 @@ class Solver {
     return add_clause(std::vector<Lit>{a, b, c});
   }
 
-  /// Solves under optional assumptions. conflict_limit < 0 means no limit
-  /// (kUnknown is only returned when a limit is hit).
+  /// Solves under optional assumptions. conflict_limit < 0 means no limit.
+  /// `budget` (optional) adds a wall-clock deadline / step quota /
+  /// cancellation token checked alongside the conflict limit; its own
+  /// conflict quota (Budget::conflicts()) combines with `conflict_limit`
+  /// by taking the tighter of the two. kUnknown is only returned when a
+  /// limit or the budget is hit.
   Result solve(const std::vector<Lit>& assumptions = {},
-               std::int64_t conflict_limit = -1);
+               std::int64_t conflict_limit = -1,
+               const Budget* budget = nullptr);
 
   /// Model access after Result::kSat.
   bool model_value(Var v) const;

@@ -109,6 +109,86 @@ TEST(BlifReader, RejectsLatchesAndMalformed) {
       CheckError);
 }
 
+/// Runs the parser on `text`, expecting a CheckError, and returns its
+/// diagnostic message.
+std::string parse_error(const std::string& text) {
+  try {
+    read_blif_string(text);
+  } catch (const CheckError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected CheckError for:\n" << text;
+  return {};
+}
+
+TEST(BlifDiagnostics, ErrorsCarryLineNumbers) {
+  // Each malformed construct must name the offending line.
+  EXPECT_NE(parse_error(".model x\n.inputs a b\n.outputs f\n"
+                        ".names a b f\n111 1\n.end\n")
+                .find("line 5"),
+            std::string::npos);  // cube width mismatch on line 5
+  EXPECT_NE(parse_error(".model x\n.inputs a\n.outputs f\n"
+                        ".names a f\n2 1\n.end\n")
+                .find("line 5"),
+            std::string::npos);  // bad cube character on line 5
+  EXPECT_NE(parse_error(".model x\n.latch a b\n.end\n").find("line 2"),
+            std::string::npos);
+  EXPECT_NE(parse_error(".model x\n.model y\n.end\n").find("line 2"),
+            std::string::npos);
+  EXPECT_NE(parse_error(".model x\n.inputs a b\n.outputs f\n"
+                        ".names a b f\n11 1\n00 0\n.end\n")
+                .find("line 4"),
+            std::string::npos);  // mixed cover names the .names line
+}
+
+TEST(BlifDiagnostics, RejectsDuplicateNamesOutput) {
+  const std::string msg = parse_error(
+      ".model x\n.inputs a b\n.outputs f\n"
+      ".names a f\n1 1\n"
+      ".names b f\n1 1\n.end\n");
+  EXPECT_NE(msg.find("duplicate .names output 'f'"), std::string::npos);
+  EXPECT_NE(msg.find("line 6"), std::string::npos);
+  EXPECT_NE(msg.find("first defined at line 4"), std::string::npos);
+}
+
+TEST(BlifDiagnostics, RejectsNamesRedefiningPrimaryInput) {
+  const std::string msg = parse_error(
+      ".model x\n.inputs a b\n.outputs f\n"
+      ".names b a\n1 1\n"
+      ".names a f\n1 1\n.end\n");
+  EXPECT_NE(msg.find("primary input 'a' redefined"), std::string::npos);
+  EXPECT_NE(msg.find("line 4"), std::string::npos);
+}
+
+TEST(BlifDiagnostics, RejectsRedeclaredInput) {
+  const std::string msg = parse_error(
+      ".model x\n.inputs a b\n.inputs a\n.outputs f\n"
+      ".names a f\n1 1\n.end\n");
+  EXPECT_NE(msg.find("redeclared"), std::string::npos);
+  EXPECT_NE(msg.find("line 3"), std::string::npos);
+}
+
+TEST(BlifDiagnostics, RejectsInputDeclaredAfterNamesDefinition) {
+  const std::string msg = parse_error(
+      ".model x\n.inputs a\n.outputs f\n"
+      ".names a f\n1 1\n.inputs f\n.end\n");
+  EXPECT_NE(msg.find("already defined by .names"), std::string::npos);
+  EXPECT_NE(msg.find("line 6"), std::string::npos);
+}
+
+TEST(BlifTryRead, SuccessAndMalformedOutcomes) {
+  const Outcome<SopNetwork> good = try_read_blif_string(kSmallBlif);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value().name(), "tiny");
+  EXPECT_DOUBLE_EQ(good.confidence(), 1.0);
+
+  const Outcome<SopNetwork> bad =
+      try_read_blif_string(".model x\n.latch a b\n.end\n");
+  EXPECT_EQ(bad.status(), Status::kMalformedInput);
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_NE(bad.message().find(".latch"), std::string::npos);
+}
+
 TEST(BlifRoundTrip, SopNetwork) {
   const SopNetwork sop = read_blif_string(kSmallBlif);
   std::ostringstream os;

@@ -177,6 +177,58 @@ TEST(Embedder, LenientExtractionReportsDamage) {
   EXPECT_EQ(ok.code, e2.current_code());
 }
 
+TEST(Embedder, InterleavedApplyRemoveOrdersRestoreStructure) {
+  // Regression for remove_all()'s restoration contract: arbitrary
+  // interleavings of apply and remove — including re-applying sites that
+  // were just removed, with different options — must leave remove_all()
+  // able to restore the exact golden structure, compared name-wise via
+  // structural_signature (id-numbering independent, so it also holds in
+  // Release builds where the internal ODCFP_DCHECK is compiled out).
+  const Netlist golden = make_benchmark("c432");
+  const auto locs = find_locations(golden);
+  Netlist work = golden;
+  const std::string golden_sig = structural_signature(work);
+  FingerprintEmbedder e(work, locs);
+
+  Rng rng(2026);
+  std::vector<int> applied(e.num_sites(), 0);
+  for (int step = 0; step < 400; ++step) {
+    const std::size_t f = rng.next_below(e.num_sites());
+    const auto ref = e.site_ref(f);
+    if (applied[f] != 0) {
+      e.remove(ref.loc, ref.site);
+      applied[f] = 0;
+    } else {
+      const auto& options = locs[ref.loc].sites[ref.site].options;
+      const int option =
+          1 + static_cast<int>(rng.next_below(options.size()));
+      e.apply(ref.loc, ref.site, option);
+      applied[f] = option;
+    }
+    if (step % 50 == 0) work.validate(/*allow_dangling=*/true);
+  }
+  // Whatever ended up applied still preserves function.
+  EXPECT_TRUE(random_sim_equal(golden, work, 16, 11));
+  e.remove_all();
+  EXPECT_EQ(e.num_applied(), 0u);
+  EXPECT_EQ(structural_signature(work), golden_sig);
+}
+
+TEST(Embedder, SignatureDetectsResidue) {
+  // structural_signature must actually distinguish a modified netlist —
+  // otherwise the restoration checks above prove nothing.
+  const Netlist golden = make_benchmark("c17");
+  const auto locs = find_locations(golden);
+  ASSERT_FALSE(locs.empty());
+  Netlist work = golden;
+  const std::string golden_sig = structural_signature(work);
+  FingerprintEmbedder e(work, locs);
+  e.apply(0, 0, 1);
+  EXPECT_NE(structural_signature(work), golden_sig);
+  e.remove(0, 0);
+  EXPECT_EQ(structural_signature(work), golden_sig);
+}
+
 TEST(Embedder, WideSiteFallsBackToAppend) {
   // A 4-input AND site cannot widen (no AND5 in the library): the
   // modification must append a gate and still preserve function.

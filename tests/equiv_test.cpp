@@ -132,5 +132,88 @@ TEST(VerifyEquivalence, MismatchedInterfacesThrow) {
   EXPECT_THROW(verify_equivalence(a, b), CheckError);
 }
 
+// ---- budgeted verification (graceful degradation) ----
+
+TEST(BudgetedCec, ProvesWithinGenerousBudget) {
+  Budget budget = Budget::deadline_ms(60000);
+  const Outcome<CecResult> out =
+      verify_equivalence_budgeted(and3_flat(), and3_tree(), &budget);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value().equivalent());
+  EXPECT_DOUBLE_EQ(out.confidence(), 1.0);
+}
+
+TEST(BudgetedCec, DifferenceIsExactEvenUnderTinyBudget) {
+  // Refutation comes from simulation, which a small budget still affords;
+  // a found difference is an exact verdict, not a degraded one.
+  Budget budget;
+  budget.with_conflicts(1);
+  const Outcome<CecResult> out =
+      verify_equivalence_budgeted(and3_flat(), and3_wrong(), &budget);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().status, CecResult::Status::kDifferent);
+  EXPECT_EQ(out.value().counterexample.size(), 3u);
+}
+
+TEST(BudgetedCec, SatExhaustionFallsBackToSimulationVerdict) {
+  // A real miter (c880, 60 PIs — too wide for the exhaustive checker)
+  // under a conflict budget far too small for the UNSAT proof: the checker
+  // must return kExhausted with simulation evidence — not throw, and not
+  // run the proof to completion.
+  const SopNetwork sop = make_benchmark_sop("c880");
+  MapperOptions o1, o2;
+  o1.seed = 1;
+  o2.seed = 999;
+  o2.nand_nor_fraction = 0.3;
+  const Netlist a = map_to_cells(sop, default_cell_library(), o1);
+  const Netlist b = map_to_cells(sop, default_cell_library(), o2);
+
+  Budget budget;
+  budget.with_conflicts(2);
+  const Outcome<CecResult> out =
+      verify_equivalence_budgeted(a, b, &budget);
+  EXPECT_EQ(out.status(), Status::kExhausted);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value().status, CecResult::Status::kUnknown);
+  EXPECT_EQ(out.value().method, "sat+sim-fallback");
+  EXPECT_LE(out.value().sat_stats.conflicts, 2u);
+  // The fallback simulation accumulated real evidence of equivalence.
+  EXPECT_GT(out.confidence(), 0.0);
+  EXPECT_LT(out.confidence(), 1.0);
+  EXPECT_FALSE(out.message().empty());
+}
+
+TEST(BudgetedCec, StepQuotaExhaustsWithoutHanging) {
+  const Netlist golden = make_benchmark("c880");
+  const Netlist copy = golden;
+  Budget budget = Budget::steps(4);
+  const Outcome<CecResult> out =
+      verify_equivalence_budgeted(golden, copy, &budget);
+  // Whatever evidence was gathered, the call returns promptly with a
+  // typed status (a 4-step budget cannot finish the UNSAT proof).
+  EXPECT_EQ(out.status(), Status::kExhausted);
+}
+
+TEST(BudgetedCec, MismatchedInterfacesReturnMalformed) {
+  Netlist a(&default_cell_library(), "a");
+  const NetId x = a.add_input("x");
+  a.add_output(x, "f");
+  Netlist b(&default_cell_library(), "b");
+  const NetId y = b.add_input("y");
+  b.add_output(y, "f");
+  const Outcome<CecResult> out =
+      verify_equivalence_budgeted(a, b, nullptr);
+  EXPECT_EQ(out.status(), Status::kMalformedInput);
+  EXPECT_FALSE(out.has_value());
+  EXPECT_FALSE(out.message().empty());
+}
+
+TEST(BudgetedCec, NullBudgetProvesLikeUnbudgeted) {
+  const Outcome<CecResult> out =
+      verify_equivalence_budgeted(and3_flat(), and3_tree(), nullptr);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value().equivalent());
+}
+
 }  // namespace
 }  // namespace odcfp
