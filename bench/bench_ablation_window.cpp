@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "common/parallel.hpp"
 #include "fingerprint/sdc_fingerprint.hpp"
 #include "odc/window.hpp"
 
@@ -18,6 +19,7 @@ using namespace odcfp;
 using namespace odcfp::bench;
 
 int main() {
+  ThreadPool pool;  // hardware concurrency; windows are independent
   std::printf("WINDOW DON'T-CARE ABLATION (exact, BDD-based)\n\n");
   std::printf("%-7s | %21s | %21s | %21s\n", "", "depth 1", "depth 2",
               "depth 3");
@@ -46,8 +48,11 @@ int main() {
       opt.max_window_inputs = 16;
       std::size_t computed = 0, hidden = 0;
       double sum_frac = 0;
-      for (std::size_t i = 0; i < sample; ++i) {
-        const WindowOdcResult r = window_odc(nl, internal[i], opt);
+      const std::vector<NetId> nets(internal.begin(),
+                                    internal.begin() +
+                                        static_cast<std::ptrdiff_t>(sample));
+      for (const WindowOdcResult& r : window_odc_batch(nl, nets, opt,
+                                                       &pool)) {
         if (!r.computed) continue;
         ++computed;
         sum_frac += r.odc_fraction;

@@ -1,0 +1,120 @@
+#include "fingerprint/batch.hpp"
+
+#include <utility>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+
+namespace odcfp {
+
+namespace {
+
+/// Per-buyer seed stream: a fixed function of the base seed and the
+/// buyer index (never of scheduling order). The multiplier keeps buyer 0
+/// from collapsing onto the base seed itself.
+std::uint64_t derive_seed(std::uint64_t base, std::size_t buyer) {
+  Rng mix(base ^ (0x9e3779b97f4a7c15ull *
+                  (static_cast<std::uint64_t>(buyer) + 1)));
+  return mix.next_u64();
+}
+
+/// Stamps one buyer edition: clone, embed site-by-site with incremental
+/// arrival maintenance, measure. Pure function of (golden, book, buyer).
+BuyerEdition make_edition(const Netlist& golden, const Codebook& book,
+                          std::size_t buyer, const Baseline& baseline,
+                          const StaticTimingAnalyzer& sta,
+                          const PowerAnalyzer& power,
+                          const BatchOptions& options) {
+  BuyerEdition edition;
+  edition.buyer = buyer;
+  edition.seed = derive_seed(options.seed, buyer);
+  edition.code = book.code(buyer);
+  edition.netlist = golden;  // private clone: workers never share state
+
+  FingerprintEmbedder embedder(edition.netlist, book.locations());
+  ArrivalTracker tracker(edition.netlist, sta);
+  for (std::size_t l = 0; l < edition.code.size(); ++l) {
+    for (std::size_t s = 0; s < edition.code[l].size(); ++s) {
+      const int option = edition.code[l][s];
+      if (option == 0) continue;
+      embedder.apply(l, s, option);
+      tracker.update(
+          timing_seeds(edition.netlist, embedder.touched_gates(l, s)));
+    }
+  }
+
+  edition.critical_delay = tracker.critical_delay();
+  edition.overheads =
+      Overheads::measure(edition.netlist, baseline, sta, power);
+  if (options.max_delay_overhead > 0 &&
+      edition.overheads.delay_ratio > options.max_delay_overhead) {
+    edition.status = Status::kInfeasible;
+  }
+  return edition;
+}
+
+}  // namespace
+
+BatchResult batch_fingerprint(const Netlist& golden, const Codebook& book,
+                              const StaticTimingAnalyzer& sta,
+                              const PowerAnalyzer& power,
+                              const BatchOptions& options) {
+  BatchResult result;
+  result.baseline = Baseline::measure(golden, sta, power);
+
+  // Pre-fill the skipped-edition marker so slots the pool never reaches
+  // (shared budget died) read as kExhausted, not as stamped editions.
+  result.editions.resize(book.num_buyers());
+  for (std::size_t b = 0; b < result.editions.size(); ++b) {
+    result.editions[b].buyer = b;
+    result.editions[b].seed = derive_seed(options.seed, b);
+    result.editions[b].status = Status::kExhausted;
+  }
+
+  const Status loop_status = parallel_for(
+      options.pool, book.num_buyers(),
+      [&](std::size_t b) {
+        result.editions[b] = make_edition(golden, book, b, result.baseline,
+                                          sta, power, options);
+      },
+      options.budget);
+
+  result.status = loop_status;
+  if (result.status == Status::kOk) {
+    for (const BuyerEdition& e : result.editions) {
+      if (e.status == Status::kInfeasible) {
+        result.status = Status::kInfeasible;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<Outcome<CecResult>> batch_verify_equivalence(
+    const Netlist& golden, const std::vector<BuyerEdition>& editions,
+    const BatchCecOptions& options) {
+  std::vector<Outcome<CecResult>> verdicts(
+      editions.size(),
+      Outcome<CecResult>::exhausted("edition skipped: batch budget died"));
+
+  parallel_for(
+      options.pool, editions.size(),
+      [&](std::size_t i) {
+        const BuyerEdition& e = editions[i];
+        if (e.status == Status::kExhausted) {
+          verdicts[i] = Outcome<CecResult>::exhausted(
+              "edition was never stamped (batch budget died)");
+          return;
+        }
+        BudgetedCecOptions cec = options.cec;
+        cec.seed = e.seed;  // per-buyer stream, not per-worker
+        verdicts[i] =
+            verify_equivalence_budgeted(golden, e.netlist,
+                                        options.budget, cec);
+      },
+      options.budget);
+  return verdicts;
+}
+
+}  // namespace odcfp

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "common/check.hpp"
@@ -121,11 +120,19 @@ FingerprintCode collude(const Codebook& book,
               rng.next_below(observed.size()))];
           break;
         case CollusionStrategy::kMajority: {
-          std::unordered_map<std::uint8_t, int> counts;
-          for (std::uint8_t v : observed) counts[v]++;
+          // Deterministic tie-break: among the most frequent observed
+          // values, take the smallest. (An unordered_map scan here let
+          // the stdlib's hash iteration order decide ties, so kMajority
+          // results differed across standard-library implementations.)
           std::uint8_t best = observed[0];
-          for (const auto& [v, c] : counts) {
-            if (c > counts[best]) best = v;
+          int best_count = 0;
+          for (std::uint8_t v : observed) {
+            const int c = static_cast<int>(
+                std::count(observed.begin(), observed.end(), v));
+            if (c > best_count || (c == best_count && v < best)) {
+              best = v;
+              best_count = c;
+            }
           }
           attacked[l][s] = best;
           break;

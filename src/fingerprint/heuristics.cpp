@@ -20,17 +20,27 @@ Baseline Baseline::measure(const Netlist& golden,
   return b;
 }
 
+namespace {
+
+/// (current - base) / base, except that a degenerate zero baseline must
+/// not mask a real cost: any positive current value over a zero baseline
+/// is an infinite relative overhead, not zero. Zero over zero is a true
+/// no-op and stays 0.
+double overhead_ratio(double current, double base) {
+  if (base > 0) return current / base - 1.0;
+  return current > 0 ? std::numeric_limits<double>::infinity() : 0.0;
+}
+
+}  // namespace
+
 Overheads Overheads::measure(const Netlist& nl, const Baseline& base,
                              const StaticTimingAnalyzer& sta,
                              const PowerAnalyzer& power) {
   Overheads o;
-  o.area_ratio = base.area > 0 ? nl.total_area() / base.area - 1.0 : 0.0;
-  o.delay_ratio =
-      base.delay > 0 ? sta.critical_delay(nl) / base.delay - 1.0 : 0.0;
+  o.area_ratio = overhead_ratio(nl.total_area(), base.area);
+  o.delay_ratio = overhead_ratio(sta.critical_delay(nl), base.delay);
   o.power_ratio =
-      base.power > 0
-          ? power.analyze(nl).dynamic_power / base.power - 1.0
-          : 0.0;
+      overhead_ratio(power.analyze(nl).dynamic_power, base.power);
   return o;
 }
 
@@ -53,9 +63,8 @@ double applied_bits(const FingerprintEmbedder& e) {
   return bits;
 }
 
-/// Seed set for ArrivalTracker::update after modifying `gates`: the gates
-/// themselves, the drivers of their fanins (output loads changed), and
-/// the sinks of their outputs (they may now read different nets).
+}  // namespace
+
 std::vector<GateId> timing_seeds(const Netlist& nl,
                                  const std::vector<GateId>& gates) {
   std::vector<GateId> seeds;
@@ -72,6 +81,8 @@ std::vector<GateId> timing_seeds(const Netlist& nl,
   }
   return seeds;
 }
+
+namespace {
 
 HeuristicOutcome make_outcome(FingerprintEmbedder& e,
                               const Baseline& baseline,
@@ -96,6 +107,8 @@ struct ReactiveRun {
   double delay = std::numeric_limits<double>::infinity();
   bool met_budget = false;
   bool truncated = false;  ///< Resource budget died mid-run.
+  std::size_t random_kicks = 0;           ///< Kicks taken, whole run.
+  std::size_t max_consecutive_kicks = 0;  ///< Longest kick streak.
 };
 
 ReactiveRun reactive_once(FingerprintEmbedder& e,
@@ -109,7 +122,14 @@ ReactiveRun reactive_once(FingerprintEmbedder& e,
   ArrivalTracker tracker(nl, sta);
   ++evals;
   double cur = tracker.critical_delay();
+  // `kicks` counts *consecutive* failed-greedy escapes: a successful
+  // greedy removal resets it, so max_random_kicks bounds how long the
+  // heuristic flails without progress, not how often it may ever kick
+  // over an arbitrarily long run. (The counter used to be cumulative,
+  // which ended long runs that were still making greedy progress.)
   int kicks = 0;
+  std::size_t total_kicks = 0;
+  std::size_t max_streak = 0;
   bool truncated = false;
 
   while (cur > budget && e.num_applied() > 0) {
@@ -187,12 +207,15 @@ ReactiveRun reactive_once(FingerprintEmbedder& e,
       e.remove(ref.loc, ref.site);
       tracker.update(pre);
       cur = tracker.critical_delay();
+      kicks = 0;  // greedy progress: the escape budget starts over
       continue;
     }
 
     // No single removal improves the delay: remove a random applied
     // modification (the paper's randomized escape).
     if (++kicks > opt.max_random_kicks) break;
+    ++total_kicks;
+    max_streak = std::max(max_streak, static_cast<std::size_t>(kicks));
     std::vector<std::size_t> applied;
     for (std::size_t f = 0; f < e.num_sites(); ++f) {
       const auto ref = e.site_ref(f);
@@ -215,6 +238,8 @@ ReactiveRun reactive_once(FingerprintEmbedder& e,
   run.delay = cur;
   run.met_budget = cur <= budget;
   run.truncated = truncated;
+  run.random_kicks = total_kicks;
+  run.max_consecutive_kicks = max_streak;
   return run;
 }
 
@@ -231,6 +256,8 @@ HeuristicOutcome reactive_reduce(FingerprintEmbedder& embedder,
   ReactiveRun best;
   bool have_best = false;
   bool truncated = false;
+  std::size_t total_kicks = 0;
+  std::size_t max_streak = 0;
   for (int r = 0; r < std::max(1, options.restarts); ++r) {
     if (r > 0 && budget_exhausted(options.budget)) {
       truncated = true;
@@ -240,6 +267,8 @@ HeuristicOutcome reactive_reduce(FingerprintEmbedder& embedder,
         reactive_once(embedder, sta, budget, options,
                       options.seed + static_cast<std::uint64_t>(r), evals);
     truncated = truncated || run.truncated;
+    total_kicks += run.random_kicks;
+    max_streak = std::max(max_streak, run.max_consecutive_kicks);
     const bool better =
         !have_best ||
         (run.met_budget && !best.met_budget) ||
@@ -266,6 +295,8 @@ HeuristicOutcome reactive_reduce(FingerprintEmbedder& embedder,
   embedder.apply_code(best.code);
   HeuristicOutcome out = make_outcome(embedder, baseline, sta, power, evals);
   out.status = truncated ? Status::kExhausted : Status::kOk;
+  out.random_kicks = total_kicks;
+  out.max_consecutive_kicks = max_streak;
   return out;
 }
 

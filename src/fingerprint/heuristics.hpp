@@ -38,6 +38,9 @@ struct Baseline {
 };
 
 /// Overheads of the current (possibly fingerprinted) netlist vs baseline.
+/// A degenerate zero baseline axis (area/delay/power == 0) reports +inf
+/// for any positive measured value on that axis instead of masking the
+/// cost as 0.0; zero-over-zero stays 0.
 struct Overheads {
   double area_ratio = 0;   ///< (area - base) / base
   double delay_ratio = 0;
@@ -61,6 +64,11 @@ struct HeuristicOutcome {
   /// reactive_reduce always a delay-feasible one, falling back to the
   /// blank code when no better feasible checkpoint existed yet).
   Status status = Status::kOk;
+  /// Random escapes taken across the whole run (all restarts). Can exceed
+  /// ReactiveOptions::max_random_kicks, which bounds only the longest
+  /// *consecutive* streak without greedy progress.
+  std::size_t random_kicks = 0;
+  std::size_t max_consecutive_kicks = 0;
 
   double fingerprint_reduction() const {
     return bits_total <= 0 ? 0 : 1.0 - bits_kept / bits_total;
@@ -70,6 +78,10 @@ struct HeuristicOutcome {
 struct ReactiveOptions {
   double max_delay_overhead = 0.10;  ///< e.g. 0.10 = 10% constraint.
   int restarts = 3;
+  /// Cap on *consecutive* random escapes: a run ends only after this many
+  /// kicks in a row without an intervening greedy removal. (Cumulative
+  /// counting would end long runs whose kicks were spread out between
+  /// phases of healthy greedy progress.)
   int max_random_kicks = 500;
   std::uint64_t seed = 99;
   /// Gates with slack below this are "critical" for trial filtering.
@@ -94,6 +106,14 @@ struct ProactiveOptions {
   /// HeuristicOutcome::status == kExhausted.
   const Budget* budget = nullptr;
 };
+
+/// Seed set for ArrivalTracker::update after structurally modifying
+/// `gates`: the gates themselves, the drivers of their fanins (whose
+/// output loads changed), and the sinks of their outputs (which may now
+/// read different nets). Shared by the overhead heuristics and the batch
+/// edition pipeline. Dead / out-of-range gates are skipped.
+std::vector<GateId> timing_seeds(const Netlist& nl,
+                                 const std::vector<GateId>& gates);
 
 /// Runs the reactive heuristic. The embedder's netlist is left in the
 /// returned configuration.

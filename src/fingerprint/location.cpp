@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "fingerprint/embedder.hpp"
 #include "netlist/cones.hpp"
@@ -105,6 +106,115 @@ std::vector<std::pair<int, int>> forcing_inputs(const TruthTable& tt,
   return result;
 }
 
+/// One analyzed Y-pin candidate of a primary gate. Everything in here is
+/// a pure function of the immutable netlist — the state-dependent
+/// conflict filters (used sites, tapped nets, other locations' Y nets)
+/// are applied later, during the sequential commit replay.
+struct YCandidate {
+  int pin = -1;
+  NetId y = kInvalidNet;
+  GateId ydrv = kInvalidGate;
+  /// ODC-capable gates of the FFC, in cone order (kind-filtered only).
+  std::vector<GateId> site_gates;
+  struct Trigger {
+    int pin;
+    int value;
+    int depth;
+  };
+  /// Valid ODC triggers (pure criteria only), in pin order.
+  std::vector<Trigger> triggers;
+};
+
+/// Per-primary-gate analysis: Y-pin candidates in depth-preference order.
+struct PrimaryAnalysis {
+  std::vector<YCandidate> candidates;
+};
+
+/// Phase A of find_locations: Definition 1's per-primary-gate analysis
+/// (MFFC extraction, cone-input collection, ODC trigger enumeration).
+/// Reads only the const netlist, so the location finder fans this out
+/// across a thread pool, one item per primary gate.
+PrimaryAnalysis analyze_primary(const Netlist& nl, GateId primary,
+                                const std::vector<int>& levels,
+                                const LocationFinderOptions& options) {
+  PrimaryAnalysis analysis;
+  const Gate& pg = nl.gate(primary);
+  const TruthTable& ptt = nl.cell_of(primary).function;
+  const int arity = ptt.num_inputs();
+  if (arity < 2) return analysis;
+
+  // Net depth: level of the driving gate (PIs are depth 0).
+  auto net_depth = [&](NetId n) {
+    const GateId d = nl.net(n).driver;
+    return d == kInvalidGate ? 0 : levels[d];
+  };
+
+  // Candidate Y pins, preferring the deepest FFC root (paper: "choose
+  // fan in with greatest depth").
+  std::vector<int> y_pins(static_cast<std::size_t>(arity));
+  for (int i = 0; i < arity; ++i) y_pins[static_cast<std::size_t>(i)] = i;
+  std::sort(y_pins.begin(), y_pins.end(), [&](int a, int b) {
+    return net_depth(pg.fanins[static_cast<std::size_t>(a)]) >
+           net_depth(pg.fanins[static_cast<std::size_t>(b)]);
+  });
+
+  for (int py : y_pins) {
+    const NetId y = pg.fanins[static_cast<std::size_t>(py)];
+    // Criterion 1+2: Y is not a PI and feeds only the primary gate.
+    if (nl.net(y).is_pi || nl.net(y).driver == kInvalidGate) continue;
+    if (!nl.has_single_fanout(y)) continue;
+    const GateId ydrv = nl.net(y).driver;
+
+    // Criterion 3: the FFC rooted at ydrv contains a usable site kind.
+    const std::vector<GateId> cone = mffc(nl, ydrv);
+    YCandidate cand;
+    cand.pin = py;
+    cand.y = y;
+    cand.ydrv = ydrv;
+    for (GateId c : cone) {
+      if (is_site_kind(nl.cell_of(c).kind, options)) {
+        cand.site_gates.push_back(c);
+      }
+    }
+    if (cand.site_gates.empty()) continue;
+
+    // Nets already feeding the FFC: the trigger must be independent of
+    // the FFC ("signal X is independent of the FFC that generates
+    // signal Y", §III.C) — this is also what makes an embedded
+    // modification destroy its own location (§III.E). Independence is
+    // polarity-insensitive: a signal entering through an inverter or
+    // buffer is still the same signal.
+    std::unordered_set<NetId> cone_inputs;
+    for (GateId c : cone) {
+      for (NetId in : nl.gate(c).fanins) {
+        cone_inputs.insert(in);
+        const GateId d = nl.net(in).driver;
+        if (d != kInvalidGate) {
+          const CellKind dk = nl.cell_of(d).kind;
+          if (dk == CellKind::kInv || dk == CellKind::kBuf) {
+            cone_inputs.insert(nl.gate(d).fanins[0]);
+          }
+        }
+      }
+    }
+
+    // Criterion 4: some other pin is a valid trigger for Y.
+    for (int px = 0; px < arity; ++px) {
+      if (px == py) continue;
+      const NetId x = pg.fanins[static_cast<std::size_t>(px)];
+      if (x == y) continue;               // same net on two pins
+      if (cone_inputs.count(x)) continue;  // not independent of FFC
+      for (int v : trigger_values(ptt, px, py)) {
+        cand.triggers.push_back({px, v, net_depth(x)});
+      }
+    }
+    if (cand.triggers.empty()) continue;
+
+    analysis.candidates.push_back(std::move(cand));
+  }
+  return analysis;
+}
+
 }  // namespace
 
 std::vector<FingerprintLocation> find_locations(
@@ -112,7 +222,20 @@ std::vector<FingerprintLocation> find_locations(
   std::vector<FingerprintLocation> locations;
   Rng rng(options.seed);
   const std::vector<int> levels = nl.gate_levels();
+  const std::vector<GateId> order = nl.topo_order();
 
+  // Phase A (parallel): the pure per-primary analysis. Results are keyed
+  // by topo position, so the vector is identical for any pool size.
+  auto [analyses, phase_status] = parallel_map(
+      options.pool, order.size(), [&](std::size_t i) {
+        return analyze_primary(nl, order[i], levels, options);
+      });
+  (void)phase_status;  // no budget on this loop: always kOk
+
+  // Phase B (sequential): greedy commit in topological order. The
+  // conflict filters below depend on previously accepted locations, so
+  // this replay is what makes the result deterministic — and identical
+  // to analyzing each primary lazily in one pass.
   std::unordered_set<GateId> used_sites;
   std::unordered_set<NetId> y_nets;      // FFC outputs of accepted locations
   std::unordered_set<NetId> tapped_nets; // trigger/source nets in use
@@ -122,86 +245,40 @@ std::vector<FingerprintLocation> find_locations(
   // diverge when the first fingerprint is active).
   std::unordered_set<NetId> site_outputs;
 
-  // Net depth: level of the driving gate (PIs are depth 0).
-  auto net_depth = [&](NetId n) {
-    const GateId d = nl.net(n).driver;
-    return d == kInvalidGate ? 0 : levels[d];
-  };
-
-  for (GateId primary : nl.topo_order()) {
+  for (std::size_t idx = 0; idx < order.size(); ++idx) {
+    const GateId primary = order[idx];
     const Gate& pg = nl.gate(primary);
-    const TruthTable& ptt = nl.cell_of(primary).function;
-    const int arity = ptt.num_inputs();
-    if (arity < 2) continue;
 
     FingerprintLocation best_loc;
     bool found = false;
 
-    // Candidate Y pins, preferring the deepest FFC root (paper: "choose
-    // fan in with greatest depth").
-    std::vector<int> y_pins(static_cast<std::size_t>(arity));
-    for (int i = 0; i < arity; ++i) y_pins[static_cast<std::size_t>(i)] = i;
-    std::sort(y_pins.begin(), y_pins.end(), [&](int a, int b) {
-      return net_depth(pg.fanins[static_cast<std::size_t>(a)]) >
-             net_depth(pg.fanins[static_cast<std::size_t>(b)]);
-    });
-
-    for (int py : y_pins) {
-      const NetId y = pg.fanins[static_cast<std::size_t>(py)];
-      // Criterion 1+2: Y is not a PI and feeds only the primary gate.
-      if (nl.net(y).is_pi || nl.net(y).driver == kInvalidGate) continue;
-      if (!nl.has_single_fanout(y)) continue;
+    for (const YCandidate& cand : analyses[idx].candidates) {
+      const int py = cand.pin;
+      const NetId y = cand.y;
       if (tapped_nets.count(y)) continue;  // already a trigger elsewhere
-      const GateId ydrv = nl.net(y).driver;
+      const GateId ydrv = cand.ydrv;
 
-      // Criterion 3: the FFC rooted at ydrv contains a usable site.
-      std::vector<GateId> cone = mffc(nl, ydrv);
+      // Drop sites consumed by earlier locations.
       std::vector<GateId> site_gates;
-      for (GateId c : cone) {
+      for (GateId c : cand.site_gates) {
         if (used_sites.count(c)) continue;
-        if (!is_site_kind(nl.cell_of(c).kind, options)) continue;
         if (tapped_nets.count(nl.gate(c).output)) continue;
         site_gates.push_back(c);
       }
       if (site_gates.empty()) continue;
 
-      // Nets already feeding the FFC: the trigger must be independent of
-      // the FFC ("signal X is independent of the FFC that generates
-      // signal Y", §III.C) — this is also what makes an embedded
-      // modification destroy its own location (§III.E). Independence is
-      // polarity-insensitive: a signal entering through an inverter or
-      // buffer is still the same signal.
-      std::unordered_set<NetId> cone_inputs;
-      for (GateId c : cone) {
-        for (NetId in : nl.gate(c).fanins) {
-          cone_inputs.insert(in);
-          const GateId d = nl.net(in).driver;
-          if (d != kInvalidGate) {
-            const CellKind dk = nl.cell_of(d).kind;
-            if (dk == CellKind::kInv || dk == CellKind::kBuf) {
-              cone_inputs.insert(nl.gate(d).fanins[0]);
-            }
-          }
-        }
-      }
-
-      // Criterion 4: some other pin is a valid trigger for Y.
+      // Drop triggers consumed by earlier locations.
       struct TriggerCandidate {
         int pin;
         int value;
         int depth;
       };
       std::vector<TriggerCandidate> triggers;
-      for (int px = 0; px < arity; ++px) {
-        if (px == py) continue;
-        const NetId x = pg.fanins[static_cast<std::size_t>(px)];
-        if (x == y) continue;             // same net on two pins
+      for (const YCandidate::Trigger& t : cand.triggers) {
+        const NetId x = pg.fanins[static_cast<std::size_t>(t.pin)];
         if (y_nets.count(x)) continue;    // x is another location's Y
         if (site_outputs.count(x)) continue;  // may be re-routed later
-        if (cone_inputs.count(x)) continue;   // not independent of FFC
-        for (int v : trigger_values(ptt, px, py)) {
-          triggers.push_back({px, v, net_depth(x)});
-        }
+        triggers.push_back({t.pin, t.value, t.depth});
       }
       if (triggers.empty()) continue;
 

@@ -28,6 +28,8 @@
 
 namespace odcfp {
 
+class ThreadPool;
+
 /// How an injected literal must combine with the site gate: its identity
 /// class. AND-class gates absorb a constant-1 literal, OR-class a
 /// constant-0, XOR-class a constant-0 (but flip on 1).
@@ -92,6 +94,14 @@ struct LocationFinderOptions {
   enum class TriggerPolicy : std::uint8_t { kEarliestDepth, kRandom };
   TriggerPolicy trigger_policy = TriggerPolicy::kEarliestDepth;
   std::uint64_t seed = 7;  ///< Used by TriggerPolicy::kRandom.
+
+  /// Optional pool for the per-primary-gate analysis phase (MFFC
+  /// extraction, cone-input collection, ODC trigger enumeration — all
+  /// pure functions of the immutable netlist). The greedy commit phase
+  /// that resolves inter-location conflicts stays sequential, so the
+  /// returned locations are bit-identical for any pool size, including
+  /// nullptr (fully serial).
+  ThreadPool* pool = nullptr;
 };
 
 /// Scans the netlist for fingerprint locations per Definition 1. The

@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "common/fault.hpp"
+#include "common/parallel.hpp"
 #include "odc/odc.hpp"
 
 namespace odcfp {
@@ -167,6 +168,21 @@ WindowOdcResult window_odc(const Netlist& nl, NetId net,
       mgr.count_minterms(odc) /
       std::pow(2.0, static_cast<double>(result.window_inputs));
   return result;
+}
+
+std::vector<WindowOdcResult> window_odc_batch(
+    const Netlist& nl, const std::vector<NetId>& nets,
+    const WindowOptions& options, ThreadPool* pool) {
+  // Pre-fill the skipped-item marker: when a shared budget dies mid-batch
+  // the pool stops handing out items, and untouched slots must not read
+  // as "always observable".
+  std::vector<WindowOdcResult> results(nets.size());
+  for (WindowOdcResult& r : results) r.status = Status::kExhausted;
+  parallel_for(
+      pool, nets.size(),
+      [&](std::size_t i) { results[i] = window_odc(nl, nets[i], options); },
+      options.budget);
+  return results;
 }
 
 WindowSdcResult window_sdc(const Netlist& nl, GateId gate,

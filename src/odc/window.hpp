@@ -27,6 +27,8 @@
 
 namespace odcfp {
 
+class ThreadPool;
+
 struct WindowOptions {
   /// Levels of transitive fanout (ODC) / fanin (SDC) included.
   int depth = 3;
@@ -64,6 +66,16 @@ double local_odc_fraction(const Netlist& nl, NetId net);
 
 WindowOdcResult window_odc(const Netlist& nl, NetId net,
                            const WindowOptions& options = {});
+
+/// window_odc over many nets at once, fanned across `pool` (nullptr =
+/// serial). Each window builds its own BddManager, so the items are fully
+/// independent; the returned vector is index-aligned with `nets` and
+/// byte-identical for any pool size. A shared options.budget cancels the
+/// whole batch cooperatively: nets whose window never ran come back as
+/// {computed = false, status = kExhausted}.
+std::vector<WindowOdcResult> window_odc_batch(
+    const Netlist& nl, const std::vector<NetId>& nets,
+    const WindowOptions& options = {}, ThreadPool* pool = nullptr);
 
 struct WindowSdcResult {
   bool computed = false;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <set>
 
 #include "benchgen/benchmarks.hpp"
@@ -101,6 +103,67 @@ TEST(Collusion, StripZeroesDetectedSites) {
       }
     }
   }
+}
+
+TEST(Collusion, MajorityTieBreaksToSmallestObservedValue) {
+  Fixture f;
+  const Codebook book(f.locs, 16, 31);
+  Rng rng(5);
+  // Two colluders: every detected site is a 1-vs-1 tie, which must
+  // resolve to the smaller observed value (never to hash order).
+  const std::vector<std::size_t> colluders{3, 12};
+  const FingerprintCode attacked =
+      collude(book, colluders, CollusionStrategy::kMajority, rng);
+  bool any_tie = false;
+  for (std::size_t l = 0; l < attacked.size(); ++l) {
+    for (std::size_t s = 0; s < attacked[l].size(); ++s) {
+      const std::uint8_t a = book.code(3)[l][s];
+      const std::uint8_t b = book.code(12)[l][s];
+      if (a == b) {
+        EXPECT_EQ(attacked[l][s], a);
+      } else {
+        any_tie = true;
+        EXPECT_EQ(attacked[l][s], std::min(a, b));
+      }
+    }
+  }
+  EXPECT_TRUE(any_tie);
+}
+
+TEST(Collusion, MajorityMatchesOrderedVoteCount) {
+  Fixture f;
+  const Codebook book(f.locs, 16, 41);
+  Rng rng(6);
+  const std::vector<std::size_t> colluders{1, 6, 11};
+  const FingerprintCode attacked =
+      collude(book, colluders, CollusionStrategy::kMajority, rng);
+  for (std::size_t l = 0; l < attacked.size(); ++l) {
+    for (std::size_t s = 0; s < attacked[l].size(); ++s) {
+      // Reference vote count over an *ordered* map: most frequent value,
+      // smallest value on ties.
+      std::map<std::uint8_t, int> votes;
+      for (std::size_t b : colluders) ++votes[book.code(b)[l][s]];
+      std::uint8_t expected = 0;
+      int best = 0;
+      for (const auto& [value, count] : votes) {
+        if (count > best) {
+          expected = value;
+          best = count;
+        }
+      }
+      EXPECT_EQ(attacked[l][s], expected) << "loc " << l << " site " << s;
+    }
+  }
+}
+
+TEST(Collusion, MajorityIsDeterministic) {
+  Fixture f;
+  const Codebook book(f.locs, 12, 37);
+  const std::vector<std::size_t> colluders{0, 5, 9};
+  // Different Rng states: kMajority must not consult the generator.
+  Rng r1(1), r2(999);
+  EXPECT_EQ(collude(book, colluders, CollusionStrategy::kMajority, r1),
+            collude(book, colluders, CollusionStrategy::kMajority, r2));
 }
 
 TEST(Trace, SingleLeakIsPerfectlyIdentified) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "benchgen/benchmarks.hpp"
 #include "equiv/cec.hpp"
 
@@ -119,6 +121,82 @@ TEST(Heuristics, OutcomeCodeReproducesNetlistState) {
   EXPECT_TRUE(random_sim_equal(work, work2, 16, 9));
   EXPECT_NEAR(f.sta.critical_delay(work), f.sta.critical_delay(work2),
               1e-9);
+}
+
+TEST(Overheads, ZeroBaselineReportsInfinityNotZero) {
+  // A degenerate all-zero baseline must not mask real costs as 0.0.
+  Fixture f("c432");
+  const Baseline zero;  // area = delay = power = 0
+  const Overheads o = Overheads::measure(f.golden, zero, f.sta, f.power);
+  EXPECT_TRUE(std::isinf(o.area_ratio));
+  EXPECT_TRUE(std::isinf(o.delay_ratio));
+  EXPECT_TRUE(std::isinf(o.power_ratio));
+
+  // Zero over zero is a genuine no-op and stays 0: a gateless netlist
+  // has no area and no arrivals past the PIs. (Its PI net still switches
+  // into the output pad, so the power axis stays infinite.)
+  Netlist empty(&default_cell_library(), "empty");
+  const NetId a = empty.add_input("a");
+  empty.add_output(a, "y");
+  const Overheads none = Overheads::measure(empty, zero, f.sta, f.power);
+  EXPECT_EQ(none.area_ratio, 0.0);
+  EXPECT_EQ(none.delay_ratio, 0.0);
+  EXPECT_TRUE(std::isinf(none.power_ratio));
+}
+
+TEST(Reactive, DeterministicAcrossRuns) {
+  Fixture f("c880");
+  ReactiveOptions opt;
+  opt.max_delay_overhead = 0.03;
+  opt.restarts = 2;
+  opt.seed = 5;
+  HeuristicOutcome first;
+  for (int run = 0; run < 2; ++run) {
+    Netlist work = f.golden;
+    FingerprintEmbedder e(work, f.locs);
+    const HeuristicOutcome out =
+        reactive_reduce(e, f.base, f.sta, f.power, opt);
+    if (run == 0) {
+      first = out;
+      continue;
+    }
+    EXPECT_EQ(out.code, first.code);
+    EXPECT_EQ(out.sites_kept, first.sites_kept);
+    EXPECT_EQ(out.random_kicks, first.random_kicks);
+    EXPECT_EQ(out.overheads.delay_ratio, first.overheads.delay_ratio);
+  }
+}
+
+TEST(Reactive, KickBudgetBoundsStreaksNotTotals) {
+  // Regression: the escape counter used to accumulate over the whole
+  // run, so max_random_kicks failed escapes *spread across* phases of
+  // healthy greedy progress ended it prematurely. The cap now bounds
+  // only consecutive kicks; totals may legitimately exceed it.
+  Fixture f("c1908");
+  bool saw_reset = false;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull, 6ull}) {
+    Netlist work = f.golden;
+    FingerprintEmbedder e(work, f.locs);
+    ReactiveOptions opt;
+    opt.max_delay_overhead = 0.005;  // tight: forces repeated escapes
+    opt.restarts = 1;
+    opt.max_random_kicks = 1;
+    // Trial only the single most critical site per iteration: its removal
+    // often fails to shorten a parallel near-critical path, which is
+    // exactly the greedy dead-end the random escape exists for.
+    opt.max_candidates_per_iteration = 1;
+    opt.seed = seed;
+    const HeuristicOutcome out =
+        reactive_reduce(e, f.base, f.sta, f.power, opt);
+    // The streak cap is a hard invariant...
+    EXPECT_LE(out.max_consecutive_kicks,
+              static_cast<std::size_t>(opt.max_random_kicks));
+    // ...while the total is allowed past it once greedy progress
+    // intervenes (impossible under the old cumulative semantics).
+    saw_reset |= out.random_kicks >
+                 static_cast<std::size_t>(opt.max_random_kicks);
+  }
+  EXPECT_TRUE(saw_reset);
 }
 
 TEST(Heuristics, ProactivePrefersCheapSources) {
