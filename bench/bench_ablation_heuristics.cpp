@@ -11,8 +11,10 @@ using namespace odcfp::bench;
 
 int main() {
   const double kBudget = 0.05;  // 5% delay constraint
-  const char* kCircuits[] = {"c432", "c880", "c1908", "c3540", "vda",
-                             "dalu"};
+  std::vector<const char*> kCircuits = {"c432", "c880", "c1908", "c3540",
+                                        "vda", "dalu"};
+  if (smoke()) kCircuits.resize(2);
+  BenchReport report("ablation_heuristics");
 
   std::printf("ABLATION A — reactive vs proactive heuristic "
               "(5%% delay budget)\n\n");
@@ -38,6 +40,16 @@ int main() {
     const HeuristicOutcome p =
         proactive_insert(e2, prep.baseline, sta(), power(), popt);
 
+    report.add_row(name)
+        .label("ablation", "reactive-vs-proactive")
+        .metric("reactive_bits", r.bits_kept)
+        .metric("reactive_delay_overhead", r.overheads.delay_ratio)
+        .metric("reactive_sta_evals",
+                static_cast<double>(r.sta_evaluations))
+        .metric("proactive_bits", p.bits_kept)
+        .metric("proactive_delay_overhead", p.overheads.delay_ratio)
+        .metric("proactive_sta_evals",
+                static_cast<double>(p.sta_evaluations));
     std::printf("%-7s | %10.1f %10s %9zu | %10.1f %10s %9zu\n", name,
                 r.bits_kept, pct(r.overheads.delay_ratio).c_str(),
                 r.sta_evaluations, p.bits_kept,
@@ -58,6 +70,10 @@ int main() {
     const PreparedCircuit pr = prepare(name, rnd);
     const FullEmbedResult fr = embed_all_and_measure(pr);
 
+    report.add_row(name)
+        .label("ablation", "trigger-policy")
+        .metric("earliest_delay_overhead", fe.overheads.delay_ratio)
+        .metric("random_delay_overhead", fr.overheads.delay_ratio);
     std::printf("%-7s %14s %14s\n", name,
                 pct(fe.overheads.delay_ratio).c_str(),
                 pct(fr.overheads.delay_ratio).c_str());

@@ -40,8 +40,10 @@ int main() {
     variants.push_back(v);
   }
 
-  const char* kCircuits[] = {"c432", "c499", "c880", "c1908", "c3540",
-                             "t481", "vda"};
+  std::vector<const char*> kCircuits = {"c432", "c499", "c880", "c1908",
+                                        "c3540", "t481", "vda"};
+  if (smoke()) kCircuits.resize(2);
+  BenchReport report("ablation_locations");
 
   for (const Variant& v : variants) {
     std::printf("\n== %s ==\n", v.label);
@@ -51,6 +53,11 @@ int main() {
     for (const char* name : kCircuits) {
       const PreparedCircuit p = prepare(name, v.opts);
       const double bits = p.capacity_bits;
+      report.add_row(name)
+          .label("variant", v.label)
+          .metric("locations", static_cast<double>(p.locations.size()))
+          .metric("sites", static_cast<double>(total_sites(p.locations)))
+          .metric("capacity_bits", bits);
       std::printf("%-7s %6zu %6zu %9.1f %11.2f\n", name,
                   p.locations.size(), total_sites(p.locations), bits,
                   p.locations.empty()

@@ -20,6 +20,7 @@ using namespace odcfp::bench;
 
 int main() {
   ThreadPool pool;  // hardware concurrency; windows are independent
+  BenchReport report("ablation_window");
   std::printf("WINDOW DON'T-CARE ABLATION (exact, BDD-based)\n\n");
   std::printf("%-7s | %21s | %21s | %21s\n", "", "depth 1", "depth 2",
               "depth 3");
@@ -28,7 +29,9 @@ int main() {
               "avgODC");
   print_rule(80);
 
-  const char* kCircuits[] = {"c432", "c499", "c880", "c1908", "vda"};
+  std::vector<const char*> kCircuits = {"c432", "c499", "c880", "c1908",
+                                        "vda"};
+  if (smoke()) kCircuits.resize(2);
   for (const char* name : kCircuits) {
     const Netlist nl = make_benchmark(name);
     std::vector<NetId> internal;
@@ -39,7 +42,8 @@ int main() {
     }
     Rng rng(7);
     rng.shuffle(internal);
-    const std::size_t sample = std::min<std::size_t>(internal.size(), 150);
+    const std::size_t sample =
+        std::min<std::size_t>(internal.size(), smoke() ? 30 : 150);
 
     std::printf("%-7s |", name);
     for (int depth = 1; depth <= 3; ++depth) {
@@ -62,6 +66,13 @@ int main() {
         std::printf(" %10s %10s |", "-", "-");
         continue;
       }
+      report.add_row(name)
+          .label("panel", "window-odc")
+          .metric("depth", depth)
+          .metric("computed", static_cast<double>(computed))
+          .metric("hidden_frac",
+                  static_cast<double>(hidden) / computed)
+          .metric("avg_odc_fraction", sum_frac / computed);
       std::printf(" %9.1f%% %9.3f %s", 100.0 * hidden / computed,
                   sum_frac / computed, depth < 3 ? "|" : "|");
     }
@@ -81,7 +92,8 @@ int main() {
     const auto order = nl.topo_order();
     std::size_t computed = 0, with_sdc = 0;
     double sum_impossible = 0;
-    for (std::size_t i = 0; i < order.size(); i += 2) {
+    const std::size_t stride = smoke() ? 8 : 2;
+    for (std::size_t i = 0; i < order.size(); i += stride) {
       const WindowSdcResult r = window_sdc(nl, order[i], opt);
       if (!r.computed) continue;
       ++computed;
@@ -90,6 +102,14 @@ int main() {
         sum_impossible += r.impossible_patterns;
       }
     }
+    report.add_row(name)
+        .label("panel", "sdc")
+        .metric("gates", static_cast<double>(order.size()))
+        .metric("computed", static_cast<double>(computed))
+        .metric("gates_with_sdc_frac",
+                computed ? static_cast<double>(with_sdc) / computed : 0.0)
+        .metric("avg_impossible_patterns",
+                with_sdc ? sum_impossible / with_sdc : 0.0);
     std::printf("%-7s %9zu %10zu %13.1f%% %12.2f\n", name, order.size(),
                 computed,
                 computed ? 100.0 * with_sdc / computed : 0.0,
@@ -107,6 +127,11 @@ int main() {
     const auto odc_locs = find_locations(nl);
     const double sdc_bits = total_sdc_capacity_bits(sdc_locs);
     const double odc_bits = total_capacity_bits(odc_locs);
+    report.add_row(name)
+        .label("panel", "sdc-capacity")
+        .metric("sdc_locations", static_cast<double>(sdc_locs.size()))
+        .metric("sdc_bits", sdc_bits)
+        .metric("odc_bits", odc_bits);
     std::printf("%-7s %10zu %10.1f %12.1f %12.1f\n", name,
                 sdc_locs.size(), sdc_bits, odc_bits,
                 sdc_bits + odc_bits);

@@ -51,7 +51,10 @@ int main() {
               "changed", "recovered", "damaged", "traced-top1");
   print_rule(72);
 
-  for (const char* name : {"c432", "c880", "c1908", "c3540"}) {
+  BenchReport report("attack_resynthesis");
+  std::vector<const char*> circuits = {"c432", "c880", "c1908", "c3540"};
+  if (smoke()) circuits.resize(2);
+  for (const char* name : circuits) {
     const PreparedCircuit prep = prepare(name);
     const Codebook book(prep.locations, /*num_buyers=*/16, /*seed=*/7);
     const std::size_t kVictim = 11;
@@ -89,6 +92,12 @@ int main() {
           best_buyer = b;
         }
       }
+      report.add_row(name)
+          .label("attack", attack.name)
+          .metric("gates_changed", static_cast<double>(changed))
+          .metric("sites_recovered", static_cast<double>(ext.recovered))
+          .metric("sites_damaged", static_cast<double>(ext.damaged))
+          .metric("traced_top1", best_buyer == kVictim ? 1.0 : 0.0);
       std::printf("%-7s %-16s %9zu %9zu %10zu %12s\n", name, attack.name,
                   changed, ext.recovered, ext.damaged,
                   best_buyer == kVictim ? "YES" : "no");

@@ -27,8 +27,9 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 }  // namespace
 
 int main() {
-  constexpr std::size_t kBuyers = 32;
+  const std::size_t kBuyers = smoke() ? 8 : 32;
   const int kThreads[] = {1, 2, 4, 8};
+  BenchReport report("batch_throughput");
 
   std::printf("BATCH EDITION THROUGHPUT (%zu buyers per batch)\n\n",
               kBuyers);
@@ -40,7 +41,9 @@ int main() {
   std::printf(" %10s %8s\n", "identical", "t4/t1");
   print_rule(76);
 
-  for (const char* name : {"c880", "c1908", "c3540", "vda"}) {
+  std::vector<const char*> circuits = {"c880", "c1908", "c3540", "vda"};
+  if (smoke()) circuits.resize(1);
+  for (const char* name : circuits) {
     const PreparedCircuit prepared = prepare(name);
     const Codebook book(prepared.locations, kBuyers, 17);
 
@@ -76,6 +79,15 @@ int main() {
     for (double r : rates) std::printf(" %8.1f", r);
     std::printf(" %10s %7.2fx\n", identical ? "yes" : "NO",
                 rates[2] / rates[0]);
+    BenchReport::Row& row =
+        report.add_row(name)
+            .label("panel", "stamping")
+            .metric("gates", static_cast<double>(prepared.gate_count()))
+            .metric("identical", identical ? 1.0 : 0.0);
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      row.metric("editions_per_sec_t" + std::to_string(kThreads[i]),
+                 rates[i]);
+    }
   }
 
   std::printf("\nCEC fan-out (editions verified equivalent per second, "
@@ -103,6 +115,12 @@ int main() {
       for (const auto& v : verdicts) {
         ok += v.ok() && v.value().equivalent();
       }
+      report.add_row("c880")
+          .label("panel", "cec")
+          .metric("threads", threads)
+          .metric("editions_per_sec",
+                  static_cast<double>(kBuyers) / elapsed)
+          .metric("equivalent", static_cast<double>(ok));
       std::printf("t=%d: %6.1f editions/s (%zu/%zu equivalent)\n", threads,
                   static_cast<double>(kBuyers) / elapsed, ok,
                   verdicts.size());

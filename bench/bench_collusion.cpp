@@ -26,11 +26,14 @@ const char* strategy_name(CollusionStrategy s) {
 }  // namespace
 
 int main() {
-  const std::size_t kBuyers = 64;
-  const std::size_t kTrials = 40;
+  const std::size_t kBuyers = smoke() ? 16 : 64;
+  const std::size_t kTrials = smoke() ? 8 : 40;
 
+  BenchReport report("collusion");
   std::printf("COLLUSION ATTACK / TRACING (paper §III.E)\n");
-  for (const char* name : {"c432", "c880", "c1908"}) {
+  std::vector<const char*> circuits = {"c432", "c880", "c1908"};
+  if (smoke()) circuits.resize(1);
+  for (const char* name : circuits) {
     const PreparedCircuit prep = prepare(name);
     const std::size_t bits = usable_bits(prep.locations);
     std::printf("\n%s: %zu locations, %zu usable codeword bits, "
@@ -74,6 +77,13 @@ int main() {
           }
           if (all_colluders) ++all_hit;
         }
+        report.add_row(name)
+            .label("strategy", strategy_name(strat))
+            .metric("colluders", static_cast<double>(t))
+            .metric("top1_rate",
+                    static_cast<double>(top1_hit) / kTrials)
+            .metric("all_top_t_rate",
+                    static_cast<double>(all_hit) / kTrials);
         std::printf("%-16s %4zu %17.0f%% %17.0f%%\n",
                     strategy_name(strat), t,
                     100.0 * static_cast<double>(top1_hit) / kTrials,

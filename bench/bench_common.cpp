@@ -1,9 +1,15 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/telemetry.hpp"
 
 namespace odcfp::bench {
 
@@ -43,9 +49,144 @@ FullEmbedResult embed_all_and_measure(const PreparedCircuit& prepared,
   return result;
 }
 
+bool smoke() {
+  const char* env = std::getenv("ODCFP_BENCH_SMOKE");
+  return env != nullptr && std::strcmp(env, "1") == 0;
+}
+
+std::vector<BenchmarkSpec> bench_circuits() {
+  std::vector<BenchmarkSpec> specs = table2_benchmarks();
+  if (!smoke()) return specs;
+  // Smoke mode: the two smallest circuits exercise the full flow (and
+  // produce a schema-complete artifact) in seconds.
+  std::sort(specs.begin(), specs.end(),
+            [](const BenchmarkSpec& a, const BenchmarkSpec& b) {
+              return a.paper_gates < b.paper_gates;
+            });
+  if (specs.size() > 2) specs.resize(2);
+  return specs;
+}
+
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Full-precision number (round-trips a double exactly); JSON has no
+/// inf/nan, so non-finite values degrade to null rather than corrupting
+/// the artifact.
+void write_json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+BenchReport::~BenchReport() {
+  try {
+    write();
+  } catch (...) {
+    // A failed artifact write must not mask the bench's own exit path.
+  }
+}
+
+BenchReport::Row& BenchReport::add_row(const std::string& name) {
+  rows_.emplace_back(name);
+  return rows_.back();
+}
+
+void BenchReport::write() {
+  if (written_) return;
+  written_ = true;
+  const char* toggle = std::getenv("ODCFP_BENCH_JSON");
+  if (toggle != nullptr && std::strcmp(toggle, "0") == 0) return;
+  const char* dir = std::getenv("ODCFP_BENCH_JSON_DIR");
+  const std::string path =
+      std::string(dir != nullptr && *dir != '\0' ? dir : ".") + "/BENCH_" +
+      name_ + ".json";
+
+  std::ostringstream os;
+  os << "{\n  \"bench\": ";
+  write_json_string(os, name_);
+  os << ",\n  \"schema_version\": 1";
+  os << ",\n  \"smoke\": " << (smoke() ? "true" : "false");
+  os << ",\n  \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const Row& row = rows_[r];
+    os << (r == 0 ? "\n" : ",\n") << "    {\"name\": ";
+    write_json_string(os, row.name_);
+    os << ", \"labels\": {";
+    bool first = true;
+    for (const auto& [k, v] : row.labels_) {
+      if (!first) os << ", ";
+      first = false;
+      write_json_string(os, k);
+      os << ": ";
+      write_json_string(os, v);
+    }
+    os << "}, \"metrics\": {";
+    first = true;
+    for (const auto& [k, v] : row.metrics_) {
+      if (!first) os << ", ";
+      first = false;
+      write_json_string(os, k);
+      os << ": ";
+      write_json_number(os, v);
+    }
+    os << "}}";
+  }
+  os << "\n  ]";
+  if (telemetry::enabled()) {
+    telemetry::flush_thread();
+    os << ",\n  \"telemetry\": " << telemetry::to_json(telemetry::snapshot());
+  }
+  os << "\n}\n";
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << os.str();
+  std::fprintf(stderr, "bench: wrote %s\n", path.c_str());
+}
+
 std::string pct(double fraction, int decimals) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  const double p = fraction * 100.0;
+  char buf[48];
+  // Fixed decimals would round a small-but-real overhead to "0.00%";
+  // switch to significant digits below half an ulp of the fixed format.
+  if (std::isfinite(p) && p != 0.0 &&
+      std::fabs(p) < 0.5 * std::pow(10.0, -decimals)) {
+    std::snprintf(buf, sizeof(buf), "%.3g%%", p);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, p);
+  }
   return buf;
 }
 

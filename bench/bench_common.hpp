@@ -2,8 +2,13 @@
 // benchmark circuit, measure the baseline, find fingerprint locations,
 // embed, and measure overheads — the exact flow behind Table II/III and
 // Fig. 7.
+//
+// Every bench also emits a machine-readable artifact BENCH_<name>.json
+// (see BenchReport below) so CI and plotting scripts can consume the
+// numbers without scraping the printed tables.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -50,7 +55,70 @@ struct FullEmbedResult {
 FullEmbedResult embed_all_and_measure(const PreparedCircuit& prepared,
                                       std::size_t sim_words = 64);
 
-/// Pretty-printing helpers.
+/// True when ODCFP_BENCH_SMOKE=1: benches shrink their circuit lists and
+/// iteration counts so CI can validate the flow and the JSON artifact in
+/// seconds rather than minutes.
+bool smoke();
+
+/// The circuits a table-style bench iterates: table2_benchmarks(), cut
+/// down to the two smallest entries in smoke mode.
+std::vector<BenchmarkSpec> bench_circuits();
+
+/// Machine-readable bench artifact. Collects named rows of numeric
+/// metrics (stored at full double precision) plus string labels, and
+/// writes BENCH_<name>.json on write()/destruction:
+///
+///   BenchReport report("table2");
+///   report.add_row("c880")
+///       .label("config", "single-site")
+///       .metric("area_overhead", oh.area_ratio);
+///
+/// Output directory: $ODCFP_BENCH_JSON_DIR (default "."). Set
+/// ODCFP_BENCH_JSON=0 to disable the artifact entirely. The emitted file
+/// validates against bench/BENCH_schema.json; non-finite metric values
+/// are emitted as null. When telemetry is enabled the report also embeds
+/// the process's span tree under "telemetry".
+class BenchReport {
+ public:
+  class Row {
+   public:
+    explicit Row(std::string name) : name_(std::move(name)) {}
+    Row& metric(const std::string& key, double value) {
+      metrics_[key] = value;
+      return *this;
+    }
+    Row& label(const std::string& key, std::string value) {
+      labels_[key] = std::move(value);
+      return *this;
+    }
+
+   private:
+    friend class BenchReport;
+    std::string name_;
+    std::map<std::string, double> metrics_;
+    std::map<std::string, std::string> labels_;
+  };
+
+  explicit BenchReport(std::string name);
+  ~BenchReport();  // best-effort write() if not yet written
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  Row& add_row(const std::string& name);
+  /// Writes BENCH_<name>.json (idempotent; a no-op when disabled).
+  void write();
+
+ private:
+  std::string name_;
+  std::vector<Row> rows_;
+  bool written_ = false;
+};
+
+/// Pretty-printing helpers. `pct` keeps `decimals` fixed decimals for
+/// table alignment but falls back to 3 significant digits when fixed
+/// rounding would collapse a nonzero overhead to 0: a 0.004% delay
+/// overhead prints as "0.004%", not "0.00%".
 std::string pct(double fraction, int decimals = 2);
 void print_rule(std::size_t width);
 

@@ -15,10 +15,11 @@ int main() {
               "10%", "5%", "1%");
   print_rule(56);
 
+  BenchReport report("fig7");
   const double budgets[] = {0.10, 0.05, 0.01};
   LocationFinderOptions lopts;
   lopts.max_sites_per_location = 4;  // full §III.C embedding
-  for (const BenchmarkSpec& spec : table2_benchmarks()) {
+  for (const BenchmarkSpec& spec : bench_circuits()) {
     const PreparedCircuit prep = prepare(spec.name, lopts);
     double bits[3] = {0, 0, 0};
     for (int bi = 0; bi < 3; ++bi) {
@@ -31,6 +32,11 @@ int main() {
           embedder, prep.baseline, sta(), power(), opt);
       bits[bi] = out.bits_kept;
     }
+    report.add_row(spec.name)
+        .metric("bits_unconstrained", prep.capacity_bits)
+        .metric("bits_10pct", bits[0])
+        .metric("bits_5pct", bits[1])
+        .metric("bits_1pct", bits[2]);
     std::printf("%-7s %12.1f %10.1f %10.1f %10.1f\n", spec.name.c_str(),
                 prep.capacity_bits, bits[0], bits[1], bits[2]);
   }

@@ -27,8 +27,11 @@ int main() {
               "unobservable", "locations", "");
   print_rule(70);
 
-  for (const char* name :
-       {"c432", "c499", "c880", "c1908", "c3540", "vda", "dalu"}) {
+  BenchReport report("odc_coverage");
+  std::vector<const char*> kCircuits = {"c432", "c499", "c880", "c1908",
+                                        "c3540", "vda", "dalu"};
+  if (smoke()) kCircuits.resize(2);
+  for (const char* name : kCircuits) {
     const Netlist nl = make_benchmark(name);
     const auto locs = find_locations(nl);
 
@@ -43,18 +46,23 @@ int main() {
     Rng rng(17);
     rng.shuffle(internal);
     const std::size_t sample =
-        std::min<std::size_t>(internal.size(), 200);
+        std::min<std::size_t>(internal.size(), smoke() ? 40 : 200);
 
     std::size_t hidden = 0;
     for (std::size_t i = 0; i < sample; ++i) {
-      const double obs =
-          simulated_observability(nl, internal[i], 256, 1000 + i);
+      const double obs = simulated_observability(
+          nl, internal[i], smoke() ? 32 : 256, 1000 + i);
       if (obs < 1.0 - 1e-12) ++hidden;
     }
     const double hidden_frac =
         static_cast<double>(hidden) / static_cast<double>(sample);
     const double loc_frac = static_cast<double>(locs.size()) /
                             static_cast<double>(internal.size());
+    report.add_row(name)
+        .metric("internal_nets", static_cast<double>(internal.size()))
+        .metric("sampled", static_cast<double>(sample))
+        .metric("partially_unobservable_frac", hidden_frac)
+        .metric("gate_local_location_frac", loc_frac);
     std::printf("%-7s %7zu %10zu %13.1f%% %15.1f%% %8.2fx\n", name,
                 internal.size(), sample, hidden_frac * 100,
                 loc_frac * 100,

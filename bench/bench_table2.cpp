@@ -19,7 +19,8 @@ using namespace odcfp::bench;
 
 namespace {
 
-void run_config(const char* label, const LocationFinderOptions& opts) {
+void run_config(const char* label, const char* config_key,
+                const LocationFinderOptions& opts, BenchReport& report) {
   std::printf("\n== %s ==\n", label);
   std::printf(
       "%-7s %7s %10s %7s %9s | %5s %8s | %8s %8s %8s | %8s %8s %8s\n",
@@ -31,9 +32,24 @@ void run_config(const char* label, const LocationFinderOptions& opts) {
   double paper_area = 0, paper_delay = 0, paper_power = 0;
   int rows = 0, paper_power_rows = 0;
 
-  for (const BenchmarkSpec& spec : table2_benchmarks()) {
+  for (const BenchmarkSpec& spec : bench_circuits()) {
     const PreparedCircuit p = prepare(spec.name, opts);
     const FullEmbedResult full = embed_all_and_measure(p);
+
+    report.add_row(spec.name)
+        .label("config", config_key)
+        .metric("gates", static_cast<double>(p.gate_count()))
+        .metric("baseline_area", p.baseline.area)
+        .metric("baseline_delay", p.baseline.delay)
+        .metric("baseline_power", p.baseline.power)
+        .metric("locations", static_cast<double>(p.locations.size()))
+        .metric("capacity_bits", p.capacity_bits)
+        .metric("area_overhead", full.overheads.area_ratio)
+        .metric("delay_overhead", full.overheads.delay_ratio)
+        .metric("power_overhead", full.overheads.power_ratio)
+        .metric("paper_area_overhead", spec.paper_area_overhead)
+        .metric("paper_delay_overhead", spec.paper_delay_overhead)
+        .metric("paper_power_overhead", spec.paper_power_overhead);
 
     std::printf(
         "%-7s %7zu %10.0f %7.2f %9.1f | %5zu %8.2f | %8s %8s %8s |"
@@ -78,15 +94,17 @@ int main() {
   std::printf("(columns marked [..] are the DAC'15 reference values; "
               "ours use the odcfp library/mapper)\n");
 
+  BenchReport report("table2");
+
   LocationFinderOptions single;
   single.max_sites_per_location = 1;
   run_config("pseudo-code configuration: 1 site per FFC (paper Fig. 6)",
-             single);
+             "single-site", single, report);
 
   LocationFinderOptions multi;
   multi.max_sites_per_location = 4;
   run_config("full #III.C configuration: up to 4 sites per FFC (k-bit)",
-             multi);
+             "multi-site", multi, report);
 
   std::printf("\npaper averages: area 12.60%%, delay 64.36%%, power "
               "10.67%% (Table II, bottom row)\n");

@@ -20,7 +20,8 @@ int restarts_for(const std::string& name) {
   return (name == "des" || name == "c6288") ? 1 : 2;
 }
 
-void run_panel(const char* label, const LocationFinderOptions& lopts) {
+void run_panel(const char* label, const char* panel_key,
+               const LocationFinderOptions& lopts, BenchReport& report) {
   const double budgets[] = {0.10, 0.05, 0.01};
   const double paper_red[] = {0.4900, 0.6430, 0.8103};
   const double paper_a[] = {0.0504, 0.0357, 0.0240};
@@ -33,7 +34,7 @@ void run_panel(const char* label, const LocationFinderOptions& lopts) {
   print_rule(70);
 
   std::vector<PreparedCircuit> circuits;
-  for (const BenchmarkSpec& spec : table2_benchmarks()) {
+  for (const BenchmarkSpec& spec : bench_circuits()) {
     circuits.push_back(prepare(spec.name, lopts));
   }
 
@@ -45,7 +46,7 @@ void run_panel(const char* label, const LocationFinderOptions& lopts) {
       FingerprintEmbedder embedder(work, prep.locations);
       ReactiveOptions opt;
       opt.max_delay_overhead = budgets[bi];
-      opt.restarts = restarts_for(prep.name);
+      opt.restarts = smoke() ? 1 : restarts_for(prep.name);
       const HeuristicOutcome out =
           reactive_reduce(embedder, prep.baseline, sta(), power(), opt);
       red += out.fingerprint_reduction();
@@ -54,6 +55,17 @@ void run_panel(const char* label, const LocationFinderOptions& lopts) {
       p += out.overheads.power_ratio;
       ++n;
     }
+    report.add_row("avg")
+        .label("panel", panel_key)
+        .metric("delay_budget", budgets[bi])
+        .metric("fp_reduction", red / n)
+        .metric("area_overhead", a / n)
+        .metric("delay_overhead", d / n)
+        .metric("power_overhead", p / n)
+        .metric("paper_fp_reduction", paper_red[bi])
+        .metric("paper_area_overhead", paper_a[bi])
+        .metric("paper_delay_overhead", paper_d[bi])
+        .metric("paper_power_overhead", paper_p[bi]);
     std::printf("%2.0f%% delay constraint   %11s  %9s  %9s  %9s\n",
                 budgets[bi] * 100, pct(red / n).c_str(),
                 pct(a / n).c_str(), pct(d / n).c_str(),
@@ -70,12 +82,16 @@ int main() {
   std::printf("TABLE III — average results after reactive delay-constraint "
               "heuristic\n");
 
+  BenchReport report("table3");
+
   LocationFinderOptions multi;
   multi.max_sites_per_location = 4;
-  run_panel("full #III.C embedding (up to 4 sites per FFC)", multi);
+  run_panel("full #III.C embedding (up to 4 sites per FFC)", "multi-site",
+            multi, report);
 
   LocationFinderOptions single;
   single.max_sites_per_location = 1;
-  run_panel("pseudo-code embedding (1 site per FFC)", single);
+  run_panel("pseudo-code embedding (1 site per FFC)", "single-site",
+            single, report);
   return 0;
 }

@@ -45,9 +45,17 @@ int main() {
     opt.budget = &budget;
     const HeuristicOutcome out =
         reactive_reduce(embedder, base, sta, power, opt);
-    std::printf("%7lld ms | %9s | %10.1f | %6.1f%%\n",
+    std::printf("%7lld ms | %9s | %10.1f | %6.1f%%",
                 static_cast<long long>(ms), to_string(out.status),
                 out.bits_kept, out.overheads.delay_ratio * 100);
+    // Exhausted runs name the telemetry span where the budget died, so
+    // an operator can tell a deadline spent on STA trials from one spent
+    // on SAT proofs without re-running under a profiler.
+    if (out.status == Status::kExhausted && out.exhausted_at != nullptr &&
+        out.exhausted_at[0] != '\0') {
+      std::printf("  (budget died in '%s')", out.exhausted_at);
+    }
+    std::printf("\n");
   }
 
   // ---- budgeted verification of the shipped result ----
@@ -71,6 +79,10 @@ int main() {
                 cec.confidence());
     if (!cec.message().empty()) {
       std::printf("  %s\n", cec.message().c_str());
+    }
+    if (cec.status() == Status::kExhausted &&
+        cec.exhausted_at()[0] != '\0') {
+      std::printf("  budget died in '%s'\n", cec.exhausted_at());
     }
   }
   return 0;

@@ -34,6 +34,8 @@
 #include <string>
 #include <utility>
 
+#include "common/telemetry.hpp"
+
 namespace odcfp {
 
 /// How a budgeted computation ended.
@@ -78,7 +80,8 @@ class Budget {
         steps_left_(other.steps_left_.load(std::memory_order_relaxed)),
         clock_phase_(other.clock_phase_.load(std::memory_order_relaxed)),
         deadline_hit_(
-            other.deadline_hit_.load(std::memory_order_relaxed)) {}
+            other.deadline_hit_.load(std::memory_order_relaxed)),
+        died_in_(other.died_in_.load(std::memory_order_relaxed)) {}
 
   // ---- construction (chainable) ----
 
@@ -121,9 +124,13 @@ class Budget {
   /// True once any axis of the budget is spent. Reads the wall clock only
   /// every kClockPeriod calls; callers place this in inner loops.
   bool exhausted() const {
-    if (has_cancel_ && cancel_.cancelled()) return true;
+    if (has_cancel_ && cancel_.cancelled()) {
+      note_death();
+      return true;
+    }
     if (has_steps_ &&
         steps_left_.load(std::memory_order_relaxed) <= 0) {
+      note_death();
       return true;
     }
     if (!has_deadline_) return false;
@@ -150,6 +157,7 @@ class Budget {
     if (!has_deadline_) return false;
     if (std::chrono::steady_clock::now() >= deadline_) {
       deadline_hit_.store(true, std::memory_order_relaxed);
+      note_death();
       return true;
     }
     return false;
@@ -166,7 +174,27 @@ class Budget {
   /// constant when no deadline is set).
   double remaining_seconds() const;
 
+  /// Name of the telemetry span that was innermost on the thread that
+  /// first observed this budget exhausted — "which phase starved the
+  /// request". nullptr while the budget stands; "" when it died outside
+  /// any span or with telemetry disabled.
+  const char* died_in() const {
+    return died_in_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// First-observation-wins attribution of where the budget died. The
+  /// exhausted-true paths are terminal for the calling algorithm, so
+  /// this runs a handful of times per request, not per check.
+  void note_death() const {
+    const char* expected = nullptr;
+    if (died_in_.load(std::memory_order_relaxed) != nullptr) return;
+    const char* span = telemetry::current_span_name();
+    died_in_.compare_exchange_strong(expected, span != nullptr ? span : "",
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed);
+  }
+
   static constexpr std::uint64_t kClockPeriod = 64;
 
   std::chrono::steady_clock::time_point deadline_{};
@@ -178,6 +206,7 @@ class Budget {
   mutable std::atomic<std::int64_t> steps_left_{-1};
   mutable std::atomic<std::uint64_t> clock_phase_{0};
   mutable std::atomic<bool> deadline_hit_{false};
+  mutable std::atomic<const char*> died_in_{nullptr};
 };
 
 /// Convenience for the `const Budget*` convention in options structs.
@@ -211,6 +240,7 @@ class Outcome {
     o.value_ = std::move(value);
     o.message_ = std::move(message);
     o.confidence_ = confidence;
+    o.exhausted_at_ = telemetry::current_span_name();
     return o;
   }
   /// Budget died before any usable result existed.
@@ -219,6 +249,7 @@ class Outcome {
     o.status_ = Status::kExhausted;
     o.message_ = std::move(message);
     o.confidence_ = 0.0;
+    o.exhausted_at_ = telemetry::current_span_name();
     return o;
   }
   static Outcome infeasible(std::string message) {
@@ -237,6 +268,20 @@ class Outcome {
   Status status() const { return status_; }
   bool ok() const { return status_ == Status::kOk; }
   bool has_value() const { return value_.has_value(); }
+  /// For kExhausted: the telemetry span where the budget died — taken
+  /// from Budget::died_in() when the producing layer threaded it through
+  /// (see with_exhausted_at), else the span that built this Outcome.
+  /// "" when unattributed (no span open, or telemetry disabled).
+  const char* exhausted_at() const {
+    return exhausted_at_ != nullptr ? exhausted_at_ : "";
+  }
+  /// Overrides the exhaustion site with the budget's own attribution
+  /// (the span where exhaustion was first *observed*, which can be
+  /// deeper than where the Outcome is assembled). nullptr is ignored.
+  Outcome&& with_exhausted_at(const char* span) && {
+    if (span != nullptr) exhausted_at_ = span;
+    return std::move(*this);
+  }
   /// Confidence in the carried value: 1 for exact results, the fallback's
   /// evidence score for degraded ones, 0 when there is no value.
   double confidence() const { return confidence_; }
@@ -253,6 +298,7 @@ class Outcome {
   std::optional<T> value_;
   std::string message_;
   double confidence_ = 0.0;
+  const char* exhausted_at_ = nullptr;  ///< Static-storage span literal.
 };
 
 }  // namespace odcfp

@@ -1,0 +1,540 @@
+#include "common/telemetry.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace odcfp::telemetry {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool initial_enabled() {
+  const char* v = std::getenv("ODCFP_TELEMETRY");
+  return !(v != nullptr && v[0] == '0' && v[1] == '\0');
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag(initial_enabled());
+  return flag;
+}
+
+/// One node of a thread's private shadow tree. Children and counters are
+/// small linear vectors: the branch factor of real span trees is a
+/// handful, and a pointer compare short-circuits the common case where
+/// the same TELEM_SPAN literal is seen again.
+struct LocalNode {
+  const char* name;  ///< Static-storage string (span-name literal).
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::vector<std::pair<const char*, std::int64_t>> counters;
+  std::vector<std::unique_ptr<LocalNode>> children;
+
+  explicit LocalNode(const char* n) : name(n) {}
+
+  LocalNode* child(const char* child_name) {
+    for (auto& c : children) {
+      if (c->name == child_name ||
+          std::strcmp(c->name, child_name) == 0) {
+        return c.get();
+      }
+    }
+    children.push_back(std::make_unique<LocalNode>(child_name));
+    return children.back().get();
+  }
+
+  void add_counter(const char* counter_name, std::int64_t n) {
+    for (auto& [cn, v] : counters) {
+      if (cn == counter_name || std::strcmp(cn, counter_name) == 0) {
+        v += n;
+        return;
+      }
+    }
+    counters.emplace_back(counter_name, n);
+  }
+
+  void clear() {
+    count = 0;
+    total_ns = 0;
+    counters.clear();
+    children.clear();
+  }
+
+  bool empty() const {
+    return count == 0 && total_ns == 0 && counters.empty() &&
+           children.empty();
+  }
+};
+
+struct Frame {
+  LocalNode* node;
+  Clock::time_point start;
+  bool timed;  ///< false for AttachScope's structural frames.
+};
+
+std::mutex& registry_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+Node& registry_root() {
+  static Node root;
+  return root;
+}
+
+/// Additive merge: commutative and associative, so the global tree is
+/// independent of which thread flushes first.
+void merge_into(Node& dst, const LocalNode& src) {
+  dst.count += src.count;
+  dst.total_ns += src.total_ns;
+  for (const auto& [name, v] : src.counters) {
+    dst.counters[std::string(name)] += v;
+  }
+  for (const auto& c : src.children) {
+    merge_into(dst.children[std::string(c->name)], *c);
+  }
+}
+
+struct ThreadSink {
+  LocalNode root{""};
+  std::vector<Frame> stack;
+  /// Stacks suspended by live AttachScopes (restored on scope exit).
+  /// Each entry also records how many structural frames the scope
+  /// pushed, so its destructor knows how far to unwind.
+  struct Saved {
+    std::vector<Frame> frames;
+    std::size_t attach_depth;
+  };
+  std::vector<Saved> saved;
+
+  ~ThreadSink() { flush(/*force=*/true); }
+
+  /// Merges the shadow tree into the registry and clears it. Unless
+  /// forced (thread exit), refuses while frames are open — they hold
+  /// pointers into the shadow tree.
+  void flush(bool force = false) {
+    if (!force && (!stack.empty() || !saved.empty())) return;
+    if (root.empty()) return;
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    merge_into(registry_root(), root);
+    root.clear();
+  }
+
+  LocalNode* current() {
+    return stack.empty() ? &root : stack.back().node;
+  }
+};
+
+ThreadSink& sink() {
+  thread_local ThreadSink s;
+  return s;
+}
+
+}  // namespace
+
+bool enabled() {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+Span::Span(const char* name) {
+  if (!enabled()) return;
+  ThreadSink& s = sink();
+  s.stack.push_back(
+      {s.current()->child(name), Clock::now(), /*timed=*/true});
+  active_ = true;
+}
+
+Span::~Span() {
+  if (!active_) return;
+  ThreadSink& s = sink();
+  if (s.stack.empty()) return;  // defensive: mismatched scopes
+  const Frame f = s.stack.back();
+  s.stack.pop_back();
+  if (f.timed) {
+    f.node->count += 1;
+    f.node->total_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - f.start)
+            .count());
+  }
+  s.flush();
+}
+
+void count(const char* name, std::int64_t n) {
+  if (!enabled()) return;
+  sink().current()->add_counter(name, n);
+}
+
+const char* current_span_name() {
+  if (!enabled()) return nullptr;
+  ThreadSink& s = sink();
+  return s.stack.empty() ? nullptr : s.stack.back().node->name;
+}
+
+std::vector<const char*> current_path() {
+  std::vector<const char*> path;
+  if (!enabled()) return path;
+  ThreadSink& s = sink();
+  path.reserve(s.stack.size());
+  for (const Frame& f : s.stack) path.push_back(f.node->name);
+  return path;
+}
+
+AttachScope::AttachScope(const std::vector<const char*>& path) {
+  if (!enabled()) return;
+  ThreadSink& s = sink();
+  s.saved.push_back({std::move(s.stack), path.size()});
+  s.stack.clear();
+  for (const char* name : path) {
+    s.stack.push_back({s.current()->child(name), {}, /*timed=*/false});
+  }
+  active_ = true;
+}
+
+AttachScope::~AttachScope() {
+  if (!active_) return;
+  ThreadSink& s = sink();
+  if (s.saved.empty()) return;  // defensive: mismatched scopes
+  ThreadSink::Saved restored = std::move(s.saved.back());
+  s.saved.pop_back();
+  // All spans opened inside the scope are lexical and already closed;
+  // only the structural attach frames remain.
+  const std::size_t keep =
+      s.stack.size() >= restored.attach_depth
+          ? s.stack.size() - restored.attach_depth
+          : 0;
+  s.stack.resize(keep);
+  if (s.stack.empty()) {
+    s.stack = std::move(restored.frames);
+  } else {
+    // Mismatched nesting; drop the saved frames rather than interleave.
+    s.stack.insert(s.stack.begin(), restored.frames.begin(),
+                   restored.frames.end());
+  }
+  s.flush();
+}
+
+void flush_thread() { sink().flush(); }
+
+Node snapshot() {
+  flush_thread();
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  return registry_root();
+}
+
+void reset() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry_root() = Node{};
+}
+
+const Node* Node::find(
+    std::initializer_list<std::string_view> path) const {
+  const Node* n = this;
+  for (std::string_view name : path) {
+    auto it = n->children.find(std::string(name));
+    if (it == n->children.end()) return nullptr;
+    n = &it->second;
+  }
+  return n;
+}
+
+std::int64_t Node::counter(std::string_view name) const {
+  auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+// ---- export ----
+
+namespace {
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_node_json(std::ostream& os, const Node& node) {
+  os << "{\"count\":" << node.count << ",\"total_ns\":" << node.total_ns
+     << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : node.counters) {
+    if (!first) os << ',';
+    first = false;
+    write_escaped(os, name);
+    os << ':' << v;
+  }
+  os << "},\"children\":{";
+  first = true;
+  for (const auto& [name, child] : node.children) {
+    if (!first) os << ',';
+    first = false;
+    write_escaped(os, name);
+    os << ':';
+    write_node_json(os, child);
+  }
+  os << "}}";
+}
+
+void write_node_jsonl(std::ostream& os, const Node& node,
+                      const std::string& path) {
+  os << "{\"path\":";
+  write_escaped(os, path.empty() ? "/" : path);
+  os << ",\"count\":" << node.count << ",\"total_ns\":" << node.total_ns
+     << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : node.counters) {
+    if (!first) os << ',';
+    first = false;
+    write_escaped(os, name);
+    os << ':' << v;
+  }
+  os << "}}\n";
+  for (const auto& [name, child] : node.children) {
+    write_node_jsonl(os, child, path + "/" + name);
+  }
+}
+
+void dump_node(std::ostream& os, const Node& node, const std::string& name,
+               int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  os << pad << (name.empty() ? "(root)" : name);
+  if (node.count > 0) {
+    const double ms = static_cast<double>(node.total_ns) / 1e6;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "  x%llu  %.3f ms",
+                  static_cast<unsigned long long>(node.count), ms);
+    os << buf;
+    if (node.count > 1) {
+      std::snprintf(buf, sizeof(buf), "  (%.3f ms/ea)",
+                    ms / static_cast<double>(node.count));
+      os << buf;
+    }
+  }
+  os << '\n';
+  for (const auto& [cname, v] : node.counters) {
+    os << pad << "  . " << cname << " = " << v << '\n';
+  }
+  for (const auto& [cname, child] : node.children) {
+    dump_node(os, child, cname, indent + 1);
+  }
+}
+
+}  // namespace
+
+void dump_tree(std::ostream& os) {
+  const Node root = snapshot();
+  dump_tree(os, root);
+}
+
+void dump_tree(std::ostream& os, const Node& root) {
+  dump_node(os, root, "", 0);
+}
+
+void write_json(std::ostream& os) {
+  const Node root = snapshot();
+  write_node_json(os, root);
+}
+
+void write_json(std::ostream& os, const Node& root) {
+  write_node_json(os, root);
+}
+
+std::string to_json(const Node& root) {
+  std::ostringstream os;
+  write_node_json(os, root);
+  return os.str();
+}
+
+void write_jsonl(std::ostream& os) {
+  const Node root = snapshot();
+  write_jsonl(os, root);
+}
+
+void write_jsonl(std::ostream& os, const Node& root) {
+  write_node_jsonl(os, root, "");
+}
+
+// ---- parsing (round-trip of write_json's output subset) ----
+
+namespace {
+
+struct Parser {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const char* what) const {
+    ODCFP_CHECK_MSG(false, "telemetry JSON parse error at offset "
+                               << pos << ": " << what);
+    std::abort();  // unreachable; CHECK throws
+  }
+
+  void skip_ws() {
+    while (pos < s.size() &&
+           (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+            s[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos >= s.size()) fail("unexpected end of input");
+    return s[pos];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos;
+  }
+
+  bool try_consume(char c) {
+    if (pos < s.size() && peek() == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos < s.size() && s[pos] != '"') {
+      char c = s[pos++];
+      if (c == '\\') {
+        if (pos >= s.size()) fail("dangling escape");
+        const char e = s[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos + 4 > s.size()) fail("short \\u escape");
+            unsigned v = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s[pos++];
+              v <<= 4;
+              if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                v |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                v |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u digit");
+            }
+            out += static_cast<char>(v);  // control chars only
+            break;
+          }
+          default: fail("unsupported escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos >= s.size()) fail("unterminated string");
+    ++pos;  // closing quote
+    return out;
+  }
+
+  std::int64_t parse_int() {
+    skip_ws();
+    bool neg = false;
+    if (pos < s.size() && s[pos] == '-') {
+      neg = true;
+      ++pos;
+    }
+    if (pos >= s.size() || s[pos] < '0' || s[pos] > '9') {
+      fail("expected digit");
+    }
+    std::int64_t v = 0;
+    while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
+      v = v * 10 + (s[pos] - '0');
+      ++pos;
+    }
+    return neg ? -v : v;
+  }
+
+  Node parse_node() {
+    Node node;
+    expect('{');
+    if (try_consume('}')) return node;
+    for (;;) {
+      const std::string key = parse_string();
+      expect(':');
+      if (key == "count") {
+        node.count = static_cast<std::uint64_t>(parse_int());
+      } else if (key == "total_ns") {
+        node.total_ns = static_cast<std::uint64_t>(parse_int());
+      } else if (key == "counters") {
+        expect('{');
+        if (!try_consume('}')) {
+          for (;;) {
+            const std::string name = parse_string();
+            expect(':');
+            node.counters[name] = parse_int();
+            if (try_consume('}')) break;
+            expect(',');
+          }
+        }
+      } else if (key == "children") {
+        expect('{');
+        if (!try_consume('}')) {
+          for (;;) {
+            const std::string name = parse_string();
+            expect(':');
+            node.children[name] = parse_node();
+            if (try_consume('}')) break;
+            expect(',');
+          }
+        }
+      } else {
+        fail("unknown key");
+      }
+      if (try_consume('}')) break;
+      expect(',');
+    }
+    return node;
+  }
+};
+
+}  // namespace
+
+Node parse_json(std::string_view json) {
+  Parser p{json};
+  Node node = p.parse_node();
+  p.skip_ws();
+  ODCFP_CHECK_MSG(p.pos == json.size(),
+                  "telemetry JSON parse error: trailing data at offset "
+                      << p.pos);
+  return node;
+}
+
+}  // namespace odcfp::telemetry

@@ -1,0 +1,173 @@
+// Process-wide telemetry: named counters, wall-clock timers, and
+// hierarchical spans over the whole fingerprinting pipeline.
+//
+// The paper's claims are quantitative (location counts, Table II/III
+// overheads, Fig. 7 curves), so every serving-layer question is "where
+// did the time / budget go?". This module answers it with a registry of
+// *span aggregates*: a span is an RAII scope named by a string literal
+// (TELEM_SPAN("find_locations")); closing it adds one instance (count +
+// elapsed wall time) to the aggregate node addressed by the names of the
+// spans open on the current thread. Counters (TELEM_COUNT) attach to the
+// innermost open span. The result is a tree keyed by span *path*, not a
+// trace of individual events — which is what makes multi-threaded
+// collection deterministic (see below).
+//
+// Threading / determinism contract:
+//  * Every thread buffers into a private shadow tree (no locks on the
+//    hot path). The shadow merges into the global registry when the
+//    thread's outermost span closes (or at thread exit / flush_thread()).
+//  * Merging sums counts and counters per path; it is commutative and
+//    associative, so the merged structure, span counts, and counter
+//    values are identical for any thread count and any scheduling — only
+//    wall-clock durations vary run to run. The deterministic-merge tests
+//    assert exactly this at 1/2/8 threads.
+//  * ThreadPool work items run on worker threads whose span stack is
+//    empty; AttachScope re-roots a worker's spans under the path captured
+//    on the fan-out thread (telemetry::current_path()), so per-item spans
+//    nest under the phase that issued them.
+//  * Telemetry is an observer only: nothing in the pipeline reads it
+//    back, so results are bit-identical with telemetry on or off.
+//
+// Overhead policy:
+//  * Disabled (runtime toggle off, or ODCFP_TELEMETRY_ENABLED=0 at
+//    compile time): one relaxed atomic load per macro, zero allocation —
+//    enforced by a test that counts operator new calls.
+//  * Enabled: span open/close is a couple of small-map lookups in
+//    thread-local memory; counters likewise. Nodes allocate once per
+//    distinct path per thread. No locks except at merge points.
+//
+// Span names must be string literals (or otherwise outlive the process):
+// the registry and the Budget death-attribution hook store the pointers.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Compile-time master switch: 0 compiles the macros down to nothing (the
+// functions remain defined so direct calls still link).
+#ifndef ODCFP_TELEMETRY_ENABLED
+#define ODCFP_TELEMETRY_ENABLED 1
+#endif
+
+namespace odcfp::telemetry {
+
+/// Aggregate of all closed span instances sharing one path, plus the
+/// counters charged while a span of that path was innermost.
+struct Node {
+  std::uint64_t count = 0;     ///< Closed span instances.
+  std::uint64_t total_ns = 0;  ///< Wall time summed over instances.
+  /// Counter name -> accumulated value. std::map keeps export order
+  /// deterministic (sorted by name, independent of creation order).
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, Node> children;
+
+  bool operator==(const Node&) const = default;
+
+  /// Child lookup by path, nullptr when absent.
+  const Node* find(std::initializer_list<std::string_view> path) const;
+  /// Counter value on this node (0 when absent).
+  std::int64_t counter(std::string_view name) const;
+};
+
+/// Runtime toggle. Initialized from the ODCFP_TELEMETRY environment
+/// variable ("0" disables; anything else, or unset, enables).
+bool enabled();
+void set_enabled(bool on);
+
+/// RAII span. `name` must have static storage duration (use TELEM_SPAN,
+/// which only accepts literals). Construction when telemetry is disabled
+/// costs one atomic load and allocates nothing.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+/// Adds `n` to counter `name` on the innermost open span of this thread
+/// (on the root when no span is open). `name` must be a literal.
+void count(const char* name, std::int64_t n = 1);
+
+/// Name of the innermost open span on this thread; nullptr when no span
+/// is open or telemetry is disabled. The pointer has static storage
+/// duration (it is the literal passed to TELEM_SPAN).
+const char* current_span_name();
+
+/// The open-span path of this thread, outermost first. Pass it to
+/// AttachScope on a worker thread to nest the worker's spans under the
+/// fan-out site. Empty when telemetry is disabled.
+std::vector<const char*> current_path();
+
+/// Re-roots this thread's telemetry under `path` for the scope's
+/// lifetime: spans opened inside nest under path[0]/path[1]/...; the
+/// thread's previous span stack (if any — the pool's caller thread
+/// participates in its own loops) is suspended and restored on exit.
+/// The attach frames are structural only: they add no count and no time.
+class AttachScope {
+ public:
+  explicit AttachScope(const std::vector<const char*>& path);
+  ~AttachScope();
+  AttachScope(const AttachScope&) = delete;
+  AttachScope& operator=(const AttachScope&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+/// Merges this thread's shadow tree into the global registry now. Only
+/// needed for threads that record outside any span and never exit;
+/// span-closing threads flush automatically.
+void flush_thread();
+
+/// Copy of the merged global tree (flushes the calling thread first).
+Node snapshot();
+
+/// Clears the merged global data. Open spans on live threads are
+/// unaffected and will merge into the cleared registry when they close.
+void reset();
+
+// ---- export ----
+
+/// Human-readable indented tree: count, total ms, mean, counters.
+void dump_tree(std::ostream& os);
+void dump_tree(std::ostream& os, const Node& root);
+
+/// One JSON object for the whole tree (deterministic serialization:
+/// keys sorted, integers exact).
+void write_json(std::ostream& os);
+void write_json(std::ostream& os, const Node& root);
+std::string to_json(const Node& root);
+
+/// One JSON object per line, one line per path:
+/// {"path":"a/b","count":..,"total_ns":..,"counters":{...}}
+void write_jsonl(std::ostream& os);
+void write_jsonl(std::ostream& os, const Node& root);
+
+/// Parses the subset of JSON emitted by write_json back into a Node
+/// (round-trip: parse_json(to_json(n)) == n). Throws CheckError on
+/// malformed input.
+Node parse_json(std::string_view json);
+
+}  // namespace odcfp::telemetry
+
+#if ODCFP_TELEMETRY_ENABLED
+#define ODCFP_TELEM_CAT2(a, b) a##b
+#define ODCFP_TELEM_CAT(a, b) ODCFP_TELEM_CAT2(a, b)
+/// Opens a span for the rest of the enclosing scope. `name` must be a
+/// string literal.
+#define TELEM_SPAN(name) \
+  ::odcfp::telemetry::Span ODCFP_TELEM_CAT(telem_span_, __LINE__)("" name)
+/// Adds `n` to counter `name` (a string literal) on the innermost span.
+#define TELEM_COUNT(name, n) ::odcfp::telemetry::count("" name, (n))
+#else
+#define TELEM_SPAN(name) ((void)0)
+#define TELEM_COUNT(name, n) ((void)0)
+#endif

@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "common/fault.hpp"
 #include "common/rng.hpp"
+#include "common/telemetry.hpp"
 #include "sat/tseitin.hpp"
 #include "sim/simulator.hpp"
 
@@ -133,6 +134,7 @@ bool exhaustive_equal(const Netlist& a, const Netlist& b,
 CecResult check_equivalence_sat(const Netlist& a, const Netlist& b,
                                 std::int64_t conflict_limit,
                                 const Budget* budget) {
+  TELEM_SPAN("cec.sat_proof");
   const InterfaceMap map = match_interfaces(a, b);
   sat::Solver solver;
   const sat::TseitinEncoding enc_a(solver, a);
@@ -181,6 +183,7 @@ CecResult check_equivalence_sat(const Netlist& a, const Netlist& b,
 CecResult verify_equivalence(const Netlist& a, const Netlist& b,
                              std::size_t sim_words, std::uint64_t seed,
                              std::int64_t sat_conflict_limit) {
+  TELEM_SPAN("cec.verify");
   CecResult result;
   std::vector<bool> cex;
   if (!random_sim_equal(a, b, sim_words, seed, &cex)) {
@@ -211,23 +214,30 @@ Outcome<CecResult> verify_equivalence_budgeted(
   }
   ODCFP_FAULT_POINT("cec.verify");
 
+  TELEM_SPAN("cec.verify_budgeted");
+
   // Stage 1: cheap refutation filter (chunked so a deadline can stop it).
   CecResult result;
   std::size_t filter_words = 0;
-  for (std::size_t done = 0; done < options.sim_words;) {
-    if (budget_exhausted(budget)) break;
-    const std::size_t chunk = std::min<std::size_t>(
-        64, options.sim_words - done);
-    std::vector<bool> cex;
-    if (!random_sim_equal(a, b, chunk, options.seed + done, &cex)) {
-      result.status = CecResult::Status::kDifferent;
-      result.counterexample = std::move(cex);
-      result.method = "random-sim";
-      return Outcome<CecResult>::success(std::move(result));
+  {
+    TELEM_SPAN("cec.sim_filter");
+    for (std::size_t done = 0; done < options.sim_words;) {
+      if (budget_exhausted(budget)) break;
+      const std::size_t chunk = std::min<std::size_t>(
+          64, options.sim_words - done);
+      std::vector<bool> cex;
+      if (!random_sim_equal(a, b, chunk, options.seed + done, &cex)) {
+        result.status = CecResult::Status::kDifferent;
+        result.counterexample = std::move(cex);
+        result.method = "random-sim";
+        return Outcome<CecResult>::success(std::move(result));
+      }
+      done += chunk;
+      filter_words += chunk;
+      budget_charge(budget, chunk);
     }
-    done += chunk;
-    filter_words += chunk;
-    budget_charge(budget, chunk);
+    TELEM_COUNT("cec.filter_words",
+                static_cast<std::int64_t>(filter_words));
   }
 
   // Stage 2: the SAT proof, bounded by the budget.
@@ -246,18 +256,23 @@ Outcome<CecResult> verify_equivalence_budgeted(
   // finding one yields an Exhausted verdict whose confidence grows with
   // the amount of accumulated simulation evidence.
   std::size_t fallback_words = 0;
-  while (fallback_words < options.fallback_sim_words &&
-         budget_charge(budget, 64)) {
-    std::vector<bool> cex;
-    if (!random_sim_equal(a, b, 64,
-                          options.seed + 0x9e3779b9ull + fallback_words,
-                          &cex)) {
-      result.status = CecResult::Status::kDifferent;
-      result.counterexample = std::move(cex);
-      result.method = "sim-fallback";
-      return Outcome<CecResult>::success(std::move(result));
+  {
+    TELEM_SPAN("cec.sim_fallback");
+    while (fallback_words < options.fallback_sim_words &&
+           budget_charge(budget, 64)) {
+      std::vector<bool> cex;
+      if (!random_sim_equal(a, b, 64,
+                            options.seed + 0x9e3779b9ull + fallback_words,
+                            &cex)) {
+        result.status = CecResult::Status::kDifferent;
+        result.counterexample = std::move(cex);
+        result.method = "sim-fallback";
+        return Outcome<CecResult>::success(std::move(result));
+      }
+      fallback_words += 64;
     }
-    fallback_words += 64;
+    TELEM_COUNT("cec.fallback_words",
+                static_cast<std::int64_t>(fallback_words));
   }
 
   const std::size_t evidence_words = filter_words + fallback_words;
@@ -269,12 +284,14 @@ Outcome<CecResult> verify_equivalence_budgeted(
       (static_cast<double>(evidence_words) + 64.0);
   result.status = CecResult::Status::kUnknown;
   result.method = "sat+sim-fallback";
+  TELEM_COUNT("cec.exhausted", 1);
   std::ostringstream msg;
   msg << "SAT proof exhausted its budget after "
       << result.sat_stats.conflicts << " conflicts; "
       << evidence_words * 64 << " random patterns found no difference";
   return Outcome<CecResult>::exhausted(std::move(result), msg.str(),
-                                       confidence);
+                                       confidence)
+      .with_exhausted_at(budget != nullptr ? budget->died_in() : nullptr);
 }
 
 }  // namespace odcfp

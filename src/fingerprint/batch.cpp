@@ -4,6 +4,7 @@
 
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/telemetry.hpp"
 
 namespace odcfp {
 
@@ -59,6 +60,7 @@ BatchResult batch_fingerprint(const Netlist& golden, const Codebook& book,
                               const StaticTimingAnalyzer& sta,
                               const PowerAnalyzer& power,
                               const BatchOptions& options) {
+  TELEM_SPAN("batch_fingerprint");
   BatchResult result;
   result.baseline = Baseline::measure(golden, sta, power);
 
@@ -71,15 +73,24 @@ BatchResult batch_fingerprint(const Netlist& golden, const Codebook& book,
     result.editions[b].status = Status::kExhausted;
   }
 
+  const std::vector<const char*> tpath = telemetry::current_path();
   const Status loop_status = parallel_for(
       options.pool, book.num_buyers(),
       [&](std::size_t b) {
+        // Re-root each buyer's spans under batch_fingerprint regardless
+        // of which pool worker stamps it.
+        const telemetry::AttachScope attach(tpath);
+        TELEM_SPAN("batch_fingerprint.edition");
         result.editions[b] = make_edition(golden, book, b, result.baseline,
                                           sta, power, options);
+        TELEM_COUNT("batch.editions_stamped", 1);
       },
       options.budget);
 
   result.status = loop_status;
+  if (result.status == Status::kExhausted && options.budget != nullptr) {
+    result.exhausted_at = options.budget->died_in();
+  }
   if (result.status == Status::kOk) {
     for (const BuyerEdition& e : result.editions) {
       if (e.status == Status::kInfeasible) {
@@ -94,13 +105,16 @@ BatchResult batch_fingerprint(const Netlist& golden, const Codebook& book,
 std::vector<Outcome<CecResult>> batch_verify_equivalence(
     const Netlist& golden, const std::vector<BuyerEdition>& editions,
     const BatchCecOptions& options) {
+  TELEM_SPAN("batch_verify");
   std::vector<Outcome<CecResult>> verdicts(
       editions.size(),
       Outcome<CecResult>::exhausted("edition skipped: batch budget died"));
 
+  const std::vector<const char*> tpath = telemetry::current_path();
   parallel_for(
       options.pool, editions.size(),
       [&](std::size_t i) {
+        const telemetry::AttachScope attach(tpath);
         const BuyerEdition& e = editions[i];
         if (e.status == Status::kExhausted) {
           verdicts[i] = Outcome<CecResult>::exhausted(

@@ -82,6 +82,9 @@ struct BatchResult {
   /// mid-batch (some editions skipped); kInfeasible when everything was
   /// stamped but at least one edition violates the delay constraint.
   Status status = Status::kOk;
+  /// Telemetry span in which the shared budget died ("" when unknown;
+  /// nullptr when status != kExhausted). Always a string literal.
+  const char* exhausted_at = nullptr;
 
   std::size_t num_ok() const {
     std::size_t n = 0;

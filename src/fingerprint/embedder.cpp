@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/fault.hpp"
+#include "common/telemetry.hpp"
 
 namespace odcfp {
 
@@ -185,6 +186,7 @@ void FingerprintEmbedder::apply(std::size_t loc, std::size_t site,
   st.option = option;
   st.ops = std::move(ops);
   ++num_applied_;
+  TELEM_COUNT("embed.applies", 1);
 }
 
 void FingerprintEmbedder::undo_ops(const std::vector<Op>& ops) {
@@ -214,6 +216,7 @@ void FingerprintEmbedder::remove(std::size_t loc, std::size_t site) {
   undo_ops(st.ops);
   st = SiteState{};
   --num_applied_;
+  TELEM_COUNT("embed.removes", 1);
 }
 
 void FingerprintEmbedder::apply_code(const FingerprintCode& code) {

@@ -7,6 +7,7 @@
 #include "common/check.hpp"
 #include "common/fault.hpp"
 #include "common/rng.hpp"
+#include "common/telemetry.hpp"
 
 namespace odcfp {
 
@@ -134,6 +135,7 @@ ReactiveRun reactive_once(FingerprintEmbedder& e,
 
   while (cur > budget && e.num_applied() > 0) {
     ODCFP_FAULT_POINT("heuristic.reactive.iter");
+    TELEM_COUNT("heur.iterations", 1);
     // Checkpoint: one iteration per charge. Every modification is applied
     // or removed atomically, so stopping here leaves a valid netlist.
     if (!budget_charge(opt.budget)) {
@@ -184,6 +186,7 @@ ReactiveRun reactive_once(FingerprintEmbedder& e,
         truncated = true;
         break;
       }
+      TELEM_COUNT("heur.trials", 1);
       const auto ref = e.site_ref(f);
       const int option = e.applied_option(ref.loc, ref.site);
       const std::vector<GateId> pre =
@@ -201,6 +204,7 @@ ReactiveRun reactive_once(FingerprintEmbedder& e,
     if (truncated) break;
 
     if (best != static_cast<std::size_t>(-1)) {
+      TELEM_COUNT("heur.greedy_removals", 1);
       const auto ref = e.site_ref(best);
       const std::vector<GateId> pre =
           timing_seeds(nl, e.touched_gates(ref.loc, ref.site));
@@ -214,6 +218,7 @@ ReactiveRun reactive_once(FingerprintEmbedder& e,
     // No single removal improves the delay: remove a random applied
     // modification (the paper's randomized escape).
     if (++kicks > opt.max_random_kicks) break;
+    TELEM_COUNT("heur.random_kicks", 1);
     ++total_kicks;
     max_streak = std::max(max_streak, static_cast<std::size_t>(kicks));
     std::vector<std::size_t> applied;
@@ -250,6 +255,7 @@ HeuristicOutcome reactive_reduce(FingerprintEmbedder& embedder,
                                  const StaticTimingAnalyzer& sta,
                                  const PowerAnalyzer& power,
                                  const ReactiveOptions& options) {
+  TELEM_SPAN("reactive_reduce");
   const double budget =
       baseline.delay * (1.0 + options.max_delay_overhead) + 1e-12;
   std::size_t evals = 0;
@@ -263,6 +269,7 @@ HeuristicOutcome reactive_reduce(FingerprintEmbedder& embedder,
       truncated = true;
       break;
     }
+    TELEM_COUNT("heur.restarts", 1);
     const ReactiveRun run =
         reactive_once(embedder, sta, budget, options,
                       options.seed + static_cast<std::uint64_t>(r), evals);
@@ -295,8 +302,12 @@ HeuristicOutcome reactive_reduce(FingerprintEmbedder& embedder,
   embedder.apply_code(best.code);
   HeuristicOutcome out = make_outcome(embedder, baseline, sta, power, evals);
   out.status = truncated ? Status::kExhausted : Status::kOk;
+  if (truncated && options.budget != nullptr) {
+    out.exhausted_at = options.budget->died_in();
+  }
   out.random_kicks = total_kicks;
   out.max_consecutive_kicks = max_streak;
+  TELEM_COUNT("heur.sta_evaluations", static_cast<std::int64_t>(evals));
   return out;
 }
 
@@ -305,6 +316,7 @@ HeuristicOutcome proactive_insert(FingerprintEmbedder& embedder,
                                   const StaticTimingAnalyzer& sta,
                                   const PowerAnalyzer& power,
                                   const ProactiveOptions& options) {
+  TELEM_SPAN("proactive_insert");
   const Netlist& nl = embedder.netlist();
   const double budget =
       baseline.delay * (1.0 + options.max_delay_overhead) + 1e-12;
@@ -364,7 +376,9 @@ HeuristicOutcome proactive_insert(FingerprintEmbedder& embedder,
                source_arrival(s.options[static_cast<std::size_t>(b - 1)]);
       });
     }
+    TELEM_COUNT("heur.iterations", 1);
     for (int opt : opts) {
+      TELEM_COUNT("heur.trials", 1);
       embedder.apply(ref.loc, ref.site, opt);
       tracker.update(
           timing_seeds(nl, embedder.touched_gates(ref.loc, ref.site)));
@@ -377,6 +391,10 @@ HeuristicOutcome proactive_insert(FingerprintEmbedder& embedder,
   }
   HeuristicOutcome out = make_outcome(embedder, baseline, sta, power, evals);
   out.status = truncated ? Status::kExhausted : Status::kOk;
+  if (truncated && options.budget != nullptr) {
+    out.exhausted_at = options.budget->died_in();
+  }
+  TELEM_COUNT("heur.sta_evaluations", static_cast<std::int64_t>(evals));
   return out;
 }
 

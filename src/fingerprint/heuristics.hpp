@@ -64,6 +64,10 @@ struct HeuristicOutcome {
   /// reactive_reduce always a delay-feasible one, falling back to the
   /// blank code when no better feasible checkpoint existed yet).
   Status status = Status::kOk;
+  /// Telemetry span in which the budget died ("" when unknown; nullptr
+  /// when status != kExhausted). Points at a string literal — cheap to
+  /// copy, valid for the program's lifetime.
+  const char* exhausted_at = nullptr;
   /// Random escapes taken across the whole run (all restarts). Can exceed
   /// ReactiveOptions::max_random_kicks, which bounds only the longest
   /// *consecutive* streak without greedy progress.

@@ -7,6 +7,7 @@
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/telemetry.hpp"
 #include "fingerprint/embedder.hpp"
 #include "netlist/cones.hpp"
 #include "odc/odc.hpp"
@@ -141,7 +142,14 @@ PrimaryAnalysis analyze_primary(const Netlist& nl, GateId primary,
   const Gate& pg = nl.gate(primary);
   const TruthTable& ptt = nl.cell_of(primary).function;
   const int arity = ptt.num_inputs();
-  if (arity < 2) return analysis;
+  // Criterion counters mirror Definition 1: a primary gate needs (1) a
+  // non-PI input that (2) feeds only the primary gate (an FFC output),
+  // (3) a usable injection-site kind inside that FFC, and (4) an
+  // independent ODC trigger on another pin.
+  if (arity < 2) {
+    TELEM_COUNT("loc.reject.arity", 1);
+    return analysis;
+  }
 
   // Net depth: level of the driving gate (PIs are depth 0).
   auto net_depth = [&](NetId n) {
@@ -161,8 +169,14 @@ PrimaryAnalysis analyze_primary(const Netlist& nl, GateId primary,
   for (int py : y_pins) {
     const NetId y = pg.fanins[static_cast<std::size_t>(py)];
     // Criterion 1+2: Y is not a PI and feeds only the primary gate.
-    if (nl.net(y).is_pi || nl.net(y).driver == kInvalidGate) continue;
-    if (!nl.has_single_fanout(y)) continue;
+    if (nl.net(y).is_pi || nl.net(y).driver == kInvalidGate) {
+      TELEM_COUNT("loc.reject.y_not_gate_driven", 1);
+      continue;
+    }
+    if (!nl.has_single_fanout(y)) {
+      TELEM_COUNT("loc.reject.y_multi_fanout", 1);
+      continue;
+    }
     const GateId ydrv = nl.net(y).driver;
 
     // Criterion 3: the FFC rooted at ydrv contains a usable site kind.
@@ -176,7 +190,10 @@ PrimaryAnalysis analyze_primary(const Netlist& nl, GateId primary,
         cand.site_gates.push_back(c);
       }
     }
-    if (cand.site_gates.empty()) continue;
+    if (cand.site_gates.empty()) {
+      TELEM_COUNT("loc.reject.no_site_kind", 1);
+      continue;
+    }
 
     // Nets already feeding the FFC: the trigger must be independent of
     // the FFC ("signal X is independent of the FFC that generates
@@ -208,8 +225,12 @@ PrimaryAnalysis analyze_primary(const Netlist& nl, GateId primary,
         cand.triggers.push_back({px, v, net_depth(x)});
       }
     }
-    if (cand.triggers.empty()) continue;
+    if (cand.triggers.empty()) {
+      TELEM_COUNT("loc.reject.no_trigger", 1);
+      continue;
+    }
 
+    TELEM_COUNT("loc.candidates", 1);
     analysis.candidates.push_back(std::move(cand));
   }
   return analysis;
@@ -219,6 +240,7 @@ PrimaryAnalysis analyze_primary(const Netlist& nl, GateId primary,
 
 std::vector<FingerprintLocation> find_locations(
     const Netlist& nl, const LocationFinderOptions& options) {
+  TELEM_SPAN("find_locations");
   std::vector<FingerprintLocation> locations;
   Rng rng(options.seed);
   const std::vector<int> levels = nl.gate_levels();
@@ -226,11 +248,18 @@ std::vector<FingerprintLocation> find_locations(
 
   // Phase A (parallel): the pure per-primary analysis. Results are keyed
   // by topo position, so the vector is identical for any pool size.
+  const std::vector<const char*> tpath = telemetry::current_path();
   auto [analyses, phase_status] = parallel_map(
       options.pool, order.size(), [&](std::size_t i) {
+        // Re-root each item's counters under find_locations regardless
+        // of which worker thread runs it.
+        const telemetry::AttachScope attach(tpath);
+        TELEM_SPAN("find_locations.analyze");
         return analyze_primary(nl, order[i], levels, options);
       });
   (void)phase_status;  // no budget on this loop: always kOk
+
+  TELEM_SPAN("find_locations.commit");
 
   // Phase B (sequential): greedy commit in topological order. The
   // conflict filters below depend on previously accepted locations, so
@@ -255,7 +284,10 @@ std::vector<FingerprintLocation> find_locations(
     for (const YCandidate& cand : analyses[idx].candidates) {
       const int py = cand.pin;
       const NetId y = cand.y;
-      if (tapped_nets.count(y)) continue;  // already a trigger elsewhere
+      if (tapped_nets.count(y)) {  // already a trigger elsewhere
+        TELEM_COUNT("loc.commit.reject_y_tapped", 1);
+        continue;
+      }
       const GateId ydrv = cand.ydrv;
 
       // Drop sites consumed by earlier locations.
@@ -265,7 +297,10 @@ std::vector<FingerprintLocation> find_locations(
         if (tapped_nets.count(nl.gate(c).output)) continue;
         site_gates.push_back(c);
       }
-      if (site_gates.empty()) continue;
+      if (site_gates.empty()) {
+        TELEM_COUNT("loc.commit.reject_sites_consumed", 1);
+        continue;
+      }
 
       // Drop triggers consumed by earlier locations.
       struct TriggerCandidate {
@@ -280,7 +315,10 @@ std::vector<FingerprintLocation> find_locations(
         if (site_outputs.count(x)) continue;  // may be re-routed later
         triggers.push_back({t.pin, t.value, t.depth});
       }
-      if (triggers.empty()) continue;
+      if (triggers.empty()) {
+        TELEM_COUNT("loc.commit.reject_triggers_consumed", 1);
+        continue;
+      }
 
       // Deepest sites first (they need their result latest — paper's
       // depth heuristic), capped.
@@ -405,6 +443,9 @@ std::vector<FingerprintLocation> find_locations(
         if (o.source2 != kInvalidNet) tapped_nets.insert(o.source2);
       }
     }
+    TELEM_COUNT("loc.accepted", 1);
+    TELEM_COUNT("loc.sites",
+                static_cast<std::int64_t>(best_loc.sites.size()));
     locations.push_back(std::move(best_loc));
   }
 

@@ -8,6 +8,7 @@
 #include "common/check.hpp"
 #include "common/fault.hpp"
 #include "common/parallel.hpp"
+#include "common/telemetry.hpp"
 #include "odc/odc.hpp"
 
 namespace odcfp {
@@ -60,6 +61,8 @@ double local_odc_fraction(const Netlist& nl, NetId net) {
 
 WindowOdcResult window_odc(const Netlist& nl, NetId net,
                            const WindowOptions& options) {
+  TELEM_SPAN("odc.window");
+  TELEM_COUNT("odc.windows", 1);
   WindowOdcResult result;
 
   // 1. Window gates: bounded-depth BFS through the fanout of `net`.
@@ -117,7 +120,11 @@ WindowOdcResult window_odc(const Netlist& nl, NetId net,
   }
   std::sort(side_inputs.begin(), side_inputs.end());
   result.window_inputs = static_cast<int>(side_inputs.size());
+  TELEM_COUNT("odc.window_gates",
+              static_cast<std::int64_t>(result.window_gates));
+  TELEM_COUNT("odc.window_inputs", result.window_inputs);
   if (result.window_inputs > options.max_window_inputs) {
+    TELEM_COUNT("odc.refused_input_cap", 1);
     result.status = Status::kInfeasible;  // refused by the input cap
     return result;                        // computed == false
   }
@@ -140,6 +147,7 @@ WindowOdcResult window_odc(const Netlist& nl, NetId net,
     // back to the sound local Eq. 1 estimate instead of churning on.
     if (mgr.size() > options.max_bdd_nodes ||
         !budget_charge(options.budget)) {
+      TELEM_COUNT("odc.exhaustions", 1);
       result.computed = true;
       result.degraded = true;
       result.status = Status::kExhausted;
@@ -178,15 +186,23 @@ std::vector<WindowOdcResult> window_odc_batch(
   // as "always observable".
   std::vector<WindowOdcResult> results(nets.size());
   for (WindowOdcResult& r : results) r.status = Status::kExhausted;
+  TELEM_SPAN("odc.window_batch");
+  const std::vector<const char*> tpath = telemetry::current_path();
   parallel_for(
       pool, nets.size(),
-      [&](std::size_t i) { results[i] = window_odc(nl, nets[i], options); },
+      [&](std::size_t i) {
+        // Re-root each item's spans under this batch, whichever worker
+        // thread runs it (no-op when telemetry is disabled).
+        const telemetry::AttachScope attach(tpath);
+        results[i] = window_odc(nl, nets[i], options);
+      },
       options.budget);
   return results;
 }
 
 WindowSdcResult window_sdc(const Netlist& nl, GateId gate,
                            const WindowOptions& options) {
+  TELEM_SPAN("odc.sdc");
   WindowSdcResult result;
   const Gate& gt = nl.gate(gate);
   const int k = static_cast<int>(gt.fanins.size());
@@ -246,6 +262,7 @@ WindowSdcResult window_sdc(const Netlist& nl, GateId gate,
     // budget reports "no patterns proved impossible" rather than failing.
     if (mgr.size() > options.max_bdd_nodes ||
         !budget_charge(options.budget)) {
+      TELEM_COUNT("odc.exhaustions", 1);
       result.computed = true;
       result.degraded = true;
       result.status = Status::kExhausted;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/telemetry.hpp"
 
 namespace odcfp::sat {
 
@@ -224,9 +225,37 @@ std::uint64_t Solver::luby(std::uint64_t i) {
   return 1ull << (k - 1);
 }
 
+namespace {
+
+/// Charges this query's decision/conflict/restart deltas to the
+/// enclosing telemetry span on every solve() exit path.
+struct QueryTelemetry {
+  const Solver::Stats& live;
+  const Solver::Stats before;
+
+  explicit QueryTelemetry(const Solver::Stats& stats)
+      : live(stats), before(stats) {}
+  ~QueryTelemetry() {
+    const Solver::Stats d = live - before;
+    TELEM_COUNT("sat.queries", 1);
+    TELEM_COUNT("sat.decisions", static_cast<std::int64_t>(d.decisions));
+    TELEM_COUNT("sat.propagations",
+                static_cast<std::int64_t>(d.propagations));
+    TELEM_COUNT("sat.conflicts", static_cast<std::int64_t>(d.conflicts));
+    TELEM_COUNT("sat.restarts", static_cast<std::int64_t>(d.restarts));
+    TELEM_COUNT("sat.learned_clauses",
+                static_cast<std::int64_t>(d.learned_clauses));
+    (void)d;  // used only when telemetry is compiled in
+  }
+};
+
+}  // namespace
+
 Solver::Result Solver::solve(const std::vector<Lit>& assumptions,
                              std::int64_t conflict_limit,
                              const Budget* budget) {
+  TELEM_SPAN("sat.solve");
+  const QueryTelemetry query_telemetry(stats_);
   if (!ok_) return Result::kUnsat;
   backtrack(0);
   // Fold the budget's conflict quota into the explicit limit (tighter

@@ -61,6 +61,25 @@ class Solver {
     std::uint64_t conflicts = 0;
     std::uint64_t restarts = 0;
     std::uint64_t learned_clauses = 0;
+
+    /// Accumulation across queries / solvers, so callers (CEC, batch
+    /// verification, the benches) can report cumulative proof effort.
+    Stats& operator+=(const Stats& o) {
+      decisions += o.decisions;
+      propagations += o.propagations;
+      conflicts += o.conflicts;
+      restarts += o.restarts;
+      learned_clauses += o.learned_clauses;
+      return *this;
+    }
+    friend Stats operator-(Stats a, const Stats& b) {
+      a.decisions -= b.decisions;
+      a.propagations -= b.propagations;
+      a.conflicts -= b.conflicts;
+      a.restarts -= b.restarts;
+      a.learned_clauses -= b.learned_clauses;
+      return a;
+    }
   };
 
   /// Creates a fresh variable and returns it.

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Validate BENCH_<name>.json artifacts against bench/BENCH_schema.json.
+
+Usage: validate_bench_json.py SCHEMA REPORT [REPORT...]
+
+Stdlib-only on purpose: CI runners and the dev container must not need
+`jsonschema` (or any pip install) to check bench artifacts. The checker
+implements exactly the subset of JSON Schema the bench schema uses —
+type / required / additionalProperties / properties / items / $ref into
+$defs / const / minimum / minLength — and fails loudly on any schema
+keyword it does not understand, so a schema edit cannot silently
+disable validation.
+
+Exit status: 0 when every report validates, 1 otherwise.
+"""
+
+import json
+import sys
+
+
+class SchemaError(Exception):
+    """The schema itself uses a keyword this checker does not implement."""
+
+
+_TYPE_MAP = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+_HANDLED_KEYWORDS = {
+    "$schema", "$id", "$defs", "$ref", "title", "description",
+    "type", "const", "required", "properties", "additionalProperties",
+    "items", "minimum", "minLength",
+}
+
+
+def _type_ok(value, type_name):
+    if type_name == "integer":
+        # bool is an int subclass in Python; a JSON true is not an integer.
+        return isinstance(value, int) and not isinstance(value, bool)
+    if type_name == "number":
+        return (isinstance(value, (int, float))
+                and not isinstance(value, bool))
+    expected = _TYPE_MAP.get(type_name)
+    if expected is None:
+        raise SchemaError(f"unknown type {type_name!r}")
+    if expected is dict or expected is list:
+        return isinstance(value, expected)
+    # Exact-type match so True does not pass as a number via int subclass.
+    return type(value) is expected
+
+
+def _resolve_ref(ref, root_schema):
+    if not ref.startswith("#/$defs/"):
+        raise SchemaError(f"unsupported $ref {ref!r}")
+    name = ref[len("#/$defs/"):]
+    try:
+        return root_schema["$defs"][name]
+    except KeyError:
+        raise SchemaError(f"dangling $ref {ref!r}") from None
+
+
+def validate(value, schema, root_schema, path, errors):
+    """Appends "path: message" strings to errors; returns nothing."""
+    unknown = set(schema) - _HANDLED_KEYWORDS
+    if unknown:
+        raise SchemaError(
+            f"schema at {path} uses unimplemented keywords: "
+            f"{sorted(unknown)}")
+
+    if "$ref" in schema:
+        validate(value, _resolve_ref(schema["$ref"], root_schema),
+                 root_schema, path, errors)
+        return
+
+    if "type" in schema:
+        allowed = schema["type"]
+        if isinstance(allowed, str):
+            allowed = [allowed]
+        if not any(_type_ok(value, t) for t in allowed):
+            errors.append(
+                f"{path}: expected {' or '.join(allowed)}, got "
+                f"{type(value).__name__}")
+            return  # structural keywords below assume the type matched
+
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected constant {schema['const']!r}, "
+                      f"got {value!r}")
+
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+
+    if "minLength" in schema and isinstance(value, str) \
+            and len(value) < schema["minLength"]:
+        errors.append(f"{path}: string shorter than {schema['minLength']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, child in value.items():
+            child_path = f"{path}.{key}"
+            if key in props:
+                validate(child, props[key], root_schema, child_path, errors)
+            elif isinstance(extra, dict):
+                validate(child, extra, root_schema, child_path, errors)
+            elif extra is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+
+    if isinstance(value, list) and "items" in schema:
+        for i, child in enumerate(value):
+            validate(child, schema["items"], root_schema,
+                     f"{path}[{i}]", errors)
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 1
+    with open(argv[1], encoding="utf-8") as f:
+        schema = json.load(f)
+
+    failed = False
+    for report_path in argv[2:]:
+        try:
+            with open(report_path, encoding="utf-8") as f:
+                report = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"FAIL {report_path}: {exc}", file=sys.stderr)
+            failed = True
+            continue
+        errors = []
+        validate(report, schema, schema, "$", errors)
+        if errors:
+            failed = True
+            print(f"FAIL {report_path}:", file=sys.stderr)
+            for err in errors:
+                print(f"  {err}", file=sys.stderr)
+        else:
+            rows = len(report.get("rows", []))
+            smoke = " (smoke)" if report.get("smoke") else ""
+            print(f"OK   {report_path}: bench={report.get('bench')!r} "
+                  f"rows={rows}{smoke}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
