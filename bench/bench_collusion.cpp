@@ -60,7 +60,7 @@ int main() {
                                                  static_cast<long>(t));
           const FingerprintCode attacked =
               collude(book, colluders, strat, rng);
-          const TraceResult tr = trace(book, attacked);
+          const TraceResult tr = trace_buyer(book, attacked);
           auto is_colluder = [&](std::size_t b) {
             for (std::size_t c : colluders) {
               if (c == b) return true;

@@ -7,9 +7,12 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 #include "common/telemetry.hpp"
+#include "common/trace.hpp"
 
 namespace odcfp::bench {
 
@@ -133,8 +136,35 @@ void BenchReport::write() {
   std::ostringstream os;
   os << "{\n  \"bench\": ";
   write_json_string(os, name_);
-  os << ",\n  \"schema_version\": 1";
+  os << ",\n  \"schema_version\": 2";
   os << ",\n  \"smoke\": " << (smoke() ? "true" : "false");
+  // Host metadata (schema v2): labels only — tools/bench_diff.py must
+  // never gate on them, they exist so a surprising artifact can be
+  // traced back to the machine and toolchain that produced it.
+  os << ",\n  \"host\": {\"threads\": "
+     << std::thread::hardware_concurrency() << ", \"os\": \""
+#if defined(__linux__)
+     << "linux"
+#elif defined(__APPLE__)
+     << "darwin"
+#elif defined(_WIN32)
+     << "windows"
+#else
+     << "unknown"
+#endif
+     << "\", \"compiler\": \""
+#if defined(__clang__)
+     << "clang " << __clang_major__ << "." << __clang_minor__
+#elif defined(__GNUC__)
+     << "gcc " << __GNUC__ << "." << __GNUC_MINOR__
+#else
+     << "unknown"
+#endif
+     << "\"}";
+  // Events the trace recorder had to drop (0 when tracing was off): a
+  // nonzero value flags that the ODCFP_TRACE timeline for this run is a
+  // truncated prefix and ODCFP_TRACE_LIMIT should be raised.
+  os << ",\n  \"trace_dropped_events\": " << trace::dropped_events();
   os << ",\n  \"rows\": [";
   for (std::size_t r = 0; r < rows_.size(); ++r) {
     const Row& row = rows_[r];
@@ -169,11 +199,15 @@ void BenchReport::write() {
 
   std::ofstream out(path);
   if (!out) {
-    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    log::error("bench.artifact_write_failed").field("path", path);
     return;
   }
   out << os.str();
   std::fprintf(stderr, "bench: wrote %s\n", path.c_str());
+  log::info("bench.artifact_written")
+      .field("bench", name_)
+      .field("path", path)
+      .field("rows", rows_.size());
 }
 
 std::string pct(double fraction, int decimals) {

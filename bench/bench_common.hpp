@@ -75,9 +75,12 @@ std::vector<BenchmarkSpec> bench_circuits();
 ///
 /// Output directory: $ODCFP_BENCH_JSON_DIR (default "."). Set
 /// ODCFP_BENCH_JSON=0 to disable the artifact entirely. The emitted file
-/// validates against bench/BENCH_schema.json; non-finite metric values
-/// are emitted as null. When telemetry is enabled the report also embeds
-/// the process's span tree under "telemetry".
+/// validates against bench/BENCH_schema.json (schema_version 2: adds
+/// host metadata and the trace recorder's dropped-event count);
+/// non-finite metric values are emitted as null. When telemetry is
+/// enabled the report also embeds the process's span tree under
+/// "telemetry" — tools/bench_diff.py gates CI on those deterministic
+/// counters against bench/baselines/.
 class BenchReport {
  public:
   class Row {

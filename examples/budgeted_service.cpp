@@ -6,9 +6,16 @@
 // fingerprint under a delay constraint, verify the result — entirely
 // through the budgeted APIs, showing how each layer degrades when its
 // wall-clock deadline dies and how the Status taxonomy reports it.
+//
+// The server side of the story is the structured log: run with
+// ODCFP_LOG=server.jsonl to capture one JSONL record per request with
+// the outcome, the bits kept, and — on exhaustion — the telemetry span
+// the budget died in, the same join key the trace timeline and the
+// telemetry tree use.
 #include <cstdio>
 
 #include "benchgen/benchmarks.hpp"
+#include "common/log.hpp"
 #include "equiv/cec.hpp"
 #include "fingerprint/heuristics.hpp"
 #include "io/blif.hpp"
@@ -23,6 +30,9 @@ int main() {
       ".model broken\n.inputs a b\n.outputs f\n.names b a\n1 1\n.end\n");
   std::printf("malformed request -> %s: %s\n\n",
               to_string(rejected.status()), rejected.message().c_str());
+  log::info("service.request.rejected")
+      .field("status", to_string(rejected.status()))
+      .field("reason", rejected.message());
 
   const Netlist golden = make_benchmark("c880");
   const StaticTimingAnalyzer sta;
@@ -56,6 +66,13 @@ int main() {
       std::printf("  (budget died in '%s')", out.exhausted_at);
     }
     std::printf("\n");
+    log::info("service.request.done")
+        .field("deadline_ms", static_cast<std::int64_t>(ms))
+        .field("status", to_string(out.status))
+        .field("bits_kept", out.bits_kept)
+        .field("delay_overhead", out.overheads.delay_ratio)
+        .field("died_in",
+               out.exhausted_at != nullptr ? out.exhausted_at : "");
   }
 
   // ---- budgeted verification of the shipped result ----
@@ -84,6 +101,10 @@ int main() {
         cec.exhausted_at()[0] != '\0') {
       std::printf("  budget died in '%s'\n", cec.exhausted_at());
     }
+    log::info("service.verify.done")
+        .field("conflict_budget", static_cast<std::int64_t>(conflicts))
+        .field("status", to_string(cec.status()))
+        .field("confidence", cec.confidence());
   }
   return 0;
 }

@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
   const BuyerEdition& leaked = batch.editions.back();
   const FingerprintCode recovered =
       extract_code(leaked.netlist, golden, locations);
-  const TraceResult tr = trace(book, recovered);
+  const TraceResult tr = trace_buyer(book, recovered);
   std::printf("leak of buyer %zu's edition traces to buyer %zu "
               "(score %.2f)\n",
               leaked.buyer, tr.ranked[0], tr.scores[0]);

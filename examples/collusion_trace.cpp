@@ -28,7 +28,7 @@ int main() {
   const FingerprintCode attacked =
       collude(book, colluders, CollusionStrategy::kRandomObserved, rng);
 
-  const TraceResult tr = trace(book, attacked);
+  const TraceResult tr = trace_buyer(book, attacked);
   std::printf("\ntracing scores (top 6 of %zu buyers):\n", kBuyers);
   for (std::size_t i = 0; i < 6 && i < tr.ranked.size(); ++i) {
     const std::size_t b = tr.ranked[i];

@@ -2,7 +2,7 @@
 // benchmark and print where the time and the solver/heuristic effort
 // actually went.
 //
-//   pipeline_report [circuit] [--json]
+//   pipeline_report [circuit] [--json] [--threads N]
 //
 // Runs location finding (pooled), a window-ODC sample, the full
 // embedding, the reactive delay heuristic, and a small multi-buyer batch
@@ -12,7 +12,17 @@
 //
 // Telemetry must be enabled for this tool to report anything; it turns
 // the runtime toggle on itself, overriding ODCFP_TELEMETRY=0.
+//
+// For the event-level view of the same run, set ODCFP_TRACE:
+//
+//   ODCFP_TRACE=trace.json pipeline_report c880
+//
+// then load trace.json in chrome://tracing or https://ui.perfetto.dev —
+// every span below appears as a duration event on its thread's track
+// (pool workers are named pool-worker-N), joined to this report's span
+// tree by the span-name strings.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -21,6 +31,7 @@
 #include "benchgen/benchmarks.hpp"
 #include "common/parallel.hpp"
 #include "common/telemetry.hpp"
+#include "common/trace.hpp"
 #include "fingerprint/batch.hpp"
 #include "fingerprint/heuristics.hpp"
 #include "fingerprint/location.hpp"
@@ -80,9 +91,12 @@ void print_breakdown(const telemetry::Node& root) {
 int main(int argc, char** argv) {
   std::string circuit = "c880";
   bool as_json = false;
+  int threads = 0;  // 0 = hardware concurrency
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       as_json = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
     } else {
       circuit = argv[i];
     }
@@ -90,8 +104,9 @@ int main(int argc, char** argv) {
 
   telemetry::set_enabled(true);
   telemetry::reset();
+  trace::set_thread_name("main");  // label this track if ODCFP_TRACE is set
 
-  ThreadPool pool;
+  ThreadPool pool(threads);
   const Netlist golden = make_benchmark(circuit);
   const StaticTimingAnalyzer sta;
   const PowerAnalyzer power;

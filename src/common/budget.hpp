@@ -35,6 +35,7 @@
 #include <utility>
 
 #include "common/telemetry.hpp"
+#include "common/trace.hpp"
 
 namespace odcfp {
 
@@ -190,9 +191,14 @@ class Budget {
     const char* expected = nullptr;
     if (died_in_.load(std::memory_order_relaxed) != nullptr) return;
     const char* span = telemetry::current_span_name();
-    died_in_.compare_exchange_strong(expected, span != nullptr ? span : "",
-                                     std::memory_order_relaxed,
-                                     std::memory_order_relaxed);
+    if (died_in_.compare_exchange_strong(expected,
+                                         span != nullptr ? span : "",
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+      // The CAS winner marks the moment of death on the trace timeline;
+      // args.detail names the span, matching Outcome::exhausted_at().
+      trace::instant("budget.exhausted", span);
+    }
   }
 
   static constexpr std::uint64_t kClockPeriod = 64;

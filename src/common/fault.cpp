@@ -3,6 +3,9 @@
 #include <cstring>
 #include <new>
 
+#include "common/log.hpp"
+#include "common/trace.hpp"
+
 namespace odcfp::fault {
 
 namespace detail {
@@ -11,7 +14,14 @@ std::atomic<Injector*> g_injector{nullptr};
 
 void fire(const char* site) {
   Injector* inj = g_injector.load(std::memory_order_relaxed);
-  if (inj != nullptr) inj->on_point(site);
+  if (inj == nullptr) return;
+  // Mark the hazard on the timeline / log *before* on_point, which may
+  // throw — the record must not be lost to the unwind.
+  trace::instant("fault.point", site);
+  if (log::enabled(log::Level::kDebug)) {
+    log::debug("fault.point").field("site", site);
+  }
+  inj->on_point(site);
 }
 
 }  // namespace detail

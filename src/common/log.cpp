@@ -1,0 +1,252 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <ostream>
+
+#include "common/telemetry.hpp"
+
+namespace odcfp::log {
+
+namespace {
+
+Level parse_level(const char* s) {
+  if (s == nullptr || *s == '\0') return Level::kInfo;
+  if (std::strcmp(s, "debug") == 0 || std::strcmp(s, "0") == 0) {
+    return Level::kDebug;
+  }
+  if (std::strcmp(s, "info") == 0 || std::strcmp(s, "1") == 0) {
+    return Level::kInfo;
+  }
+  if (std::strcmp(s, "warn") == 0 || std::strcmp(s, "warning") == 0 ||
+      std::strcmp(s, "2") == 0) {
+    return Level::kWarn;
+  }
+  if (std::strcmp(s, "error") == 0 || std::strcmp(s, "3") == 0) {
+    return Level::kError;
+  }
+  if (std::strcmp(s, "off") == 0 || std::strcmp(s, "none") == 0) {
+    return Level::kOff;
+  }
+  return Level::kInfo;
+}
+
+struct Global {
+  std::atomic<int> level{static_cast<int>(Level::kInfo)};
+  std::mutex mu;          ///< Guards file / stream / line appends.
+  std::FILE* file = nullptr;   ///< ODCFP_LOG destination (may be stderr).
+  bool owns_file = false;
+  bool configured = false;     ///< ODCFP_LOG was set (any destination).
+  std::ostream* stream = nullptr;  ///< set_stream override (tests).
+};
+
+/// Leaked so records emitted from static destructors / atexit handlers
+/// (e.g. the ODCFP_TRACE flush) still have a live sink.
+Global& g() {
+  static Global* instance = [] {
+    Global* G = new Global();
+    G->level.store(
+        static_cast<int>(parse_level(std::getenv("ODCFP_LOG_LEVEL"))),
+        std::memory_order_relaxed);
+    const char* dest = std::getenv("ODCFP_LOG");
+    if (dest != nullptr && *dest != '\0') {
+      G->configured = true;
+      if (std::strcmp(dest, "stderr") == 0) {
+        G->file = stderr;
+      } else if (std::strcmp(dest, "stdout") == 0 ||
+                 std::strcmp(dest, "-") == 0) {
+        G->file = stdout;
+      } else {
+        G->file = std::fopen(dest, "a");
+        if (G->file == nullptr) {
+          std::fprintf(stderr,
+                       "odcfp: cannot open ODCFP_LOG=%s, logging to "
+                       "stderr\n",
+                       dest);
+          G->file = stderr;
+        } else {
+          G->owns_file = true;
+        }
+      }
+    }
+    return G;
+  }();
+  return *instance;
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Stable small per-thread id for correlating lines from one thread.
+int thread_id() {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+const char* to_string(Level level) {
+  switch (level) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+    case Level::kOff: return "off";
+  }
+  return "?";
+}
+
+Level level() {
+  return static_cast<Level>(g().level.load(std::memory_order_relaxed));
+}
+
+void set_level(Level lv) {
+  g().level.store(static_cast<int>(lv), std::memory_order_relaxed);
+}
+
+bool enabled(Level lv) {
+  Global& G = g();
+  if (static_cast<int>(lv) < G.level.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  if (lv == Level::kOff) return false;
+  if (G.stream != nullptr || G.configured) return true;
+  // No sink configured: only warnings and errors reach stderr.
+  return lv >= Level::kWarn;
+}
+
+void set_stream(std::ostream* os) {
+  Global& G = g();
+  std::lock_guard<std::mutex> lock(G.mu);
+  G.stream = os;
+}
+
+Record::Record(Level lv, const char* event) : level_(lv) {
+  if (!enabled(lv)) return;
+  active_ = true;
+  line_.reserve(160);
+  line_ += "{\"ts_ns\":";
+  line_ += std::to_string(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  line_ += ",\"level\":\"";
+  line_ += to_string(lv);
+  line_ += "\",\"event\":";
+  append_escaped(line_, event);
+  line_ += ",\"tid\":";
+  line_ += std::to_string(thread_id());
+  // The join key: the open telemetry span path of this thread, exactly
+  // as telemetry JSONL / the trace timeline name it.
+  line_ += ",\"span\":";
+  std::string path;
+  for (const char* span : telemetry::current_path()) {
+    path += '/';
+    path += span;
+  }
+  append_escaped(line_, path);
+}
+
+Record::Record(Record&& other) noexcept
+    : active_(other.active_),
+      level_(other.level_),
+      line_(std::move(other.line_)) {
+  other.active_ = false;
+}
+
+Record::~Record() {
+  if (!active_) return;
+  line_ += "}\n";
+  Global& G = g();
+  std::lock_guard<std::mutex> lock(G.mu);
+  if (G.stream != nullptr) {
+    G.stream->write(line_.data(),
+                    static_cast<std::streamsize>(line_.size()));
+    if (level_ >= Level::kWarn) G.stream->flush();
+    return;
+  }
+  std::FILE* f = G.file != nullptr ? G.file : stderr;
+  std::fwrite(line_.data(), 1, line_.size(), f);
+  if (level_ >= Level::kWarn) std::fflush(f);
+}
+
+Record& Record::field(const char* key, std::string_view value) {
+  if (!active_) return *this;
+  line_ += ',';
+  append_escaped(line_, key);
+  line_ += ':';
+  append_escaped(line_, value);
+  return *this;
+}
+
+Record& Record::field(const char* key, const char* value) {
+  return field(key, std::string_view(value != nullptr ? value : ""));
+}
+
+Record& Record::field(const char* key, std::int64_t value) {
+  if (!active_) return *this;
+  line_ += ',';
+  append_escaped(line_, key);
+  line_ += ':';
+  line_ += std::to_string(value);
+  return *this;
+}
+
+Record& Record::field(const char* key, std::uint64_t value) {
+  if (!active_) return *this;
+  line_ += ',';
+  append_escaped(line_, key);
+  line_ += ':';
+  line_ += std::to_string(value);
+  return *this;
+}
+
+Record& Record::field(const char* key, double value) {
+  if (!active_) return *this;
+  line_ += ',';
+  append_escaped(line_, key);
+  line_ += ':';
+  char buf[40];
+  if (value == value &&
+      value <= 1.7976931348623157e308 && value >= -1.7976931348623157e308) {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "null");  // JSON has no NaN/Inf
+  }
+  line_ += buf;
+  return *this;
+}
+
+Record& Record::field(const char* key, bool value) {
+  if (!active_) return *this;
+  line_ += ',';
+  append_escaped(line_, key);
+  line_ += ':';
+  line_ += value ? "true" : "false";
+  return *this;
+}
+
+}  // namespace odcfp::log

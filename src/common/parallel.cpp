@@ -1,7 +1,10 @@
 #include "common/parallel.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <exception>
+
+#include "common/trace.hpp"
 
 namespace odcfp {
 
@@ -30,7 +33,14 @@ ThreadPool::ThreadPool(int num_threads) {
   }
   workers_.reserve(static_cast<std::size_t>(num_threads - 1));
   for (int t = 1; t < num_threads; ++t) {
-    workers_.emplace_back([this] { worker_main(); });
+    workers_.emplace_back([this, t] {
+      // Name the worker's trace track up front; the name sticks to the
+      // thread even when tracing starts later (set_thread_name copies).
+      char name[32];
+      std::snprintf(name, sizeof(name), "pool-worker-%d", t);
+      trace::set_thread_name(name);
+      worker_main();
+    });
   }
 }
 

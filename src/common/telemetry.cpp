@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/trace.hpp"
 
 namespace odcfp::telemetry {
 
@@ -151,6 +152,10 @@ void set_enabled(bool on) {
 }
 
 Span::Span(const char* name) {
+  if (trace::enabled()) {
+    trace::begin(name);
+    trace_name_ = name;
+  }
   if (!enabled()) return;
   ThreadSink& s = sink();
   s.stack.push_back(
@@ -159,6 +164,7 @@ Span::Span(const char* name) {
 }
 
 Span::~Span() {
+  if (trace_name_ != nullptr) trace::end(trace_name_);
   if (!active_) return;
   ThreadSink& s = sink();
   if (s.stack.empty()) return;  // defensive: mismatched scopes
@@ -175,6 +181,7 @@ Span::~Span() {
 }
 
 void count(const char* name, std::int64_t n) {
+  if (trace::enabled()) trace::counter(name, n);
   if (!enabled()) return;
   sink().current()->add_counter(name, n);
 }
@@ -195,6 +202,12 @@ std::vector<const char*> current_path() {
 }
 
 AttachScope::AttachScope(const std::vector<const char*>& path) {
+  if (trace::enabled() && !path.empty()) {
+    // Paint the attach path onto this worker's trace track; the copies
+    // are needed because `path` is the caller's and may die before ~.
+    traced_.assign(path.begin(), path.end());
+    for (const char* name : traced_) trace::begin(name);
+  }
   if (!enabled()) return;
   ThreadSink& s = sink();
   s.saved.push_back({std::move(s.stack), path.size()});
@@ -206,6 +219,9 @@ AttachScope::AttachScope(const std::vector<const char*>& path) {
 }
 
 AttachScope::~AttachScope() {
+  for (auto it = traced_.rbegin(); it != traced_.rend(); ++it) {
+    trace::end(*it);
+  }
   if (!active_) return;
   ThreadSink& s = sink();
   if (s.saved.empty()) return;  // defensive: mismatched scopes

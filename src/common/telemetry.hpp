@@ -30,8 +30,10 @@
 //
 // Overhead policy:
 //  * Disabled (runtime toggle off, or ODCFP_TELEMETRY_ENABLED=0 at
-//    compile time): one relaxed atomic load per macro, zero allocation —
-//    enforced by a test that counts operator new calls.
+//    compile time): two relaxed atomic loads per macro (the telemetry
+//    toggle and the trace toggle — spans/counters double as trace-event
+//    sources, see common/trace.hpp), zero allocation — enforced by a
+//    test that counts operator new calls.
 //  * Enabled: span open/close is a couple of small-map lookups in
 //    thread-local memory; counters likewise. Nodes allocate once per
 //    distinct path per thread. No locks except at merge points.
@@ -80,7 +82,10 @@ void set_enabled(bool on);
 
 /// RAII span. `name` must have static storage duration (use TELEM_SPAN,
 /// which only accepts literals). Construction when telemetry is disabled
-/// costs one atomic load and allocates nothing.
+/// costs two atomic loads and allocates nothing. When event tracing is
+/// active (common/trace.hpp) the span additionally emits a B/E duration
+/// event pair — independently of the telemetry toggle, so a pure trace
+/// run still gets a timeline.
 class Span {
  public:
   explicit Span(const char* name);
@@ -90,6 +95,7 @@ class Span {
 
  private:
   bool active_ = false;
+  const char* trace_name_ = nullptr;  ///< Set when a B event was emitted.
 };
 
 /// Adds `n` to counter `name` on the innermost open span of this thread
@@ -111,6 +117,9 @@ std::vector<const char*> current_path();
 /// thread's previous span stack (if any — the pool's caller thread
 /// participates in its own loops) is suspended and restored on exit.
 /// The attach frames are structural only: they add no count and no time.
+/// When event tracing is active the scope re-emits the attach path as
+/// B/E events on the worker's own track, so a pool worker's timeline
+/// shows which fan-out phase each item served.
 class AttachScope {
  public:
   explicit AttachScope(const std::vector<const char*>& path);
@@ -120,6 +129,7 @@ class AttachScope {
 
  private:
   bool active_ = false;
+  std::vector<const char*> traced_;  ///< Frames to E-close, outermost first.
 };
 
 /// Merges this thread's shadow tree into the global registry now. Only

@@ -1,0 +1,334 @@
+#include "common/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace odcfp::trace {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kDefaultLimit = std::size_t{1} << 18;  // 256Ki
+
+enum class Phase : std::uint8_t { kBegin, kEnd, kCounter, kInstant };
+
+/// One recorded event. POD so buffer slots can be rewritten across
+/// start() epochs without destructor ceremony; both pointers must have
+/// static storage duration (span-name / fault-site literals).
+struct Event {
+  const char* name = nullptr;
+  const char* detail = nullptr;
+  std::uint64_t ts_ns = 0;
+  std::int64_t value = 0;
+  Phase phase = Phase::kInstant;
+};
+
+/// Per-thread buffer. The owner thread is the only writer: it fills slot
+/// `size_` then publishes with a release store, so a collector reading
+/// size with acquire sees fully written events — the only cross-thread
+/// protocol, making the hot path lock-free. Storage is preallocated to
+/// `events.size()` and never reallocated while registered.
+struct Sink {
+  explicit Sink(std::size_t limit) : events(limit) {}
+
+  std::vector<Event> events;
+  std::atomic<std::size_t> size{0};
+  std::atomic<std::uint64_t> dropped{0};
+  char name[48] = {0};
+  std::atomic<bool> has_name{false};
+  std::uint64_t tid = 0;
+};
+
+struct Global {
+  std::atomic<bool> enabled{false};
+  /// Bumped on every start(); thread-local sink caches re-register when
+  /// their cached epoch goes stale (handles stop()+start() cycles).
+  std::atomic<std::uint64_t> epoch{0};
+  std::mutex mu;  ///< Guards sinks / next_tid / limit / env bookkeeping.
+  std::vector<std::shared_ptr<Sink>> sinks;
+  std::uint64_t next_tid = 0;
+  std::size_t limit = kDefaultLimit;
+  Clock::time_point origin{};
+  std::string env_path;  ///< Non-empty when armed by ODCFP_TRACE.
+};
+
+void env_flush();
+
+/// Leaked on purpose: the ODCFP_TRACE atexit flush and thread-local sink
+/// destructors may run during static destruction, after a non-leaked
+/// instance would already be gone.
+Global& g() {
+  static Global* instance = [] {
+    Global* G = new Global();
+    const char* path = std::getenv("ODCFP_TRACE");
+    if (path != nullptr && *path != '\0') {
+      G->env_path = path;
+      if (const char* lim = std::getenv("ODCFP_TRACE_LIMIT")) {
+        const long long v = std::atoll(lim);
+        if (v > 0) G->limit = static_cast<std::size_t>(v);
+      }
+      G->origin = Clock::now();
+      G->epoch.store(1, std::memory_order_release);
+      G->enabled.store(true, std::memory_order_release);
+      std::atexit(env_flush);
+    }
+    return G;
+  }();
+  return *instance;
+}
+
+/// Sticky per-thread track name, independent of any live trace so pool
+/// workers can name themselves once at spawn, before tracing starts.
+char* pending_name() {
+  thread_local char name[48] = {0};
+  return name;
+}
+
+struct TlsRef {
+  std::shared_ptr<Sink> sink;
+  std::uint64_t epoch = 0;
+};
+
+Sink& tls_sink() {
+  thread_local TlsRef ref;
+  Global& G = g();
+  const std::uint64_t e = G.epoch.load(std::memory_order_acquire);
+  if (ref.epoch != e || ref.sink == nullptr) {
+    std::lock_guard<std::mutex> lock(G.mu);
+    auto sink = std::make_shared<Sink>(G.limit);
+    sink->tid = G.next_tid++;
+    if (pending_name()[0] != '\0') {
+      std::strncpy(sink->name, pending_name(), sizeof(sink->name) - 1);
+      sink->has_name.store(true, std::memory_order_release);
+    }
+    G.sinks.push_back(sink);
+    ref.sink = std::move(sink);
+    ref.epoch = e;
+  }
+  return *ref.sink;
+}
+
+void emit(Phase phase, const char* name, const char* detail,
+          std::int64_t value) {
+  Global& G = g();
+  if (!G.enabled.load(std::memory_order_relaxed)) return;
+  Sink& s = tls_sink();
+  const std::size_t i = s.size.load(std::memory_order_relaxed);
+  if (i >= s.events.size()) {
+    s.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Event& ev = s.events[i];
+  ev.name = name;
+  ev.detail = detail;
+  ev.ts_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           G.origin)
+          .count());
+  ev.value = value;
+  ev.phase = phase;
+  s.size.store(i + 1, std::memory_order_release);
+}
+
+void write_escaped(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Chrome's ts unit is microseconds; print ns-resolution fractions.
+void write_ts(std::ostream& os, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  os << buf;
+}
+
+void env_flush() {
+  Global& G = g();
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(G.mu);
+    path.swap(G.env_path);
+  }
+  if (!path.empty()) write_file(path);
+}
+
+}  // namespace
+
+bool enabled() {
+  return g().enabled.load(std::memory_order_relaxed);
+}
+
+void start(std::size_t per_thread_limit) {
+  Global& G = g();
+  std::lock_guard<std::mutex> lock(G.mu);
+  if (G.enabled.load(std::memory_order_relaxed)) return;
+  if (per_thread_limit > 0) {
+    G.limit = per_thread_limit;
+  } else if (const char* lim = std::getenv("ODCFP_TRACE_LIMIT")) {
+    const long long v = std::atoll(lim);
+    if (v > 0) G.limit = static_cast<std::size_t>(v);
+  }
+  G.sinks.clear();
+  G.next_tid = 0;
+  G.origin = Clock::now();
+  G.epoch.fetch_add(1, std::memory_order_release);
+  G.enabled.store(true, std::memory_order_release);
+}
+
+void stop() {
+  Global& G = g();
+  std::lock_guard<std::mutex> lock(G.mu);
+  G.enabled.store(false, std::memory_order_release);
+  G.sinks.clear();
+  G.next_tid = 0;
+}
+
+std::uint64_t dropped_events() {
+  Global& G = g();
+  std::lock_guard<std::mutex> lock(G.mu);
+  std::uint64_t total = 0;
+  for (const auto& s : G.sinks) {
+    total += s->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t recorded_events() {
+  Global& G = g();
+  std::lock_guard<std::mutex> lock(G.mu);
+  std::uint64_t total = 0;
+  for (const auto& s : G.sinks) {
+    total += s->size.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+void set_thread_name(const char* name) {
+  std::strncpy(pending_name(), name, 47);
+  pending_name()[47] = '\0';
+  if (enabled()) {
+    Sink& s = tls_sink();
+    std::strncpy(s.name, pending_name(), sizeof(s.name) - 1);
+    s.has_name.store(true, std::memory_order_release);
+  }
+}
+
+void begin(const char* name) { emit(Phase::kBegin, name, nullptr, 0); }
+void end(const char* name) { emit(Phase::kEnd, name, nullptr, 0); }
+void counter(const char* name, std::int64_t value) {
+  emit(Phase::kCounter, name, nullptr, value);
+}
+void instant(const char* name, const char* detail) {
+  emit(Phase::kInstant, name, detail, 0);
+}
+
+void write(std::ostream& os) {
+  Global& G = g();
+  std::lock_guard<std::mutex> lock(G.mu);
+  // Sinks register in first-event order, so the vector is already sorted
+  // by tid; one pass emits name metadata then each track's events.
+  std::uint64_t dropped = 0;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"odcfp\"}}";
+  for (const auto& sink : G.sinks) {
+    const std::uint64_t tid = sink->tid;
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << tid << ",\"args\":{\"name\":";
+    if (sink->has_name.load(std::memory_order_acquire)) {
+      write_escaped(os, sink->name);
+    } else {
+      char fallback[32];
+      std::snprintf(fallback, sizeof(fallback), "thread-%llu",
+                    static_cast<unsigned long long>(tid));
+      write_escaped(os, fallback);
+    }
+    os << "}}";
+    const std::size_t n = sink->size.load(std::memory_order_acquire);
+    dropped += sink->dropped.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Event& ev = sink->events[i];
+      os << ",\n{\"name\":";
+      write_escaped(os, ev.name);
+      os << ",\"ph\":\"";
+      switch (ev.phase) {
+        case Phase::kBegin: os << 'B'; break;
+        case Phase::kEnd: os << 'E'; break;
+        case Phase::kCounter: os << 'C'; break;
+        case Phase::kInstant: os << 'i'; break;
+      }
+      os << "\",\"pid\":1,\"tid\":" << tid << ",\"ts\":";
+      write_ts(os, ev.ts_ns);
+      if (ev.phase == Phase::kCounter) {
+        os << ",\"args\":{\"value\":" << ev.value << "}";
+      } else if (ev.phase == Phase::kInstant) {
+        os << ",\"s\":\"t\"";
+        if (ev.detail != nullptr) {
+          os << ",\"args\":{\"detail\":";
+          write_escaped(os, ev.detail);
+          os << "}";
+        }
+      }
+      os << "}";
+    }
+  }
+  char dropped_str[24];
+  std::snprintf(dropped_str, sizeof(dropped_str), "%llu",
+                static_cast<unsigned long long>(dropped));
+  char limit_str[24];
+  std::snprintf(limit_str, sizeof(limit_str), "%llu",
+                static_cast<unsigned long long>(G.limit));
+  os << "\n],\"otherData\":{\"trace_dropped_events\":\"" << dropped_str
+     << "\",\"trace_event_limit_per_thread\":\"" << limit_str << "\"}}\n";
+}
+
+bool write_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    log::error("trace.write_failed").field("path", path);
+    return false;
+  }
+  write(out);
+  out.flush();
+  if (!out) {
+    log::error("trace.write_failed").field("path", path);
+    return false;
+  }
+  log::info("trace.written")
+      .field("path", path)
+      .field("events", static_cast<std::int64_t>(recorded_events()))
+      .field("dropped", static_cast<std::int64_t>(dropped_events()));
+  return true;
+}
+
+}  // namespace odcfp::trace

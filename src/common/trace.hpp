@@ -1,0 +1,101 @@
+// Event-level tracing: a per-thread, lock-free, bounded trace recorder
+// emitting Chrome trace_event / Perfetto-compatible JSON.
+//
+// Where src/common/telemetry.* answers "how much time / effort per span
+// path, in aggregate", this module answers "what happened, when, on
+// which thread": every telemetry::Span open/close becomes a B/E duration
+// event, every TELEM_COUNT becomes a C counter sample, and one-shot
+// moments — budget exhaustion, fault injections, SAT restarts — become
+// `i` instant events. The three layers join on the same span-name
+// strings, so a slow path found in the aggregate tree can be located on
+// the timeline (and in the structured log, see src/common/log.*) without
+// re-running anything.
+//
+// Recording model:
+//  * Each thread appends events to a private fixed-capacity buffer; the
+//    hot path is one relaxed enabled() load when off, and when on a
+//    bounds check + slot write + one release store (no locks, no
+//    allocation after the buffer exists). Buffers are preallocated at
+//    first use per thread (capacity from trace::start / ODCFP_TRACE_LIMIT,
+//    default 256Ki events), so memory is bounded by
+//    threads x limit x sizeof(Event).
+//  * On overflow the *newest* events are dropped and counted — keeping
+//    the earliest prefix preserves B/E nesting (a valid truncated
+//    timeline), where overwriting the oldest would orphan end events.
+//    The drop count is exposed via dropped_events(), embedded in the
+//    trace file's otherData, and reported as trace_dropped_events in
+//    BENCH_*.json artifacts (schema v2).
+//  * Collection (write/write_file) reads each buffer's published prefix
+//    via an acquire load, so a post-run flush is safe while idle worker
+//    threads are still alive. The flush is deterministic: it serializes
+//    exactly the published events, sorted by thread id, in one pass.
+//  * Tracing is an observer: like telemetry, nothing reads it back, so
+//    pipeline results are bit-identical with tracing on or off.
+//
+// Track naming: pool workers call set_thread_name("pool-worker-N")
+// (done by ThreadPool), and telemetry::AttachScope re-emits its
+// re-rooting path as B/E events on the worker's track, so a worker's
+// timeline shows which fan-out phase each item served.
+//
+// Activation: set ODCFP_TRACE=<path> to record for the whole process and
+// write <path> at exit, or call start()/write_file() programmatically.
+// All name/detail strings passed to the emitters must have static
+// storage duration (they are the TELEM_SPAN/fault-site literals);
+// set_thread_name copies its argument.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace odcfp::trace {
+
+/// True while a trace is being recorded (one relaxed atomic load).
+bool enabled();
+
+/// Begins recording into per-thread memory buffers. `per_thread_limit`
+/// caps events per thread (0 = $ODCFP_TRACE_LIMIT or 256Ki). A no-op if
+/// already recording. Clears any previously collected events.
+void start(std::size_t per_thread_limit = 0);
+
+/// Stops recording and discards all buffered events (write first to keep
+/// them). A no-op when not recording.
+void stop();
+
+/// Serializes everything recorded since start() as one Chrome
+/// trace_event JSON object ({"traceEvents":[...], ...}). Callable while
+/// recording; concurrent emitters are safe but only their already
+/// published events appear.
+void write(std::ostream& os);
+
+/// write() to a file; returns false (and reports via the structured log)
+/// when the file cannot be opened.
+bool write_file(const std::string& path);
+
+/// Events dropped on buffer overflow since start(), summed over threads.
+std::uint64_t dropped_events();
+
+/// Events currently recorded (published), summed over threads.
+std::uint64_t recorded_events();
+
+/// Names the calling thread's track in the emitted trace ("main",
+/// "pool-worker-3"). Copied (truncated to 47 chars); callable before
+/// start(), the name sticks to the thread for later traces.
+void set_thread_name(const char* name);
+
+// ---- emitters (no-ops unless enabled; `name`/`detail` must be
+// ---- string literals or otherwise outlive the process) ----
+
+/// Duration-begin event (ph "B"). Paired with end() by nesting order.
+void begin(const char* name);
+/// Duration-end event (ph "E").
+void end(const char* name);
+/// Counter sample (ph "C"). `value` is the sampled delta charged by the
+/// matching TELEM_COUNT, not a cumulative total.
+void counter(const char* name, std::int64_t value);
+/// Thread-scoped instant event (ph "i"), e.g. "budget.exhausted",
+/// "fault.injected", "sat.restart". `detail` lands in args.detail.
+void instant(const char* name, const char* detail = nullptr);
+
+}  // namespace odcfp::trace

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/fault.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/telemetry.hpp"
 #include "sat/tseitin.hpp"
@@ -285,6 +286,14 @@ Outcome<CecResult> verify_equivalence_budgeted(
   result.status = CecResult::Status::kUnknown;
   result.method = "sat+sim-fallback";
   TELEM_COUNT("cec.exhausted", 1);
+  log::warn("cec.exhausted")
+      .field("conflicts",
+             static_cast<std::int64_t>(result.sat_stats.conflicts))
+      .field("evidence_words", evidence_words)
+      .field("confidence", confidence)
+      .field("died_in", budget != nullptr && budget->died_in() != nullptr
+                            ? budget->died_in()
+                            : "");
   std::ostringstream msg;
   msg << "SAT proof exhausted its budget after "
       << result.sat_stats.conflicts << " conflicts; "

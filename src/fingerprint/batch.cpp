@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/log.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/telemetry.hpp"
@@ -99,6 +100,16 @@ BatchResult batch_fingerprint(const Netlist& golden, const Codebook& book,
       }
     }
   }
+  std::size_t stamped = 0;
+  for (const BuyerEdition& e : result.editions) {
+    if (e.status != Status::kExhausted) ++stamped;
+  }
+  log::info("batch.fingerprint.done")
+      .field("buyers", book.num_buyers())
+      .field("stamped", stamped)
+      .field("status", to_string(result.status))
+      .field("died_in",
+             result.exhausted_at != nullptr ? result.exhausted_at : "");
   return result;
 }
 
@@ -128,6 +139,18 @@ std::vector<Outcome<CecResult>> batch_verify_equivalence(
                                         options.budget, cec);
       },
       options.budget);
+  std::size_t proven = 0, exhausted = 0;
+  for (const Outcome<CecResult>& v : verdicts) {
+    if (v.ok()) {
+      ++proven;
+    } else if (v.status() == Status::kExhausted) {
+      ++exhausted;
+    }
+  }
+  log::info("batch.verify.done")
+      .field("editions", editions.size())
+      .field("proven", proven)
+      .field("exhausted", exhausted);
   return verdicts;
 }
 

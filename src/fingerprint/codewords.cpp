@@ -146,7 +146,8 @@ FingerprintCode collude(const Codebook& book,
   return attacked;
 }
 
-TraceResult trace(const Codebook& book, const FingerprintCode& attacked) {
+TraceResult trace_buyer(const Codebook& book,
+                        const FingerprintCode& attacked) {
   TraceResult result;
   std::size_t num_sites = 0;
   for (const auto& per_loc : attacked) num_sites += per_loc.size();

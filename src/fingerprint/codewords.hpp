@@ -76,7 +76,10 @@ struct TraceResult {
 };
 
 /// Scores every buyer's codeword against the attacked copy (fraction of
-/// sites whose value matches).
-TraceResult trace(const Codebook& book, const FingerprintCode& attacked);
+/// sites whose value matches). Named trace_buyer, not trace: the bare
+/// name belongs to the odcfp::trace event-recorder namespace
+/// (src/common/trace.hpp).
+TraceResult trace_buyer(const Codebook& book,
+                        const FingerprintCode& attacked);
 
 }  // namespace odcfp

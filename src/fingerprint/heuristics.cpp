@@ -6,8 +6,10 @@
 
 #include "common/check.hpp"
 #include "common/fault.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/telemetry.hpp"
+#include "common/trace.hpp"
 
 namespace odcfp {
 
@@ -270,6 +272,7 @@ HeuristicOutcome reactive_reduce(FingerprintEmbedder& embedder,
       break;
     }
     TELEM_COUNT("heur.restarts", 1);
+    trace::instant("heur.restart");
     const ReactiveRun run =
         reactive_once(embedder, sta, budget, options,
                       options.seed + static_cast<std::uint64_t>(r), evals);
@@ -308,6 +311,14 @@ HeuristicOutcome reactive_reduce(FingerprintEmbedder& embedder,
   out.random_kicks = total_kicks;
   out.max_consecutive_kicks = max_streak;
   TELEM_COUNT("heur.sta_evaluations", static_cast<std::int64_t>(evals));
+  if (log::enabled(log::Level::kDebug)) {
+    log::debug("heur.reactive_reduce.done")
+        .field("status", to_string(out.status))
+        .field("bits_kept", out.bits_kept)
+        .field("sta_evaluations", evals)
+        .field("died_in", out.exhausted_at != nullptr ? out.exhausted_at
+                                                      : "");
+  }
   return out;
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "common/fault.hpp"
+#include "common/log.hpp"
 #include "common/parallel.hpp"
 #include "common/telemetry.hpp"
 #include "odc/odc.hpp"
@@ -148,6 +149,12 @@ WindowOdcResult window_odc(const Netlist& nl, NetId net,
     if (mgr.size() > options.max_bdd_nodes ||
         !budget_charge(options.budget)) {
       TELEM_COUNT("odc.exhaustions", 1);
+      if (log::enabled(log::Level::kDebug)) {
+        log::debug("odc.window.degraded")
+            .field("net", static_cast<std::int64_t>(net))
+            .field("bdd_nodes", static_cast<std::int64_t>(mgr.size()))
+            .field("window_inputs", result.window_inputs);
+      }
       result.computed = true;
       result.degraded = true;
       result.status = Status::kExhausted;

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/telemetry.hpp"
+#include "common/trace.hpp"
 
 namespace odcfp::sat {
 
@@ -329,6 +330,7 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions,
         restart_budget = 64 * luby(restart_count);
         conflicts_since_restart = 0;
         backtrack(0);
+        trace::instant("sat.restart");
       }
       continue;
     }

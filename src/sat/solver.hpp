@@ -72,12 +72,20 @@ class Solver {
       learned_clauses += o.learned_clauses;
       return *this;
     }
+    /// Saturating difference: a snapshot taken before a solver was
+    /// replaced or re-seeded can be "ahead" of the live stats, and a
+    /// wrapped uint64 delta would poison every cumulative counter it is
+    /// added to. A clamped zero is the honest floor for "no progress
+    /// observable across the restart".
     friend Stats operator-(Stats a, const Stats& b) {
-      a.decisions -= b.decisions;
-      a.propagations -= b.propagations;
-      a.conflicts -= b.conflicts;
-      a.restarts -= b.restarts;
-      a.learned_clauses -= b.learned_clauses;
+      const auto sub = [](std::uint64_t x, std::uint64_t y) {
+        return x >= y ? x - y : std::uint64_t{0};
+      };
+      a.decisions = sub(a.decisions, b.decisions);
+      a.propagations = sub(a.propagations, b.propagations);
+      a.conflicts = sub(a.conflicts, b.conflicts);
+      a.restarts = sub(a.restarts, b.restarts);
+      a.learned_clauses = sub(a.learned_clauses, b.learned_clauses);
       return a;
     }
   };

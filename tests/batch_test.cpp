@@ -260,7 +260,7 @@ TEST(BatchFingerprint, ByteIdenticalAcrossThreadCounts) {
     signatures.push_back(structural_signature(e.netlist));
   }
   const TraceResult serial_trace =
-      trace(f.book, extract_code(serial.editions[2].netlist, f.golden,
+      trace_buyer(f.book, extract_code(serial.editions[2].netlist, f.golden,
                                  f.locs));
 
   for (int threads : {1, 2, 8}) {
@@ -288,7 +288,7 @@ TEST(BatchFingerprint, ByteIdenticalAcrossThreadCounts) {
     }
     // End to end: leak tracing ranks buyers identically.
     const TraceResult tr =
-        trace(f.book, extract_code(result.editions[2].netlist, f.golden,
+        trace_buyer(f.book, extract_code(result.editions[2].netlist, f.golden,
                                    f.locs));
     EXPECT_EQ(tr.ranked, serial_trace.ranked);
     EXPECT_EQ(tr.scores, serial_trace.scores);

@@ -170,7 +170,7 @@ TEST(Trace, SingleLeakIsPerfectlyIdentified) {
   Fixture f;
   const Codebook book(f.locs, 24, 5);
   // A non-colluding "leak": the copy is exactly buyer 17's code.
-  const TraceResult tr = trace(book, book.code(17));
+  const TraceResult tr = trace_buyer(book, book.code(17));
   EXPECT_EQ(tr.ranked[0], 17u);
   EXPECT_DOUBLE_EQ(tr.scores[0], 1.0);
   EXPECT_LT(tr.scores[1], 1.0);
@@ -183,7 +183,7 @@ TEST(Trace, ColludersOutrankInnocents) {
   const std::vector<std::size_t> colluders{2, 13};
   const FingerprintCode attacked =
       collude(book, colluders, CollusionStrategy::kRandomObserved, rng);
-  const TraceResult tr = trace(book, attacked);
+  const TraceResult tr = trace_buyer(book, attacked);
   // Both colluders in the top 2.
   const std::set<std::size_t> top{tr.ranked[0], tr.ranked[1]};
   EXPECT_TRUE(top.count(2));
@@ -193,7 +193,7 @@ TEST(Trace, ColludersOutrankInnocents) {
 TEST(Trace, ScoresSortedDescending) {
   Fixture f;
   const Codebook book(f.locs, 10, 29);
-  const TraceResult tr = trace(book, book.code(3));
+  const TraceResult tr = trace_buyer(book, book.code(3));
   for (std::size_t i = 1; i < tr.scores.size(); ++i) {
     EXPECT_GE(tr.scores[i - 1], tr.scores[i]);
   }

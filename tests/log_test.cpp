@@ -1,0 +1,166 @@
+// Structured-logger tests: level filtering, JSONL well-formedness of
+// every record, the telemetry-path join key, and atomic line appends
+// under concurrency. Test names contain "Log" so the TSan CI job picks
+// them up (concurrent Record destructors append to one stream).
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/telemetry.hpp"
+#include "test_json_lite.hpp"
+
+namespace odcfp {
+namespace {
+
+/// Captures all records into a stringstream, at kDebug, for every test;
+/// restores the process defaults afterwards.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    log::set_stream(&out_);
+    log::set_level(log::Level::kDebug);
+    telemetry::set_enabled(true);
+    telemetry::flush_thread();
+    telemetry::reset();
+  }
+  void TearDown() override {
+    log::set_stream(nullptr);
+    log::set_level(log::Level::kInfo);
+    telemetry::flush_thread();
+    telemetry::reset();
+  }
+
+  std::vector<std::string> lines() const {
+    std::vector<std::string> out;
+    std::istringstream in(out_.str());
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) out.push_back(line);
+    }
+    return out;
+  }
+
+  std::ostringstream out_;
+};
+
+TEST_F(LogTest, LevelFilteringRespectsThreshold) {
+  log::set_level(log::Level::kWarn);
+  log::debug("d");
+  log::info("i");
+  log::warn("w");
+  log::error("e");
+  const auto emitted = lines();
+  ASSERT_EQ(emitted.size(), 2u);
+  EXPECT_EQ(testjson::parse(emitted[0]).at("level").str, "warn");
+  EXPECT_EQ(testjson::parse(emitted[1]).at("level").str, "error");
+
+  EXPECT_TRUE(log::enabled(log::Level::kError));
+  EXPECT_FALSE(log::enabled(log::Level::kInfo));
+  log::set_level(log::Level::kOff);
+  EXPECT_FALSE(log::enabled(log::Level::kError));
+  log::error("suppressed");
+  EXPECT_EQ(lines().size(), 2u);
+}
+
+TEST_F(LogTest, RecordsAreWellFormedJsonl) {
+  log::info("plain");
+  log::debug("tricky")
+      .field("msg", "he said \"hi\"\n\tback\\slash")
+      .field("neg", std::int64_t{-5})
+      .field("big", std::uint64_t{18446744073709551615ull})
+      .field("ratio", 0.25)
+      .field("nan", std::nan(""))
+      .field("flag", true)
+      .field("null_cstr", static_cast<const char*>(nullptr));
+
+  const auto emitted = lines();
+  ASSERT_EQ(emitted.size(), 2u);
+  for (const std::string& line : emitted) {
+    testjson::Value rec;
+    ASSERT_NO_THROW(rec = testjson::parse(line)) << line;
+    // Reserved keys lead every record.
+    EXPECT_TRUE(rec.at("ts_ns").is_number());
+    EXPECT_TRUE(rec.at("level").is_string());
+    EXPECT_TRUE(rec.at("event").is_string());
+    EXPECT_TRUE(rec.at("tid").is_number());
+    EXPECT_TRUE(rec.at("span").is_string());
+  }
+  const testjson::Value rec = testjson::parse(emitted[1]);
+  EXPECT_EQ(rec.at("event").str, "tricky");
+  EXPECT_EQ(rec.at("msg").str, "he said \"hi\"\n\tback\\slash");
+  EXPECT_EQ(rec.at("neg").number, -5.0);
+  EXPECT_EQ(rec.at("ratio").number, 0.25);
+  EXPECT_EQ(rec.at("nan").type, testjson::Value::Type::kNull);
+  EXPECT_TRUE(rec.at("flag").boolean);
+  EXPECT_EQ(rec.at("null_cstr").str, "");
+}
+
+TEST_F(LogTest, SpanJoinKeyMatchesTelemetryPath) {
+  log::info("outside");
+  {
+    TELEM_SPAN("a");
+    {
+      TELEM_SPAN("b");
+      log::info("inside");
+    }
+  }
+  const auto emitted = lines();
+  ASSERT_EQ(emitted.size(), 2u);
+  // The join key is the slash-joined span path, exactly as telemetry
+  // JSONL names it — empty outside any span.
+  EXPECT_EQ(testjson::parse(emitted[0]).at("span").str, "");
+  EXPECT_EQ(testjson::parse(emitted[1]).at("span").str, "/a/b");
+}
+
+TEST_F(LogTest, MovedRecordEmitsExactlyOnce) {
+  {
+    log::Record r = log::info("moved");
+    log::Record r2 = std::move(r);
+    r2.field("k", 1);
+  }
+  EXPECT_EQ(lines().size(), 1u);
+}
+
+TEST_F(LogTest, ConcurrentLogRecordsDoNotInterleave) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log::info("worker.tick").field("worker", t).field("i", i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const auto emitted = lines();
+  ASSERT_EQ(emitted.size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  // Every line parses on its own: the per-record mutex hold means lines
+  // from concurrent threads never interleave mid-record.
+  int per_worker[kThreads] = {0};
+  for (const std::string& line : emitted) {
+    testjson::Value rec;
+    ASSERT_NO_THROW(rec = testjson::parse(line)) << line;
+    EXPECT_EQ(rec.at("event").str, "worker.tick");
+    const int w = static_cast<int>(rec.at("worker").number);
+    ASSERT_GE(w, 0);
+    ASSERT_LT(w, kThreads);
+    ++per_worker[w];
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(per_worker[t], kPerThread);
+  }
+}
+
+}  // namespace
+}  // namespace odcfp

@@ -136,6 +136,26 @@ TEST(Solver, PigeonholeExactFitSat) {
   }
 }
 
+TEST(Solver, StatsDifferenceSaturatesAtZero) {
+  Solver::Stats before;
+  before.decisions = 10;
+  before.conflicts = 7;
+  before.restarts = 1;
+  Solver::Stats after;
+  after.decisions = 25;
+  after.conflicts = 3;  // solver was replaced: live counter is behind
+  after.propagations = 4;
+
+  const Solver::Stats delta = after - before;
+  EXPECT_EQ(delta.decisions, 15u);
+  EXPECT_EQ(delta.propagations, 4u);
+  // A wrapped uint64 here would poison every cumulative sum downstream;
+  // the honest floor for "went backwards across a restart" is zero.
+  EXPECT_EQ(delta.conflicts, 0u);
+  EXPECT_EQ(delta.restarts, 0u);
+  EXPECT_EQ(delta.learned_clauses, 0u);
+}
+
 TEST(Solver, ConflictLimitReturnsUnknown) {
   Solver s;
   std::vector<std::vector<Var>> p;

@@ -1,15 +1,19 @@
 #!/usr/bin/env python3
 """Validate BENCH_<name>.json artifacts against bench/BENCH_schema.json.
 
-Usage: validate_bench_json.py SCHEMA REPORT [REPORT...]
+Usage: validate_bench_json.py [--strict] SCHEMA REPORT [REPORT...]
 
 Stdlib-only on purpose: CI runners and the dev container must not need
 `jsonschema` (or any pip install) to check bench artifacts. The checker
 implements exactly the subset of JSON Schema the bench schema uses —
 type / required / additionalProperties / properties / items / $ref into
-$defs / const / minimum / minLength — and fails loudly on any schema
-keyword it does not understand, so a schema edit cannot silently
+$defs / const / enum / minimum / minLength — and fails loudly on any
+schema keyword it does not understand, so a schema edit cannot silently
 disable validation.
+
+The schema accepts both artifact generations (schema_version 1 and 2).
+--strict additionally requires the current generation: schema_version
+== 2 with the v2 "host" and "trace_dropped_events" fields present.
 
 Exit status: 0 when every report validates, 1 otherwise.
 """
@@ -32,9 +36,13 @@ _TYPE_MAP = {
 
 _HANDLED_KEYWORDS = {
     "$schema", "$id", "$defs", "$ref", "title", "description",
-    "type", "const", "required", "properties", "additionalProperties",
-    "items", "minimum", "minLength",
+    "type", "const", "enum", "required", "properties",
+    "additionalProperties", "items", "minimum", "minLength",
 }
+
+# schema_version 2 additions; --strict requires them (and version 2).
+_CURRENT_SCHEMA_VERSION = 2
+_V2_REQUIRED_KEYS = ("host", "trace_dropped_events")
 
 
 def _type_ok(value, type_name):
@@ -90,6 +98,9 @@ def validate(value, schema, root_schema, path, errors):
         errors.append(f"{path}: expected constant {schema['const']!r}, "
                       f"got {value!r}")
 
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not one of {schema['enum']!r}")
+
     if "minimum" in schema and isinstance(value, (int, float)) \
             and not isinstance(value, bool) and value < schema["minimum"]:
         errors.append(f"{path}: {value} < minimum {schema['minimum']}")
@@ -120,14 +131,18 @@ def validate(value, schema, root_schema, path, errors):
 
 
 def main(argv):
-    if len(argv) < 3:
+    args = list(argv[1:])
+    strict = "--strict" in args
+    if strict:
+        args.remove("--strict")
+    if len(args) < 2:
         print(__doc__.strip().splitlines()[2], file=sys.stderr)
         return 1
-    with open(argv[1], encoding="utf-8") as f:
+    with open(args[0], encoding="utf-8") as f:
         schema = json.load(f)
 
     failed = False
-    for report_path in argv[2:]:
+    for report_path in args[1:]:
         try:
             with open(report_path, encoding="utf-8") as f:
                 report = json.load(f)
@@ -137,6 +152,16 @@ def main(argv):
             continue
         errors = []
         validate(report, schema, schema, "$", errors)
+        if strict and isinstance(report, dict):
+            version = report.get("schema_version")
+            if version != _CURRENT_SCHEMA_VERSION:
+                errors.append(
+                    f"$: --strict requires schema_version "
+                    f"{_CURRENT_SCHEMA_VERSION}, got {version!r}")
+            for key in _V2_REQUIRED_KEYS:
+                if key not in report:
+                    errors.append(
+                        f"$: --strict requires v2 key {key!r}")
         if errors:
             failed = True
             print(f"FAIL {report_path}:", file=sys.stderr)
