@@ -9,6 +9,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/atomic_io.hpp"
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "common/telemetry.hpp"
@@ -197,12 +198,16 @@ void BenchReport::write() {
   }
   os << "\n}\n";
 
-  std::ofstream out(path);
-  if (!out) {
-    log::error("bench.artifact_write_failed").field("path", path);
+  // Atomic publish: a crashed or killed bench run must never leave a
+  // truncated BENCH_*.json for bench_diff.py to trip over.
+  const atomic_io::WriteResult written =
+      atomic_io::write_file_atomic(path, os.str());
+  if (!written.ok) {
+    log::error("bench.artifact_write_failed")
+        .field("path", path)
+        .field("error", written.error);
     return;
   }
-  out << os.str();
   std::fprintf(stderr, "bench: wrote %s\n", path.c_str());
   log::info("bench.artifact_written")
       .field("bench", name_)

@@ -13,8 +13,10 @@
 // the budget died in, the same join key the trace timeline and the
 // telemetry tree use.
 #include <cstdio>
+#include <string>
 
 #include "benchgen/benchmarks.hpp"
+#include "common/atomic_io.hpp"
 #include "common/log.hpp"
 #include "equiv/cec.hpp"
 #include "fingerprint/heuristics.hpp"
@@ -106,5 +108,15 @@ int main() {
         .field("status", to_string(cec.status()))
         .field("confidence", cec.confidence());
   }
+
+  // ---- ship the artifact: atomic publish, never a torn file ----
+  // write_blif_file goes through atomic_io (temp + fsync + rename), so a
+  // customer pulling `shipped.blif` while the service restarts either
+  // sees the previous complete edition or this one — never a prefix.
+  const std::string shipped_path = "budgeted_service_shipped.blif";
+  write_blif_file(shipped_path, shipped);
+  std::printf("\nshipped artifact (atomic publish): %s\n",
+              shipped_path.c_str());
+  log::info("service.shipped").field("path", shipped_path);
   return 0;
 }

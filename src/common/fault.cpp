@@ -58,4 +58,18 @@ void CancelAfterN::on_point(const char* site) {
   if (++hits_ == nth_) token_.cancel();
 }
 
+FailNthIo::FailNthIo(std::uint64_t nth, const char* site_prefix,
+                     std::uint64_t count)
+    : nth_(nth), count_(count), prefix_(site_prefix) {}
+
+void FailNthIo::on_point(const char* site) {
+  if (!matches(site, prefix_)) return;
+  ++hits_;
+  if (hits_ >= nth_ && hits_ < nth_ + count_) {
+    ++fired_;
+    throw InjectedIoError(std::string("injected I/O fault at '") + site +
+                          "' (hit " + std::to_string(hits_) + ")");
+  }
+}
+
 }  // namespace odcfp::fault

@@ -15,6 +15,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 #include "common/budget.hpp"
 
@@ -95,6 +97,37 @@ class CancelAfterN : public Injector {
   CancelToken token_;
   const char* prefix_;
   std::uint64_t hits_ = 0;
+};
+
+/// Thrown by FailNthIo at a marked I/O hazard (the fsync/rename/append
+/// sites of atomic_io and the write-ahead journal) — a simulated
+/// transient I/O fault (EIO, short write, full disk). atomic_io and
+/// Journal convert it into their error-return contracts; the retry layer
+/// (common/retry.hpp) classifies it transient.
+class InjectedIoError : public std::runtime_error {
+ public:
+  explicit InjectedIoError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Throws InjectedIoError on matching hits nth .. nth+count-1 (1-based),
+/// then passes hits through again — "the disk misbehaved `count` times
+/// and recovered", the shape retry_with_backoff is built to absorb.
+class FailNthIo : public Injector {
+ public:
+  FailNthIo(std::uint64_t nth, const char* site_prefix = "",
+            std::uint64_t count = 1);
+  void on_point(const char* site) override;
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t fired() const { return fired_; }
+
+ private:
+  std::uint64_t nth_;
+  std::uint64_t count_;
+  const char* prefix_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t fired_ = 0;
 };
 
 }  // namespace odcfp::fault

@@ -1,0 +1,133 @@
+// Append-only, checksummed, fsync'd write-ahead journal for resumable
+// batch fingerprinting.
+//
+// A multi-buyer run (src/fingerprint/batch.*) records every buyer's
+// lifecycle transition — queued -> embedding -> verified -> committed —
+// plus a header naming the run's base seed, buyer count, and a config
+// checksum, so that a process killed at ANY instant can be restarted and
+// skip exactly the buyers whose artifacts are already durable. The
+// journal is the recovery log, not a deterministic artifact: record
+// order across buyers depends on worker scheduling; the bit-identical
+// guarantee lives in the artifacts the records point at.
+//
+// Wire format (line-oriented, greppable on purpose):
+//
+//   odcfp-journal 1
+//   H <crc32-hex8> seed=<u64> buyers=<u64> config=<hex8> label=<text>
+//   R <crc32-hex8> seq=<u64> buyer=<u64> phase=<name> crc=<hex8> artifact=<path>
+//
+// The checksum covers the payload after the second space. `artifact` is
+// always the last field and runs to end of line (paths may contain
+// spaces). Every append is a single write(2) of a whole line to an
+// O_APPEND descriptor followed by fsync, so the only way a record can be
+// damaged is a torn final line from a crash mid-write.
+//
+// Recovery contract (read_journal):
+//  * a torn FINAL record — truncated line, missing newline, checksum
+//    mismatch — is tolerated: replay stops before it, torn_tail is set,
+//    and Journal::append_to truncates it away before appending;
+//  * a damaged NON-final record is corruption the protocol cannot have
+//    produced, and replay fails with Status::kMalformedInput;
+//  * a file that ends before the header was durable (crash between
+//    create() and its fsync) replays as has_header == false, and the
+//    caller starts the run from scratch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/budget.hpp"
+
+namespace odcfp {
+
+/// Per-buyer lifecycle phase recorded in the journal. Transitions only
+/// move forward; the latest record for a buyer wins on replay.
+enum class BuyerPhase : std::uint8_t {
+  kQueued = 0,  ///< No record yet (implicit initial state).
+  kEmbedding,   ///< A worker started stamping this buyer.
+  kVerified,    ///< Embed done; extracted code matched the codeword.
+  kCommitted,   ///< Artifact durable at its final path (crc recorded).
+  kFailed,      ///< Permanent non-budget failure; resume retries it.
+};
+
+const char* to_string(BuyerPhase phase);
+bool parse_buyer_phase(const std::string& text, BuyerPhase* out);
+
+struct JournalHeader {
+  std::uint64_t seed = 0;        ///< Base seed; per-buyer seeds re-derive.
+  std::uint64_t num_buyers = 0;
+  std::uint32_t config_crc = 0;  ///< Checksum of run config + golden netlist.
+  std::string label;             ///< Human label (circuit name).
+};
+
+struct JournalEntry {
+  std::uint64_t seq = 0;    ///< Writer-assigned, strictly increasing.
+  std::uint64_t buyer = 0;
+  BuyerPhase phase = BuyerPhase::kQueued;
+  std::uint32_t artifact_crc = 0;  ///< crc32 of artifact bytes (committed).
+  std::string artifact;            ///< Final artifact path ("" until commit).
+};
+
+struct JournalReplay {
+  bool has_header = false;
+  JournalHeader header;
+  std::vector<JournalEntry> entries;  ///< Every intact record, in order.
+  bool torn_tail = false;             ///< Final record was torn (tolerated).
+  std::uint64_t valid_bytes = 0;      ///< Offset past the last intact record.
+  std::uint64_t next_seq = 0;
+
+  /// Latest phase per buyer (kQueued where never mentioned). Entries for
+  /// buyers >= num_buyers are ignored.
+  std::vector<BuyerPhase> phase_of(std::size_t num_buyers) const;
+  /// Latest committed entry for `buyer`, nullptr when none.
+  const JournalEntry* committed(std::uint64_t buyer) const;
+};
+
+/// Replays a journal file. kMalformedInput for an unopenable file, a bad
+/// magic line, or mid-file corruption; a torn tail is NOT an error.
+Outcome<JournalReplay> read_journal(const std::string& path);
+
+/// Appending writer. Thread-safe: appends from pool workers serialize on
+/// an internal mutex (each append is one durable line). Move-only.
+class Journal {
+ public:
+  Journal();
+  ~Journal();
+  Journal(Journal&&) noexcept;
+  Journal& operator=(Journal&&) noexcept;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Creates (truncating) a journal at `path` — parent directories are
+  /// made — and durably writes the magic + header before returning.
+  static Outcome<Journal> create(const std::string& path,
+                                 const JournalHeader& header);
+
+  /// Opens an existing journal for appending, first truncating away the
+  /// torn tail `replay` reported. Sequence numbers continue from
+  /// replay.next_seq.
+  static Outcome<Journal> append_to(const std::string& path,
+                                    const JournalReplay& replay);
+
+  /// Durably appends one record (fault sites journal.append /
+  /// journal.fsync). On failure — real I/O error or injected fault —
+  /// returns false with a diagnostic in *error; the journal stays usable
+  /// for later appends (a torn line, if any, is beyond valid replay and
+  /// will be dropped on the next resume).
+  bool append(std::uint64_t buyer, BuyerPhase phase,
+              const std::string& artifact = "",
+              std::uint32_t artifact_crc = 0,
+              std::string* error = nullptr);
+
+  bool is_open() const;
+  const std::string& path() const;
+  void close();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace odcfp

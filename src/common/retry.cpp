@@ -1,0 +1,108 @@
+#include "common/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <new>
+#include <thread>
+
+#include "common/fault.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/telemetry.hpp"
+#include "common/trace.hpp"
+
+namespace odcfp {
+
+double backoff_delay_ms(const RetryPolicy& policy, int attempt) {
+  double nominal = policy.base_delay_ms;
+  for (int i = 1; i < attempt; ++i) {
+    nominal *= policy.multiplier;
+    if (nominal >= policy.max_delay_ms) break;
+  }
+  nominal = std::min(nominal, policy.max_delay_ms);
+  if (policy.jitter <= 0) return nominal;
+  // Same per-index stream derivation as the batch layer's per-buyer
+  // seeds: a fixed mix of (seed, attempt), independent of call site,
+  // thread, or wall clock.
+  Rng rng(policy.seed ^
+          (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(attempt))));
+  const double u = rng.next_double();
+  return nominal * (1.0 - policy.jitter + policy.jitter * u);
+}
+
+RetryStats retry_with_backoff(const char* what, const RetryPolicy& policy,
+                              const std::function<Status(int)>& attempt) {
+  TELEM_SPAN("retry");
+  RetryStats stats;
+  const int max_attempts = std::max(policy.max_attempts, 1);
+  for (int a = 1; a <= max_attempts; ++a) {
+    ++stats.attempts;
+    TELEM_COUNT("retry.attempts", 1);
+    try {
+      const Status s = attempt(a);
+      if (s == Status::kOk) {
+        stats.status = Status::kOk;
+        if (a > 1) {
+          log::info("retry.recovered")
+              .field("what", what)
+              .field("attempts", a);
+        }
+        return stats;
+      }
+      if (s != Status::kExhausted) {
+        // kInfeasible / kMalformedInput: retrying cannot change the
+        // answer — pass the verdict through untouched.
+        stats.status = s;
+        return stats;
+      }
+      stats.last_error = "attempt returned kExhausted";
+    } catch (const std::bad_alloc&) {
+      stats.last_error = "std::bad_alloc";
+    } catch (const fault::InjectedIoError& e) {
+      stats.last_error = e.what();
+    }
+    // Any other exception type (CheckError, logic errors) propagates to
+    // the caller like un-retried code — it is not a transient fault.
+    // Reaching here means the attempt failed transiently.
+    TELEM_COUNT("retry.transient_failures", 1);
+    if (a == max_attempts) break;
+    // Give up *before* sleeping when the shared budget is already dead
+    // or the backoff would outlive its deadline.
+    const double delay = backoff_delay_ms(policy, a);
+    if (policy.budget != nullptr) {
+      if (policy.budget->exhausted() ||
+          (policy.budget->has_deadline() &&
+           policy.budget->remaining_seconds() * 1000.0 < delay)) {
+        stats.status = Status::kExhausted;
+        TELEM_COUNT("retry.budget_giveups", 1);
+        log::warn("retry.budget_giveup")
+            .field("what", what)
+            .field("attempts", stats.attempts)
+            .field("error", stats.last_error);
+        return stats;
+      }
+    }
+    stats.backoff_ms.push_back(delay);
+    TELEM_COUNT("retry.backoffs", 1);
+    trace::instant("retry.backoff", what);
+    log::warn("retry.attempt_failed")
+        .field("what", what)
+        .field("attempt", a)
+        .field("backoff_ms", delay)
+        .field("error", stats.last_error);
+    if (policy.sleep && delay > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay));
+    }
+  }
+  stats.status = Status::kExhausted;
+  TELEM_COUNT("retry.exhausted", 1);
+  log::warn("retry.exhausted")
+      .field("what", what)
+      .field("attempts", stats.attempts)
+      .field("error", stats.last_error);
+  return stats;
+}
+
+}  // namespace odcfp

@@ -5,12 +5,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <sstream>
 #include <vector>
 
+#include "common/atomic_io.hpp"
 #include "common/log.hpp"
 
 namespace odcfp::trace {
@@ -313,15 +314,17 @@ void write(std::ostream& os) {
 }
 
 bool write_file(const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    log::error("trace.write_failed").field("path", path);
-    return false;
-  }
-  write(out);
-  out.flush();
-  if (!out) {
-    log::error("trace.write_failed").field("path", path);
+  // Render to memory, publish atomically: a timeline consumer (or an
+  // artifact-uploading CI step racing an exit flush) never sees a
+  // half-written JSON file at the final path.
+  std::ostringstream os;
+  write(os);
+  const atomic_io::WriteResult written =
+      atomic_io::write_file_atomic(path, os.str());
+  if (!written.ok) {
+    log::error("trace.write_failed")
+        .field("path", path)
+        .field("error", written.error);
     return false;
   }
   log::info("trace.written")

@@ -1,11 +1,18 @@
 #include "fingerprint/batch.hpp"
 
+#include <atomic>
+#include <sstream>
 #include <utility>
 
+#include "common/atomic_io.hpp"
+#include "common/journal.hpp"
 #include "common/log.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/telemetry.hpp"
+#include "fingerprint/embedder.hpp"
+#include "io/blif.hpp"
+#include "netlist/netlist.hpp"
 
 namespace odcfp {
 
@@ -111,6 +118,271 @@ BatchResult batch_fingerprint(const Netlist& golden, const Codebook& book,
       .field("died_in",
              result.exhausted_at != nullptr ? result.exhausted_at : "");
   return result;
+}
+
+// ------------------------------------------------- crash-safe resume
+
+namespace {
+
+std::string edition_artifact_path(const std::string& dir,
+                                  std::size_t buyer) {
+  return dir + "/edition_" + std::to_string(buyer) + ".blif";
+}
+
+/// Checksum of everything that determines the editions' bytes besides
+/// the base seed: golden structure, codebook contents, delay constraint.
+/// A resumed run whose config checksum differs would silently produce
+/// different artifacts, so the journal header pins it.
+std::uint32_t run_config_crc(const Netlist& golden, const Codebook& book,
+                             const BatchOptions& options) {
+  std::ostringstream os;
+  os << structural_signature(golden)
+     << "|buyers=" << book.num_buyers()
+     << "|delay=" << options.max_delay_overhead << "|codes=";
+  for (std::size_t b = 0; b < book.num_buyers(); ++b) {
+    for (const auto& per_loc : book.code(b)) {
+      for (const std::uint8_t v : per_loc) {
+        os << static_cast<int>(v) << ',';
+      }
+      os << ';';
+    }
+    os << '/';
+  }
+  return atomic_io::crc32(os.str());
+}
+
+}  // namespace
+
+ResumableBatchResult batch_fingerprint_resumable(
+    const std::string& journal_path, const Netlist& golden,
+    const Codebook& book, const StaticTimingAnalyzer& sta,
+    const PowerAnalyzer& power, const ResumeOptions& options) {
+  TELEM_SPAN("batch_fingerprint_resumable");
+  ResumableBatchResult rr;
+  rr.journal_path = journal_path;
+  const std::size_t n = book.num_buyers();
+  rr.artifacts.assign(n, "");
+
+  const auto fail = [&rr](std::string msg) -> ResumableBatchResult& {
+    rr.status = Status::kMalformedInput;
+    rr.batch.status = Status::kMalformedInput;
+    rr.message = std::move(msg);
+    log::error("batch.resumable.rejected").field("reason", rr.message);
+    return rr;
+  };
+  if (options.artifact_dir.empty()) {
+    return fail("ResumeOptions::artifact_dir must be set");
+  }
+  if (!atomic_io::make_dirs(options.artifact_dir)) {
+    return fail("cannot create artifact dir '" + options.artifact_dir +
+                "'");
+  }
+
+  BatchOptions bo = options.batch;
+  const std::uint32_t config_crc = run_config_crc(golden, book, bo);
+  std::vector<BuyerPhase> phases(n, BuyerPhase::kQueued);
+  std::vector<std::string> committed_path(n);
+  std::vector<std::uint32_t> committed_crc(n, 0);
+  Journal journal;
+  bool fresh = true;
+
+  if (atomic_io::exists(journal_path)) {
+    Outcome<JournalReplay> replayed = read_journal(journal_path);
+    if (!replayed.ok()) return fail(replayed.message());
+    const JournalReplay& replay = replayed.value();
+    if (replay.has_header) {
+      if (replay.header.num_buyers != n ||
+          replay.header.config_crc != config_crc) {
+        return fail("journal '" + journal_path +
+                    "' belongs to a different run (codebook, golden "
+                    "netlist, or delay constraint mismatch)");
+      }
+      if (replay.header.seed != bo.seed) {
+        // The journal is authoritative: per-buyer seeds re-derive from
+        // its header so resumed editions can never diverge from the
+        // artifacts already committed.
+        log::warn("batch.resume.seed_override")
+            .field("journal_seed", replay.header.seed)
+            .field("requested_seed", bo.seed);
+        bo.seed = replay.header.seed;
+      }
+      phases = replay.phase_of(n);
+      for (std::size_t b = 0; b < n; ++b) {
+        if (phases[b] != BuyerPhase::kCommitted) continue;
+        const JournalEntry* e = replay.committed(b);
+        committed_path[b] = e->artifact;
+        committed_crc[b] = e->artifact_crc;
+      }
+      Outcome<Journal> opened = Journal::append_to(journal_path, replay);
+      if (!opened.ok()) return fail(opened.message());
+      journal = std::move(opened).value();
+      fresh = false;
+      log::info("batch.resume.journal_replayed")
+          .field("path", journal_path)
+          .field("records", replay.entries.size())
+          .field("torn_tail", replay.torn_tail);
+    }
+    // No durable header: the crashed run never started real work —
+    // recreate the journal from scratch below.
+  }
+  JournalHeader header;
+  header.seed = bo.seed;
+  header.num_buyers = n;
+  header.config_crc = config_crc;
+  header.label = options.label;
+  if (fresh) {
+    Outcome<Journal> created = Journal::create(journal_path, header);
+    if (!created.ok()) return fail(created.message());
+    journal = std::move(created).value();
+  }
+
+  atomic_io::remove_stale_temps(options.artifact_dir);
+
+  // Trust no committed record without its artifact: the bytes must be
+  // present at the final path with the checksum recorded at commit time,
+  // else the buyer is demoted and re-stamped (idempotent by design).
+  std::vector<char> recovered(n, 0);
+  for (std::size_t b = 0; b < n; ++b) {
+    if (phases[b] != BuyerPhase::kCommitted) continue;
+    std::string bytes;
+    if (atomic_io::read_file(committed_path[b], &bytes) &&
+        atomic_io::crc32(bytes) == committed_crc[b]) {
+      recovered[b] = 1;
+    } else {
+      phases[b] = BuyerPhase::kQueued;
+      log::warn("batch.resume.artifact_demoted")
+          .field("buyer", b)
+          .field("artifact", committed_path[b]);
+    }
+  }
+  if (fresh) {
+    // Roster records: every buyer enters the journal as queued, so a
+    // crash before any edition finishes still leaves the run's scope on
+    // disk. Failures here are advisory — commit records are what gate.
+    for (std::size_t b = 0; b < n; ++b) {
+      journal.append(b, BuyerPhase::kQueued);
+    }
+  }
+
+  rr.batch.baseline = Baseline::measure(golden, sta, power);
+  rr.batch.editions.resize(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    rr.batch.editions[b].buyer = b;
+    rr.batch.editions[b].seed = derive_seed(bo.seed, b);
+    rr.batch.editions[b].status = Status::kExhausted;
+  }
+
+  std::atomic<std::size_t> total_retries{0};
+  std::atomic<std::size_t> recovered_count{0};
+  const std::vector<const char*> tpath = telemetry::current_path();
+  const Status loop_status = parallel_for(
+      bo.pool, n,
+      [&](std::size_t b) {
+        const telemetry::AttachScope attach(tpath);
+        TELEM_SPAN("batch_fingerprint.edition");
+        BuyerEdition& slot = rr.batch.editions[b];
+        if (recovered[b]) {
+          slot.status = Status::kOk;
+          slot.code = book.code(b);
+          rr.artifacts[b] = committed_path[b];
+          recovered_count.fetch_add(1, std::memory_order_relaxed);
+          TELEM_COUNT("batch.editions_recovered", 1);
+          return;
+        }
+        const std::string path =
+            edition_artifact_path(options.artifact_dir, b);
+        journal.append(b, BuyerPhase::kEmbedding);
+        RetryPolicy rp = options.retry;
+        rp.seed ^= slot.seed;  // per-buyer schedule, scheduling-free
+        if (rp.budget == nullptr) rp.budget = bo.budget;
+        BuyerEdition edition;
+        std::string permanent_error;
+        const RetryStats rs = retry_with_backoff(
+            "batch.edition", rp, [&](int) -> Status {
+              edition = make_edition(golden, book, b, rr.batch.baseline,
+                                     sta, power, bo);
+              // Idempotency gate before publishing: the stamped clone
+              // must decode back to exactly this buyer's codeword.
+              if (extract_code(edition.netlist, golden,
+                               book.locations()) != edition.code) {
+                permanent_error =
+                    "extracted code does not match the codeword";
+                return Status::kInfeasible;
+              }
+              if (!journal.append(b, BuyerPhase::kVerified)) {
+                return Status::kExhausted;
+              }
+              const std::string blif = to_blif_string(edition.netlist);
+              if (!atomic_io::write_file_atomic(path, blif).ok) {
+                return Status::kExhausted;
+              }
+              if (!journal.append(b, BuyerPhase::kCommitted, path,
+                                  atomic_io::crc32(blif))) {
+                return Status::kExhausted;
+              }
+              return Status::kOk;
+            });
+        total_retries.fetch_add(rs.backoff_ms.size(),
+                                std::memory_order_relaxed);
+        if (rs.status == Status::kOk) {
+          rr.batch.editions[b] = std::move(edition);
+          rr.artifacts[b] = path;
+          TELEM_COUNT("batch.editions_stamped", 1);
+        } else if (rs.status != Status::kExhausted) {
+          // Permanent failure: recorded so a resume retries it last, and
+          // surfaced on the edition (kExhausted slots stay resumable).
+          journal.append(b, BuyerPhase::kFailed);
+          slot.status = rs.status;
+          log::error("batch.edition.failed")
+              .field("buyer", b)
+              .field("status", to_string(rs.status))
+              .field("error", permanent_error.empty() ? rs.last_error
+                                                      : permanent_error);
+        }
+        // rs.status == kExhausted leaves the prefilled kExhausted slot:
+        // the journal still says embedding/verified, so the next resume
+        // picks this buyer up again.
+      },
+      bo.budget);
+
+  rr.recovered = recovered_count.load();
+  rr.retries = total_retries.load();
+  rr.batch.status = loop_status;
+  if (loop_status == Status::kExhausted && bo.budget != nullptr) {
+    rr.batch.exhausted_at = bo.budget->died_in();
+  }
+  std::size_t pending = 0, stamped = 0;
+  for (const BuyerEdition& e : rr.batch.editions) {
+    if (e.status == Status::kExhausted) ++pending;
+    if (e.status != Status::kExhausted) ++stamped;
+  }
+  if (pending > 0) {
+    rr.status = Status::kExhausted;
+    std::ostringstream os;
+    os << pending << " buyer(s) pending; rerun with journal '"
+       << journal_path << "' to resume";
+    rr.message = os.str();
+    rr.batch.status = Status::kExhausted;
+  } else {
+    rr.status = Status::kOk;
+    rr.batch.status = Status::kOk;
+    for (const BuyerEdition& e : rr.batch.editions) {
+      if (e.status == Status::kInfeasible) {
+        rr.status = Status::kInfeasible;
+        rr.batch.status = Status::kInfeasible;
+        break;
+      }
+    }
+  }
+  log::info("batch.resumable.done")
+      .field("buyers", n)
+      .field("recovered", rr.recovered)
+      .field("stamped", stamped - rr.recovered)
+      .field("pending", pending)
+      .field("retries", rr.retries)
+      .field("journal", journal_path)
+      .field("status", to_string(rr.status));
+  return rr;
 }
 
 std::vector<Outcome<CecResult>> batch_verify_equivalence(

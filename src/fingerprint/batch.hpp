@@ -22,9 +22,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/budget.hpp"
+#include "common/retry.hpp"
 #include "equiv/cec.hpp"
 #include "fingerprint/codewords.hpp"
 #include "fingerprint/heuristics.hpp"
@@ -121,5 +123,64 @@ struct BatchCecOptions {
 std::vector<Outcome<CecResult>> batch_verify_equivalence(
     const Netlist& golden, const std::vector<BuyerEdition>& editions,
     const BatchCecOptions& options = {});
+
+// ------------------------------------------------- crash-safe resume
+
+struct ResumeOptions {
+  /// Seed / pool / budget / delay constraint, exactly as for
+  /// batch_fingerprint. On resume the journal header's seed is
+  /// authoritative (per-buyer seeds re-derive from it), so the editions
+  /// of a resumed run can never diverge from the run that wrote the
+  /// journal; a differing batch.seed is logged and overridden.
+  BatchOptions batch;
+  /// Directory receiving one `edition_<buyer>.blif` per committed buyer
+  /// (created if missing; stale `*.tmp.*` files from crashed writers are
+  /// swept on entry).
+  std::string artifact_dir;
+  /// Transient-failure policy per buyer (alloc faults, injected or real
+  /// I/O faults, a per-buyer sub-budget returning kExhausted). The
+  /// policy's seed is XOR-mixed with the buyer's derived seed, so
+  /// backoff schedules are per-buyer deterministic at any thread count.
+  RetryPolicy retry;
+  /// Human label stored in the journal header (e.g. the circuit name).
+  std::string label;
+};
+
+struct ResumableBatchResult {
+  /// Same shape as batch_fingerprint's result. Buyers recovered from the
+  /// journal (already committed by a previous run) carry status kOk with
+  /// an EMPTY netlist and zero overheads — their bytes live at
+  /// artifacts[buyer]; re-reading them is the caller's choice.
+  BatchResult batch;
+  /// Final artifact path per buyer ("" while not committed).
+  std::vector<std::string> artifacts;
+  /// Buyers skipped because the journal proved them committed (artifact
+  /// present with the recorded checksum).
+  std::size_t recovered = 0;
+  /// Total transient retries absorbed across all buyers.
+  std::size_t retries = 0;
+  std::string journal_path;
+  /// kOk: every buyer committed. kExhausted: budget died or transient
+  /// faults outlasted the retry policy — rerun with the same journal to
+  /// continue. kMalformedInput: the journal belongs to a different run
+  /// or is corrupt mid-file (message explains; nothing was stamped).
+  Status status = Status::kOk;
+  std::string message;
+};
+
+/// Crash-safe batch_fingerprint: records per-buyer lifecycle (queued ->
+/// embedding -> verified -> committed) in a write-ahead journal at
+/// `journal_path` and writes every artifact atomically, so the process
+/// can be SIGKILLed at any instant and rerun with the same arguments to
+/// finish the batch — committed buyers are skipped, their artifacts
+/// byte-identical to an uninterrupted run at any thread count. Commit
+/// protocol per buyer: embed + verify the extracted code matches the
+/// codeword, atomically publish the BLIF artifact, then journal
+/// `committed` with the artifact's crc32. A `committed` record whose
+/// artifact is missing or fails its checksum is demoted and re-stamped.
+ResumableBatchResult batch_fingerprint_resumable(
+    const std::string& journal_path, const Netlist& golden,
+    const Codebook& book, const StaticTimingAnalyzer& sta,
+    const PowerAnalyzer& power, const ResumeOptions& options);
 
 }  // namespace odcfp

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "common/atomic_io.hpp"
 #include "common/check.hpp"
 #include "common/fault.hpp"
 
@@ -324,6 +325,13 @@ std::string to_blif_string(const Netlist& nl) {
   std::ostringstream os;
   write_blif(os, nl);
   return os.str();
+}
+
+void write_blif_file(const std::string& path, const Netlist& nl) {
+  const atomic_io::WriteResult written =
+      atomic_io::write_file_atomic(path, to_blif_string(nl));
+  ODCFP_CHECK_MSG(written.ok,
+                  "cannot write '" << path << "': " << written.error);
 }
 
 }  // namespace odcfp

@@ -41,4 +41,9 @@ void write_blif(std::ostream& os, const SopNetwork& sop);
 void write_blif(std::ostream& os, const Netlist& nl);
 std::string to_blif_string(const Netlist& nl);
 
+/// Writes a mapped Netlist to `path` atomically (common/atomic_io temp +
+/// rename protocol): the final path never holds a partially-written
+/// edition, even across a crash. Throws CheckError on I/O failure.
+void write_blif_file(const std::string& path, const Netlist& nl);
+
 }  // namespace odcfp

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/atomic_io.hpp"
 #include "common/check.hpp"
 
 namespace odcfp {
@@ -123,9 +124,12 @@ std::string to_verilog_string(const Netlist& nl) {
 }
 
 void write_verilog_file(const std::string& path, const Netlist& nl) {
-  std::ofstream os(path);
-  ODCFP_CHECK_MSG(os.good(), "cannot write '" << path << "'");
-  write_verilog(os, nl);
+  // Atomic publish (temp + rename): a killed export never leaves a
+  // truncated netlist at the final path for a downstream tool to read.
+  const atomic_io::WriteResult written =
+      atomic_io::write_file_atomic(path, to_verilog_string(nl));
+  ODCFP_CHECK_MSG(written.ok,
+                  "cannot write '" << path << "': " << written.error);
 }
 
 namespace {

@@ -1,0 +1,146 @@
+// Atomic artifact writes: publish protocol, failure cleanup, stale-temp
+// sweeping, and the shared CRC-32.
+#include "common/atomic_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/fault.hpp"
+
+namespace odcfp {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "atomic_io_test_" + name;
+}
+
+TEST(AtomicIo, WriteReadRoundTrip) {
+  const std::string path = temp_path("roundtrip");
+  const std::string data("line one\nline two\n\0embedded", 27);
+  ASSERT_TRUE(atomic_io::write_file_atomic(path, data).ok);
+  std::string back;
+  ASSERT_TRUE(atomic_io::read_file(path, &back));
+  EXPECT_EQ(back, data);
+  EXPECT_TRUE(atomic_io::exists(path));
+}
+
+TEST(AtomicIo, OverwriteReplacesWholeContent) {
+  const std::string path = temp_path("overwrite");
+  ASSERT_TRUE(atomic_io::write_file_atomic(path, "a long first version")
+                  .ok);
+  ASSERT_TRUE(atomic_io::write_file_atomic(path, "v2").ok);
+  std::string back;
+  ASSERT_TRUE(atomic_io::read_file(path, &back));
+  EXPECT_EQ(back, "v2");
+}
+
+TEST(AtomicIo, LargeWriteSpansChunks) {
+  // > 64 KiB so the chunked write loop takes several iterations.
+  const std::string path = temp_path("large");
+  std::string data;
+  for (int i = 0; i < 5000; ++i) {
+    data += "chunk " + std::to_string(i) + " of the large payload\n";
+  }
+  ASSERT_GT(data.size(), std::size_t{1} << 16);
+  ASSERT_TRUE(atomic_io::write_file_atomic(path, data).ok);
+  std::string back;
+  ASSERT_TRUE(atomic_io::read_file(path, &back));
+  EXPECT_EQ(back, data);
+}
+
+TEST(AtomicIo, MakeDirsIsRecursiveAndIdempotent) {
+  const std::string dir = temp_path("dirs/a/b/c");
+  EXPECT_TRUE(atomic_io::make_dirs(dir));
+  EXPECT_TRUE(atomic_io::make_dirs(dir));  // already exists: success
+  ASSERT_TRUE(atomic_io::write_file_atomic(dir + "/f", "x").ok);
+  EXPECT_TRUE(atomic_io::exists(dir + "/f"));
+}
+
+TEST(AtomicIo, UnwritableDirectoryFailsWithDiagnostic) {
+  const atomic_io::WriteResult r = atomic_io::write_file_atomic(
+      "/nonexistent-odcfp-dir/file", "data");
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(AtomicIo, ReadMissingFileFails) {
+  std::string out = "sentinel";
+  EXPECT_FALSE(atomic_io::read_file(temp_path("missing-none"), &out));
+}
+
+TEST(AtomicIo, RemoveStaleTempsSweepsOnlyTemps) {
+  const std::string dir = temp_path("sweep");
+  ASSERT_TRUE(atomic_io::make_dirs(dir));
+  ASSERT_TRUE(
+      atomic_io::write_file_atomic(dir + "/keep.blif", "keep").ok);
+  // Simulated crash debris: temp names as the writer creates them.
+  ASSERT_TRUE(
+      atomic_io::write_file_atomic(dir + "/a.blif.tmp.1234.7", "junk")
+          .ok);
+  ASSERT_TRUE(
+      atomic_io::write_file_atomic(dir + "/b.json.tmp.99.0", "junk").ok);
+  EXPECT_EQ(atomic_io::remove_stale_temps(dir), 2u);
+  EXPECT_TRUE(atomic_io::exists(dir + "/keep.blif"));
+  EXPECT_FALSE(atomic_io::exists(dir + "/a.blif.tmp.1234.7"));
+  EXPECT_EQ(atomic_io::remove_stale_temps(dir), 0u);
+  EXPECT_EQ(atomic_io::remove_stale_temps(dir + "/no-such-subdir"), 0u);
+}
+
+TEST(AtomicIo, Crc32KnownVectors) {
+  // IEEE 802.3 reference values.
+  EXPECT_EQ(atomic_io::crc32(""), 0x00000000u);
+  EXPECT_EQ(atomic_io::crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(atomic_io::crc32("The quick brown fox jumps over the lazy "
+                             "dog"),
+            0x414fa339u);
+}
+
+// ---- injected-fault behavior: failure must never publish ----
+
+TEST(AtomicIo, FaultAtEveryStepLeavesFinalPathUntouched) {
+  const std::string dir = temp_path("fault_steps");
+  ASSERT_TRUE(atomic_io::make_dirs(dir));
+  const std::string path = dir + "/artifact.blif";
+  ASSERT_TRUE(atomic_io::write_file_atomic(path, "old content").ok);
+  for (const char* site : {"atomic_io.open", "atomic_io.write",
+                           "atomic_io.fsync", "atomic_io.rename"}) {
+    fault::FailNthIo inj(1, site);
+    fault::ScopedInjector scoped(&inj);
+    const atomic_io::WriteResult r =
+        atomic_io::write_file_atomic(path, "new content");
+    EXPECT_FALSE(r.ok) << site;
+    EXPECT_NE(r.error.find("injected"), std::string::npos)
+        << site << ": " << r.error;
+    std::string back;
+    ASSERT_TRUE(atomic_io::read_file(path, &back)) << site;
+    EXPECT_EQ(back, "old content") << site;
+    // The failed writer cleaned up its own temp.
+    EXPECT_EQ(atomic_io::remove_stale_temps(dir), 0u) << site;
+  }
+  // With the injector gone the same write succeeds.
+  ASSERT_TRUE(atomic_io::write_file_atomic(path, "new content").ok);
+  std::string back;
+  ASSERT_TRUE(atomic_io::read_file(path, &back));
+  EXPECT_EQ(back, "new content");
+}
+
+TEST(AtomicIo, MidWriteFaultOnLargePayloadStillCleansUp) {
+  const std::string dir = temp_path("fault_large");
+  ASSERT_TRUE(atomic_io::make_dirs(dir));
+  const std::string path = dir + "/big.json";
+  std::string data(std::size_t{3} << 16, 'x');  // 3 chunks
+  // Fail the SECOND chunk write: a genuinely partial temp existed.
+  fault::FailNthIo inj(2, "atomic_io.write");
+  {
+    fault::ScopedInjector scoped(&inj);
+    EXPECT_FALSE(atomic_io::write_file_atomic(path, data).ok);
+  }
+  EXPECT_TRUE(inj.fired());
+  EXPECT_FALSE(atomic_io::exists(path));
+  EXPECT_EQ(atomic_io::remove_stale_temps(dir), 0u);
+}
+
+}  // namespace
+}  // namespace odcfp

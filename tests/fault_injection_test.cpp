@@ -10,11 +10,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <new>
+#include <string>
 
 #include "benchgen/benchmarks.hpp"
+#include "common/atomic_io.hpp"
 #include "common/budget.hpp"
 #include "equiv/cec.hpp"
+#include "fingerprint/batch.hpp"
 #include "fingerprint/heuristics.hpp"
 #include "io/blif.hpp"
 #include "odc/window.hpp"
@@ -314,6 +318,97 @@ TEST(WindowDegradation, SdcDegradesToEmptyImpossibleSet) {
   // The degraded impossible set is the sound empty subset.
   EXPECT_EQ(out.impossible_patterns, 0);
   EXPECT_EQ(out.impossible_mask, 0u);
+}
+
+// ---- fault class 4: transient I/O faults inside the resumable batch ----
+
+// A disk that misbehaves a handful of times and recovers: the retry
+// layer absorbs the faults and the batch still commits every buyer,
+// with the retries visible in the result.
+TEST(IoFaults, ResumableBatchAbsorbsTransientIoFaults) {
+  Fixture f("c432");
+  const Codebook book(f.locs, 2, /*seed=*/11);
+  const std::string dir =
+      std::string(::testing::TempDir()) + "io_faults_batch";
+  ResumeOptions opt;
+  opt.artifact_dir = dir;
+  opt.batch.max_delay_overhead = 0;
+  opt.retry.sleep = false;
+  std::remove((dir + "/journal.odcfp").c_str());
+  std::remove((dir + "/edition_0.blif").c_str());
+  std::remove((dir + "/edition_1.blif").c_str());
+  // Two isolated faults: fewer than max_attempts per buyer, so both
+  // buyers recover within their retry budgets.
+  fault::FailNthIo inj(1, "atomic_io.write", 2);
+  ResumableBatchResult out;
+  {
+    fault::ScopedInjector scoped(&inj);
+    out = batch_fingerprint_resumable(dir + "/journal.odcfp", f.golden,
+                                      book, f.sta, f.power, opt);
+  }
+  EXPECT_EQ(inj.fired(), 2u);
+  EXPECT_EQ(out.status, Status::kOk) << out.message;
+  EXPECT_GE(out.retries, 1u);
+  EXPECT_EQ(out.batch.num_ok(), 2u);
+}
+
+// Faults that outlast the retry policy leave the affected buyers
+// pending — typed kExhausted with a resume hint, never a throw — and a
+// later healthy run completes them.
+TEST(IoFaults, ResumableBatchReportsExhaustionWhenFaultsPersist) {
+  Fixture f("c432");
+  const Codebook book(f.locs, 2, /*seed=*/11);
+  const std::string dir =
+      std::string(::testing::TempDir()) + "io_faults_exhaust";
+  ResumeOptions opt;
+  opt.artifact_dir = dir;
+  opt.batch.max_delay_overhead = 0;
+  opt.retry.sleep = false;
+  std::remove((dir + "/journal.odcfp").c_str());
+  std::remove((dir + "/edition_0.blif").c_str());
+  std::remove((dir + "/edition_1.blif").c_str());
+  {
+    fault::FailNthIo inj(1, "atomic_io", 1000);  // disk down for good
+    fault::ScopedInjector scoped(&inj);
+    const ResumableBatchResult out = batch_fingerprint_resumable(
+        dir + "/journal.odcfp", f.golden, book, f.sta, f.power, opt);
+    EXPECT_EQ(out.status, Status::kExhausted);
+    EXPECT_NE(out.message.find("resume"), std::string::npos)
+        << out.message;
+  }
+  const ResumableBatchResult healthy = batch_fingerprint_resumable(
+      dir + "/journal.odcfp", f.golden, book, f.sta, f.power, opt);
+  EXPECT_EQ(healthy.status, Status::kOk) << healthy.message;
+}
+
+// An alloc fault inside an edition's embedding is transient too: the
+// retry re-clones from the golden netlist, so one poisoned attempt
+// cannot corrupt the committed artifact.
+TEST(IoFaults, ResumableBatchRetriesAllocFaultInEmbedding) {
+  Fixture f("c432");
+  const Codebook book(f.locs, 1, /*seed=*/11);
+  const std::string dir =
+      std::string(::testing::TempDir()) + "io_faults_alloc";
+  ResumeOptions opt;
+  opt.artifact_dir = dir;
+  opt.batch.max_delay_overhead = 0;
+  opt.retry.sleep = false;
+  std::remove((dir + "/journal.odcfp").c_str());
+  std::remove((dir + "/edition_0.blif").c_str());
+  fault::FailNthAlloc inj(3, "netlist.add_gate");
+  ResumableBatchResult out;
+  {
+    fault::ScopedInjector scoped(&inj);
+    out = batch_fingerprint_resumable(dir + "/journal.odcfp", f.golden,
+                                      book, f.sta, f.power, opt);
+  }
+  EXPECT_TRUE(inj.fired());
+  EXPECT_EQ(out.status, Status::kOk) << out.message;
+  EXPECT_EQ(out.batch.num_ok(), 1u);
+  // The published artifact decodes to the buyer's codeword.
+  std::string bytes;
+  ASSERT_TRUE(atomic_io::read_file(out.artifacts[0], &bytes));
+  EXPECT_FALSE(bytes.empty());
 }
 
 // ---- acceptance: hard deadline on a real benchmark ----

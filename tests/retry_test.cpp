@@ -1,0 +1,270 @@
+// Deterministic retry-with-backoff: classification, give-up, and the
+// thread-count invariance of the whole schedule.
+//
+// The determinism contract under test (see common/retry.hpp): attempt
+// counts, backoff sequences, and telemetry counters are pure functions
+// of (policy.seed, fault schedule) — never of the thread count or of
+// scheduling order. The ThreadInvariance-style cases run in the TSan CI
+// suite, so the per-buyer retry bookkeeping is also proven race-free.
+#include "common/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <new>
+#include <stdexcept>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "common/parallel.hpp"
+#include "common/telemetry.hpp"
+
+namespace odcfp {
+namespace {
+
+RetryPolicy no_sleep_policy(std::uint64_t seed = 7) {
+  RetryPolicy p;
+  p.seed = seed;
+  p.sleep = false;
+  return p;
+}
+
+TEST(Retry, BackoffIsPureFunctionOfSeedAndAttempt) {
+  const RetryPolicy p = no_sleep_policy(123);
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    EXPECT_DOUBLE_EQ(backoff_delay_ms(p, attempt),
+                     backoff_delay_ms(p, attempt));
+  }
+  // Different seeds decorrelate the jitter.
+  const RetryPolicy q = no_sleep_policy(124);
+  bool any_differ = false;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    any_differ |=
+        backoff_delay_ms(p, attempt) != backoff_delay_ms(q, attempt);
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(Retry, ZeroJitterGivesExactExponentialCappedDelays) {
+  RetryPolicy p = no_sleep_policy();
+  p.jitter = 0;
+  p.base_delay_ms = 10;
+  p.multiplier = 3;
+  p.max_delay_ms = 100;
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(p, 1), 10.0);
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(p, 2), 30.0);
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(p, 3), 90.0);
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(p, 4), 100.0);  // capped
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(p, 9), 100.0);
+}
+
+TEST(Retry, JitterStaysWithinConfiguredBand) {
+  RetryPolicy p = no_sleep_policy(99);
+  p.jitter = 0.5;
+  p.base_delay_ms = 8;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    const double nominal = [&] {
+      RetryPolicy q = p;
+      q.jitter = 0;
+      return backoff_delay_ms(q, attempt);
+    }();
+    const double d = backoff_delay_ms(p, attempt);
+    EXPECT_GE(d, nominal * 0.5 - 1e-12) << "attempt " << attempt;
+    EXPECT_LT(d, nominal + 1e-12) << "attempt " << attempt;
+  }
+}
+
+TEST(Retry, FirstTrySuccessDoesNotBackOff) {
+  const RetryStats s =
+      retry_with_backoff("test.op", no_sleep_policy(),
+                         [](int) { return Status::kOk; });
+  EXPECT_EQ(s.status, Status::kOk);
+  EXPECT_EQ(s.attempts, 1);
+  EXPECT_TRUE(s.backoff_ms.empty());
+  EXPECT_TRUE(s.last_error.empty());
+}
+
+TEST(Retry, TransientFailuresRecoverWithRecordedBackoffs) {
+  const RetryPolicy p = no_sleep_policy(5);
+  const RetryStats s = retry_with_backoff(
+      "test.op", p, [](int a) {
+        return a < 3 ? Status::kExhausted : Status::kOk;
+      });
+  EXPECT_EQ(s.status, Status::kOk);
+  EXPECT_EQ(s.attempts, 3);
+  ASSERT_EQ(s.backoff_ms.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.backoff_ms[0], backoff_delay_ms(p, 1));
+  EXPECT_DOUBLE_EQ(s.backoff_ms[1], backoff_delay_ms(p, 2));
+}
+
+TEST(Retry, BadAllocAndInjectedIoAreTransient) {
+  const RetryStats alloc = retry_with_backoff(
+      "test.alloc", no_sleep_policy(), [](int a) -> Status {
+        if (a == 1) throw std::bad_alloc();
+        return Status::kOk;
+      });
+  EXPECT_EQ(alloc.status, Status::kOk);
+  EXPECT_EQ(alloc.attempts, 2);
+
+  const RetryStats io = retry_with_backoff(
+      "test.io", no_sleep_policy(), [](int a) -> Status {
+        if (a == 1) throw fault::InjectedIoError("disk hiccup");
+        return Status::kOk;
+      });
+  EXPECT_EQ(io.status, Status::kOk);
+  EXPECT_EQ(io.attempts, 2);
+}
+
+TEST(Retry, PermanentFailuresPassThroughWithoutRetry) {
+  for (const Status permanent :
+       {Status::kInfeasible, Status::kMalformedInput}) {
+    int calls = 0;
+    const RetryStats s = retry_with_backoff(
+        "test.perm", no_sleep_policy(), [&](int) {
+          ++calls;
+          return permanent;
+        });
+    EXPECT_EQ(s.status, permanent);
+    EXPECT_EQ(s.attempts, 1);
+    EXPECT_EQ(calls, 1);
+    EXPECT_TRUE(s.backoff_ms.empty());
+  }
+}
+
+TEST(Retry, UnknownExceptionsPropagate) {
+  EXPECT_THROW(retry_with_backoff("test.raise", no_sleep_policy(),
+                                  [](int) -> Status {
+                                    throw std::runtime_error("logic bug");
+                                  }),
+               std::runtime_error);
+}
+
+TEST(Retry, ExhaustsAfterMaxAttempts) {
+  RetryPolicy p = no_sleep_policy(11);
+  p.max_attempts = 5;
+  int calls = 0;
+  const RetryStats s = retry_with_backoff("test.down", p, [&](int) {
+    ++calls;
+    return Status::kExhausted;
+  });
+  EXPECT_EQ(s.status, Status::kExhausted);
+  EXPECT_EQ(s.attempts, 5);
+  EXPECT_EQ(calls, 5);
+  // No backoff is scheduled after the final attempt.
+  ASSERT_EQ(s.backoff_ms.size(), 4u);
+  for (std::size_t i = 0; i < s.backoff_ms.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s.backoff_ms[i],
+                     backoff_delay_ms(p, static_cast<int>(i) + 1));
+  }
+}
+
+TEST(Retry, CancelledBudgetGivesUpBeforeSleeping) {
+  CancelToken token;
+  Budget budget;
+  budget.with_cancel(token);
+  token.cancel();
+  RetryPolicy p = no_sleep_policy();
+  p.budget = &budget;
+  int calls = 0;
+  const RetryStats s = retry_with_backoff("test.dead", p, [&](int) {
+    ++calls;
+    return Status::kExhausted;
+  });
+  EXPECT_EQ(s.status, Status::kExhausted);
+  // The first attempt ran (cancellation is checked between attempts),
+  // but no backoff was ever scheduled.
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(s.backoff_ms.empty());
+}
+
+TEST(Retry, DeadlineShorterThanBackoffGivesUp) {
+  // 1 ms of deadline cannot cover a >= 500 ms backoff: give up instead
+  // of sleeping through the caller's budget.
+  Budget budget = Budget::deadline_ms(1);
+  RetryPolicy p = no_sleep_policy(3);
+  p.base_delay_ms = 1000;
+  p.budget = &budget;
+  const RetryStats s = retry_with_backoff(
+      "test.deadline", p, [](int) { return Status::kExhausted; });
+  EXPECT_EQ(s.status, Status::kExhausted);
+  EXPECT_EQ(s.attempts, 1);
+  EXPECT_TRUE(s.backoff_ms.empty());
+}
+
+// The ISSUE's determinism gate: the same seed and fault schedule produce
+// identical attempt counts, backoff sequences, and telemetry counters at
+// 1, 2, and 8 threads.
+TEST(Retry, ThreadInvarianceOfScheduleAndTelemetry) {
+  constexpr std::size_t kItems = 24;
+  struct ItemStats {
+    int attempts = 0;
+    std::vector<double> backoffs;
+    Status status = Status::kOk;
+  };
+  struct RunResult {
+    std::vector<ItemStats> items;
+    std::int64_t attempts = 0, transients = 0, backoffs = 0,
+                 exhausted = 0;
+  };
+
+  const auto run_at = [&](int threads) {
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    ThreadPool pool(threads);
+    RunResult result;
+    result.items.resize(kItems);
+    parallel_for(&pool, kItems, [&](std::size_t i) {
+      RetryPolicy p = no_sleep_policy(0x9e3779b97f4a7c15ull * (i + 1));
+      p.max_attempts = 4;
+      // Item i fails transiently i % 5 times, so some items recover,
+      // some exhaust (4 and beyond), and some succeed outright.
+      const int failures = static_cast<int>(i % 5);
+      const RetryStats s = retry_with_backoff(
+          "test.fleet", p, [&](int a) {
+            return a <= failures ? Status::kExhausted : Status::kOk;
+          });
+      result.items[i] = {s.attempts, s.backoff_ms, s.status};
+    });
+    telemetry::flush_thread();
+    const telemetry::Node snap = telemetry::snapshot();
+    // Counters may sit at different depths depending on the caller's
+    // span stack; sum them over the whole tree.
+    const std::function<void(const telemetry::Node&)> walk =
+        [&](const telemetry::Node& node) {
+          result.attempts += node.counter("retry.attempts");
+          result.transients += node.counter("retry.transient_failures");
+          result.backoffs += node.counter("retry.backoffs");
+          result.exhausted += node.counter("retry.exhausted");
+          for (const auto& [name, child] : node.children) walk(child);
+        };
+    walk(snap);
+    telemetry::reset();
+    return result;
+  };
+
+  const RunResult base = run_at(1);
+  EXPECT_GT(base.attempts, static_cast<std::int64_t>(kItems));
+  EXPECT_GT(base.exhausted, 0);
+  for (const int threads : {2, 8}) {
+    const RunResult other = run_at(threads);
+    for (std::size_t i = 0; i < kItems; ++i) {
+      EXPECT_EQ(other.items[i].attempts, base.items[i].attempts)
+          << "item " << i << " at " << threads << " threads";
+      EXPECT_EQ(other.items[i].status, base.items[i].status);
+      ASSERT_EQ(other.items[i].backoffs.size(),
+                base.items[i].backoffs.size());
+      for (std::size_t b = 0; b < base.items[i].backoffs.size(); ++b) {
+        EXPECT_DOUBLE_EQ(other.items[i].backoffs[b],
+                         base.items[i].backoffs[b]);
+      }
+    }
+    EXPECT_EQ(other.attempts, base.attempts) << threads << " threads";
+    EXPECT_EQ(other.transients, base.transients);
+    EXPECT_EQ(other.backoffs, base.backoffs);
+    EXPECT_EQ(other.exhausted, base.exhausted);
+  }
+}
+
+}  // namespace
+}  // namespace odcfp

@@ -60,6 +60,43 @@ def is_time_like(key):
     return _TIME_LIKE.search(key) is not None
 
 
+def validate_report_shape(path, report):
+    """Rejects structurally malformed artifacts with a clear message.
+
+    A truncated or hand-edited baseline can be valid JSON of the wrong
+    shape (a list, a bare string, rows that are not objects, ...); every
+    such case must exit 2 with the offending path named, never escape as
+    an AttributeError traceback mid-diff.
+    """
+    if not isinstance(report, dict):
+        raise ValueError(
+            f"{path}: top-level JSON is {type(report).__name__}, "
+            f"expected an object (truncated or malformed artifact?)")
+    rows = report.get("rows", [])
+    if not isinstance(rows, list):
+        raise ValueError(f"{path}: 'rows' must be a list")
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            raise ValueError(f"{path}: rows[{i}] is not an object")
+        if not isinstance(row.get("metrics", {}), dict):
+            raise ValueError(f"{path}: rows[{i}].metrics is not an object")
+    telemetry = report.get("telemetry")
+    if telemetry is not None:
+        _validate_telemetry_node(path, "telemetry", telemetry)
+
+
+def _validate_telemetry_node(path, where, node):
+    if not isinstance(node, dict):
+        raise ValueError(f"{path}: {where} is not an object")
+    if not isinstance(node.get("counters", {}), dict):
+        raise ValueError(f"{path}: {where}.counters is not an object")
+    children = node.get("children", {})
+    if not isinstance(children, dict):
+        raise ValueError(f"{path}: {where}.children is not an object")
+    for name, sub in children.items():
+        _validate_telemetry_node(path, f"{where}.children[{name!r}]", sub)
+
+
 def load_artifacts(path):
     """Returns {bench_name: report_dict} for a file or directory."""
     paths = []
@@ -74,7 +111,13 @@ def load_artifacts(path):
     out = {}
     for p in paths:
         with open(p, encoding="utf-8") as f:
-            report = json.load(f)
+            try:
+                report = json.load(f)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{p}: malformed JSON ({exc}) — truncated artifact "
+                    f"or interrupted bench run?") from exc
+        validate_report_shape(p, report)
         name = report.get("bench")
         if not isinstance(name, str) or not name:
             raise ValueError(f"{p}: missing 'bench' name")
