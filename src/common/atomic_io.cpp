@@ -11,12 +11,14 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <exception>
 #include <fstream>
 #include <sstream>
 
 #include "common/fault.hpp"
 #include "common/log.hpp"
+#include "common/subprocess.hpp"
 
 namespace odcfp::atomic_io {
 
@@ -120,14 +122,53 @@ WriteResult write_file_atomic(const std::string& path,
   return result;
 }
 
-std::size_t remove_stale_temps(const std::string& dir) {
+namespace {
+
+/// Extracts the `<pid>` of a `<path>.tmp.<pid>.<seq>` temp name.
+/// Returns -1 when the name does not carry a parseable pid.
+long temp_owner_pid(const std::string& name, std::size_t marker) {
+  std::size_t i = marker + 5;  // past ".tmp."
+  long pid = 0;
+  std::size_t digits = 0;
+  while (i < name.size() && name[i] >= '0' && name[i] <= '9') {
+    pid = pid * 10 + (name[i] - '0');
+    ++i;
+    ++digits;
+  }
+  if (digits == 0 || i >= name.size() || name[i] != '.') return -1;
+  return pid;
+}
+
+}  // namespace
+
+std::size_t remove_stale_temps(const std::string& dir,
+                               long max_live_age_seconds) {
   DIR* d = ::opendir(dir.c_str());
   if (d == nullptr) return 0;
   std::size_t removed = 0;
+  const std::time_t now = std::time(nullptr);
   while (const dirent* entry = ::readdir(d)) {
     const std::string name = entry->d_name;
-    if (name.find(".tmp.") == std::string::npos) continue;
-    if (::unlink((dir + "/" + name).c_str()) == 0) {
+    const std::size_t marker = name.find(".tmp.");
+    if (marker == std::string::npos) continue;
+    const std::string path = dir + "/" + name;
+    const long pid = temp_owner_pid(name, marker);
+    if (pid > 0 && proc::alive(static_cast<pid_t>(pid))) {
+      // A live process owns this temp: it is mid-publish, not debris —
+      // unless the file is old enough that the pid must have been
+      // recycled since the writer died.
+      struct stat st;
+      const bool young =
+          ::stat(path.c_str(), &st) == 0 &&
+          now - st.st_mtime <= max_live_age_seconds;
+      if (young) {
+        log::info("atomic_io.live_temp_skipped")
+            .field("file", name)
+            .field("owner_pid", pid);
+        continue;
+      }
+    }
+    if (::unlink(path.c_str()) == 0) {
       ++removed;
       log::info("atomic_io.stale_temp_removed").field("file", name);
     }

@@ -51,7 +51,18 @@ WriteResult write_file_atomic(const std::string& path,
 
 /// Unlinks leftover `*.tmp.*` files in `dir` from crashed writers.
 /// Returns the number removed; an unopenable directory removes nothing.
-std::size_t remove_stale_temps(const std::string& dir);
+///
+/// Concurrent-writer safety: temp names embed the writer's pid
+/// (`<path>.tmp.<pid>.<seq>`), and a temp whose owner process is still
+/// alive is SKIPPED — in a sharded run several worker processes publish
+/// into one artifact directory, and each sweeps it on entry, so the
+/// sweep must not delete a sibling's in-flight temp. The liveness check
+/// is guarded by age: a temp older than `max_live_age_seconds` is
+/// removed even if a process with that pid exists (pid reuse — the
+/// original writer is long gone, the pid now names someone else). Temps
+/// whose pid field does not parse are always removed.
+std::size_t remove_stale_temps(const std::string& dir,
+                               long max_live_age_seconds = 3600);
 
 /// mkdir -p. Returns false (with errno intact) only when a component
 /// could not be created; an already-existing directory is success.

@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <exception>
@@ -80,33 +81,6 @@ bool parse_hex32_field(std::string_view* s, std::uint32_t* out) {
   return consume(s, " ") || s->empty();
 }
 
-std::string header_payload(const JournalHeader& h) {
-  std::ostringstream os;
-  os << "seed=" << h.seed << " buyers=" << h.num_buyers << " config=";
-  std::string cfg;
-  hex8(h.config_crc, &cfg);
-  os << cfg << " label=" << h.label;
-  return os.str();
-}
-
-bool parse_header_payload(std::string_view payload, JournalHeader* out) {
-  if (!consume(&payload, "seed=") ||
-      !parse_u64_field(&payload, &out->seed)) {
-    return false;
-  }
-  if (!consume(&payload, "buyers=") ||
-      !parse_u64_field(&payload, &out->num_buyers)) {
-    return false;
-  }
-  if (!consume(&payload, "config=") ||
-      !parse_hex32_field(&payload, &out->config_crc)) {
-    return false;
-  }
-  if (!consume(&payload, "label=")) return false;
-  out->label = std::string(payload);
-  return true;
-}
-
 std::string entry_payload(const JournalEntry& e) {
   std::ostringstream os;
   os << "seq=" << e.seq << " buyer=" << e.buyer
@@ -142,6 +116,50 @@ bool parse_entry_payload(std::string_view payload, JournalEntry* out) {
   return true;
 }
 
+std::string heartbeat_payload(std::uint64_t pid, std::uint64_t beat) {
+  std::ostringstream os;
+  os << "pid=" << pid << " beat=" << beat;
+  return os.str();
+}
+
+bool parse_heartbeat_payload(std::string_view payload, std::uint64_t* pid,
+                             std::uint64_t* beat) {
+  return consume(&payload, "pid=") && parse_u64_field(&payload, pid) &&
+         consume(&payload, "beat=") && parse_u64_field(&payload, beat) &&
+         payload.empty();
+}
+
+}  // namespace
+
+namespace journal_wire {
+
+std::string header_payload(const JournalHeader& h) {
+  std::ostringstream os;
+  os << "seed=" << h.seed << " buyers=" << h.num_buyers << " config=";
+  std::string cfg;
+  hex8(h.config_crc, &cfg);
+  os << cfg << " label=" << h.label;
+  return os.str();
+}
+
+bool parse_header_payload(std::string_view payload, JournalHeader* out) {
+  if (!consume(&payload, "seed=") ||
+      !parse_u64_field(&payload, &out->seed)) {
+    return false;
+  }
+  if (!consume(&payload, "buyers=") ||
+      !parse_u64_field(&payload, &out->num_buyers)) {
+    return false;
+  }
+  if (!consume(&payload, "config=") ||
+      !parse_hex32_field(&payload, &out->config_crc)) {
+    return false;
+  }
+  if (!consume(&payload, "label=")) return false;
+  out->label = std::string(payload);
+  return true;
+}
+
 /// "H <crc8> <payload>" -> payload, with the checksum verified.
 bool checked_payload(std::string_view line, char tag,
                      std::string_view* payload) {
@@ -165,6 +183,15 @@ std::string format_line(char tag, const std::string& payload) {
   line += '\n';
   return line;
 }
+
+}  // namespace journal_wire
+
+namespace {
+
+using journal_wire::checked_payload;
+using journal_wire::format_line;
+using journal_wire::header_payload;
+using journal_wire::parse_header_payload;
 
 }  // namespace
 
@@ -215,6 +242,17 @@ Outcome<JournalReplay> read_journal(const std::string& path) {
     return Outcome<JournalReplay>::malformed("cannot open journal '" +
                                              path + "'");
   }
+  if (bytes.empty()) {
+    // create() writes magic + header in a single write before returning,
+    // so no crash leaves a zero-byte journal behind: an empty file means
+    // external truncation (or an unrelated file at the journal's path),
+    // and treating it as a fresh run would silently discard whatever the
+    // journal once recorded.
+    return Outcome<JournalReplay>::malformed(
+        "journal '" + path +
+        "' exists but is empty — refusing to treat it as a fresh run "
+        "(externally truncated?); delete the file to start over");
+  }
   JournalReplay replay;
   std::size_t pos = 0;
   std::size_t line_index = 0;
@@ -251,6 +289,24 @@ Outcome<JournalReplay> read_journal(const std::string& path) {
             path + ": corrupt header record");
       }
       replay.has_header = true;
+    } else if (!line.empty() && line[0] == 'B') {
+      // Liveness heartbeat: CRC-checked like any record, but carries no
+      // sequence number and never enters `entries` — phase state and
+      // resume decisions are blind to it.
+      std::string_view payload;
+      std::uint64_t pid = 0, beat = 0;
+      if (!checked_payload(line, 'B', &payload) ||
+          !parse_heartbeat_payload(payload, &pid, &beat)) {
+        if (is_final) {
+          replay.torn_tail = true;
+          break;
+        }
+        std::ostringstream os;
+        os << path << ": corrupt heartbeat at line " << (line_index + 1);
+        return Outcome<JournalReplay>::malformed(os.str());
+      }
+      ++replay.heartbeats;
+      replay.last_heartbeat = beat;
     } else {
       JournalEntry entry;
       std::string_view payload;
@@ -362,7 +418,9 @@ Outcome<Journal> Journal::append_to(const std::string& path,
   journal.impl_->path = path;
   journal.impl_->next_seq = replay.next_seq;
   const int fd =
-      ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+      // O_RDWR, not O_WRONLY: the prologue re-validation below preads
+      // the header bytes back through this same descriptor.
+      ::open(path.c_str(), O_RDWR | O_APPEND | O_CLOEXEC);
   if (fd < 0) {
     return Outcome<Journal>::malformed(errno_message("open", path));
   }
@@ -384,6 +442,53 @@ Outcome<Journal> Journal::append_to(const std::string& path,
         .field("bytes_dropped",
                static_cast<std::int64_t>(st.st_size) -
                    static_cast<std::int64_t>(replay.valid_bytes));
+  }
+  // Re-validate the prologue against the bytes actually on disk before
+  // any append lands: `replay` may have been computed from a file that
+  // was since tampered with or swapped (another process owns the same
+  // path), and O_APPEND would happily extend a journal whose header no
+  // longer checks out.
+  // The first two lines are all that needs re-reading; 1 MiB bounds the
+  // work on journals with very long labels.
+  std::string prologue(
+      static_cast<std::size_t>(
+          std::min<std::uint64_t>(replay.valid_bytes, 1u << 20)),
+      '\0');
+  std::size_t got = 0;
+  while (got < prologue.size()) {
+    const ssize_t n = ::pread(fd, prologue.data() + got,
+                              prologue.size() - got,
+                              static_cast<off_t>(got));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      return Outcome<Journal>::malformed(
+          errno_message("re-read for header validation", path));
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  const std::size_t magic_nl = prologue.find('\n');
+  if (magic_nl == std::string::npos ||
+      std::string_view(prologue.data(), magic_nl) != kMagicLine) {
+    return Outcome<Journal>::malformed(
+        path + ": magic line no longer valid on disk; refusing to append");
+  }
+  if (replay.has_header) {
+    const std::size_t header_nl = prologue.find('\n', magic_nl + 1);
+    std::string_view header_line(prologue.data() + magic_nl + 1,
+                                 (header_nl == std::string::npos
+                                      ? prologue.size()
+                                      : header_nl) -
+                                     (magic_nl + 1));
+    std::string_view payload;
+    JournalHeader on_disk;
+    if (header_nl == std::string::npos ||
+        !checked_payload(header_line, 'H', &payload) ||
+        !parse_header_payload(payload, &on_disk)) {
+      return Outcome<Journal>::malformed(
+          path +
+          ": header CRC re-validation failed after torn-tail sweep; "
+          "refusing to append");
+    }
   }
   return Outcome<Journal>::success(std::move(journal));
 }
@@ -448,6 +553,52 @@ bool Journal::append(std::uint64_t buyer, BuyerPhase phase,
   }
   if (diag.empty()) return true;
   log::warn("journal.append_failed").field("error", diag);
+  if (error != nullptr) *error = diag;
+  return false;
+}
+
+bool Journal::heartbeat(std::uint64_t beat, std::string* error) {
+  std::string diag;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->fd < 0) {
+    diag = "journal '" + impl_->path + "' is not open";
+  } else {
+    const std::string line = format_line(
+        'B', heartbeat_payload(static_cast<std::uint64_t>(::getpid()),
+                               beat));
+    struct stat st;
+    if (::fstat(impl_->fd, &st) != 0) {
+      diag = errno_message("fstat", impl_->path);
+    } else {
+      std::size_t off = 0;
+      while (off < line.size()) {
+        const ssize_t n =
+            ::write(impl_->fd, line.data() + off, line.size() - off);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          diag = errno_message("heartbeat append", impl_->path);
+          break;
+        }
+        off += static_cast<std::size_t>(n);
+      }
+      if (!diag.empty() && off > 0) {
+        // Same discipline as append(): a partial line followed by a
+        // later successful append would replay as MID-file corruption,
+        // so roll the file back to the pre-heartbeat size.
+        if (::ftruncate(impl_->fd, st.st_size) != 0) {
+          ::close(impl_->fd);
+          impl_->fd = -1;
+          diag += "; rollback failed, journal closed";
+        }
+      }
+      // fsync makes the liveness signal visible to a supervisor
+      // stat'ing the file; a failed fsync leaves at worst a torn tail.
+      if (diag.empty() && ::fsync(impl_->fd) != 0) {
+        diag = errno_message("heartbeat fsync", impl_->path);
+      }
+    }
+  }
+  if (diag.empty()) return true;
   if (error != nullptr) *error = diag;
   return false;
 }

@@ -30,7 +30,17 @@
 //    produced, and replay fails with Status::kMalformedInput;
 //  * a file that ends before the header was durable (crash between
 //    create() and its fsync) replays as has_header == false, and the
-//    caller starts the run from scratch.
+//    caller starts the run from scratch — EXCEPT a zero-byte file, which
+//    the protocol cannot produce (create() writes magic + header in one
+//    write before returning) and is rejected with a distinct diagnostic
+//    instead of being silently treated as fresh.
+//
+// Heartbeat records ("B" lines) are a sidecar liveness channel for the
+// distributed supervisor (src/dist/): they carry the writer's pid and a
+// beat counter, no sequence number, and never affect replay state —
+// phase_of()/committed() ignore them. Their only job is to make the
+// journal file grow while a worker is alive, so a supervisor watching
+// the file can tell a wedged or dead worker from a slow one.
 #pragma once
 
 #include <cstdint>
@@ -77,6 +87,8 @@ struct JournalReplay {
   bool torn_tail = false;             ///< Final record was torn (tolerated).
   std::uint64_t valid_bytes = 0;      ///< Offset past the last intact record.
   std::uint64_t next_seq = 0;
+  std::uint64_t heartbeats = 0;       ///< Intact "B" liveness records seen.
+  std::uint64_t last_heartbeat = 0;   ///< Beat counter of the last one.
 
   /// Latest phase per buyer (kQueued where never mentioned). Entries for
   /// buyers >= num_buyers are ignored.
@@ -85,9 +97,28 @@ struct JournalReplay {
   const JournalEntry* committed(std::uint64_t buyer) const;
 };
 
-/// Replays a journal file. kMalformedInput for an unopenable file, a bad
-/// magic line, or mid-file corruption; a torn tail is NOT an error.
+/// Replays a journal file. kMalformedInput for an unopenable file, an
+/// empty-but-existing file (which a crash cannot produce — the message
+/// names the condition so operators can tell it from mid-file
+/// corruption), a bad magic line, or mid-file corruption; a torn tail is
+/// NOT an error.
 Outcome<JournalReplay> read_journal(const std::string& path);
+
+// Shared wire-format helpers, exported so sibling journals (the dist
+// layer's lease journal) reuse the exact record framing and CRC rules
+// instead of inventing a second format.
+namespace journal_wire {
+
+/// "<tag> <crc32-hex8> <payload>\n" with the CRC covering the payload.
+std::string format_line(char tag, const std::string& payload);
+/// Validates framing + CRC of one line (no trailing newline) and hands
+/// back the payload view. False on any mismatch.
+bool checked_payload(std::string_view line, char tag,
+                     std::string_view* payload);
+std::string header_payload(const JournalHeader& header);
+bool parse_header_payload(std::string_view payload, JournalHeader* out);
+
+}  // namespace journal_wire
 
 /// Appending writer. Thread-safe: appends from pool workers serialize on
 /// an internal mutex (each append is one durable line). Move-only.
@@ -106,7 +137,12 @@ class Journal {
                                  const JournalHeader& header);
 
   /// Opens an existing journal for appending, first truncating away the
-  /// torn tail `replay` reported. Sequence numbers continue from
+  /// torn tail `replay` reported. Before any append can land, the magic
+  /// line and the header record's CRC are re-validated against the bytes
+  /// actually on disk — a replay computed from a file that has since
+  /// been tampered with or swapped (possible in the multi-process world)
+  /// is rejected as kMalformedInput instead of appending records onto a
+  /// header that no longer checks out. Sequence numbers continue from
   /// replay.next_seq.
   static Outcome<Journal> append_to(const std::string& path,
                                     const JournalReplay& replay);
@@ -120,6 +156,12 @@ class Journal {
               const std::string& artifact = "",
               std::uint32_t artifact_crc = 0,
               std::string* error = nullptr);
+
+  /// Durably appends one liveness heartbeat ("B" line carrying this
+  /// process's pid and `beat`). Heartbeats consume no sequence number
+  /// and never affect replay state; a failure is reported but leaves the
+  /// journal usable (liveness is advisory, lifecycle records gate).
+  bool heartbeat(std::uint64_t beat, std::string* error = nullptr);
 
   bool is_open() const;
   const std::string& path() const;

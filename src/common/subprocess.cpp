@@ -1,0 +1,79 @@
+#include "common/subprocess.hpp"
+
+#include <signal.h>
+#include <sys/prctl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace odcfp::proc {
+
+pid_t spawn(const std::vector<std::string>& argv, std::string* error) {
+  if (argv.empty()) {
+    if (error != nullptr) *error = "spawn: empty argv";
+    return -1;
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) {
+    cargv.push_back(const_cast<char*>(a.c_str()));
+  }
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    if (error != nullptr) {
+      *error = std::string("fork: ") + std::strerror(errno);
+    }
+    return -1;
+  }
+  if (pid == 0) {
+    // Child. Die with the parent: a SIGKILLed supervisor must never
+    // leave an orphan racing its successor for the same shard journal.
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    // The parent could already be gone between fork and prctl.
+    if (::getppid() == 1) ::_exit(127);
+    ::execv(cargv[0], cargv.data());
+    // exec failed: _exit only (no unwinding in a forked child).
+    ::_exit(126);
+  }
+  log::info("proc.spawned").field("pid", pid).field("binary", argv[0]);
+  return pid;
+}
+
+bool alive(pid_t pid) {
+  if (pid <= 0) return false;
+  if (::kill(pid, 0) == 0) return true;
+  // EPERM: the process exists but belongs to someone else.
+  return errno == EPERM;
+}
+
+WaitResult try_wait(pid_t pid, int* exit_code, int* term_signal) {
+  int wstatus = 0;
+  const pid_t got = ::waitpid(pid, &wstatus, WNOHANG);
+  if (got == 0) return WaitResult::kRunning;
+  if (got != pid) return WaitResult::kLost;
+  if (WIFEXITED(wstatus)) {
+    if (exit_code != nullptr) *exit_code = WEXITSTATUS(wstatus);
+    return WaitResult::kExited;
+  }
+  if (WIFSIGNALED(wstatus)) {
+    if (term_signal != nullptr) *term_signal = WTERMSIG(wstatus);
+    return WaitResult::kSignaled;
+  }
+  return WaitResult::kRunning;  // stopped/continued: still a live child
+}
+
+void kill_hard(pid_t pid) {
+  if (pid <= 0) return;
+  ::kill(pid, SIGKILL);
+  // Reap if it is ours; ECHILD (not our child / already reaped) is fine.
+  int wstatus = 0;
+  ::waitpid(pid, &wstatus, 0);
+}
+
+}  // namespace odcfp::proc

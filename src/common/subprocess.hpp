@@ -1,0 +1,47 @@
+// Minimal fork/exec process management for the distributed supervisor.
+//
+// The dist layer (src/dist/) runs shard workers as separate processes so
+// that a SIGKILL, OOM, or wedge takes down one shard's worker instead of
+// the whole batch. These helpers wrap the POSIX plumbing the supervisor
+// needs and nothing more: spawn a child executing a fresh binary, poll
+// it without blocking, probe liveness of an arbitrary pid (also used by
+// atomic_io's stale-temp sweeper to protect live writers' temp files),
+// and kill hard.
+//
+// Children are spawned with PR_SET_PDEATHSIG(SIGKILL): if the supervisor
+// itself dies — including the chaos suite's SIGKILL — every worker it
+// spawned is killed by the kernel, so a restarted supervisor never races
+// an orphaned worker for the same shard journal.
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+namespace odcfp::proc {
+
+/// fork + execv of argv[0] with the given argument vector. Returns the
+/// child pid, or -1 with a diagnostic in *error. The child dies with the
+/// calling process (PDEATHSIG) and gets a fresh default signal mask.
+pid_t spawn(const std::vector<std::string>& argv,
+            std::string* error = nullptr);
+
+/// True when `pid` names a process that currently exists (including a
+/// zombie not yet reaped, and processes owned by other users).
+bool alive(pid_t pid);
+
+/// Non-blocking wait. Returns:
+///  * kRunning  — child still alive (nothing reaped);
+///  * kExited   — child exited; *exit_code holds its status;
+///  * kSignaled — child was killed; *term_signal holds the signal;
+///  * kLost     — pid is not a child of this process (already reaped,
+///                or never ours).
+enum class WaitResult { kRunning, kExited, kSignaled, kLost };
+WaitResult try_wait(pid_t pid, int* exit_code, int* term_signal);
+
+/// SIGKILL + blocking reap (best-effort: a pid that is not our child is
+/// still signalled, just not waited on).
+void kill_hard(pid_t pid);
+
+}  // namespace odcfp::proc

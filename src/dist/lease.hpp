@@ -1,0 +1,129 @@
+// Lease journal: the supervisor's durable record of shard ownership.
+//
+// Every grant, revocation, completion, and the final merge is one
+// CRC'd, fsync'd line in `run_dir/leases.odcfp`, reusing the exact wire
+// framing of the batch journal (common/journal.hpp::journal_wire):
+//
+//   odcfp-leases 1
+//   H <crc8> seed=<u64> buyers=<u64> config=<hex8> label=<text>
+//   L <crc8> seq=<u64> shard=<u64> epoch=<u64> event=<name> pid=<u64> detail=<text>
+//
+// The header pins the run (global buyer count + config checksum, same
+// values as every shard journal), so a lease journal can never be
+// replayed against the wrong run. Lease records carry:
+//
+//   * shard — which contiguous buyer range (index into shard_ranges);
+//   * epoch — starts at 1 and increments on every grant of that shard.
+//     A worker is told its epoch on the command line and a lease is only
+//     ever revoked by granting epoch+1, so a straggler from an old epoch
+//     can be recognized (and its work safely ignored: shard artifacts
+//     are idempotent, the batch journal dedupes by buyer);
+//   * event — granted / revoked / done / merged;
+//   * pid — the worker process the event concerns (0 for merged).
+//
+// Replay derives per-shard state deterministically: the latest event per
+// shard wins. kLeased (granted, not yet done), kDone (done seen), plus
+// whether the final merge record landed. A supervisor restarted after a
+// SIGKILL replays this journal, SIGKILLs any pid still alive from a
+// kLeased record (its PDEATHSIG should already have done so — belt and
+// braces), and re-grants unfinished shards at epoch+1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/budget.hpp"
+#include "common/journal.hpp"
+
+namespace odcfp::dist {
+
+enum class LeaseEvent : std::uint8_t {
+  kGranted = 0,  ///< Shard handed to a worker (pid, epoch).
+  kRevoked,      ///< Supervisor declared the holder dead/wedged.
+  kDone,         ///< Holder's range fully committed (exit code 0).
+  kMerged,       ///< Final merge published (terminal, shard == 0).
+};
+
+const char* to_string(LeaseEvent event);
+bool parse_lease_event(const std::string& text, LeaseEvent* out);
+
+struct LeaseRecord {
+  std::uint64_t seq = 0;
+  std::uint64_t shard = 0;
+  std::uint64_t epoch = 0;
+  LeaseEvent event = LeaseEvent::kGranted;
+  std::uint64_t pid = 0;
+  std::string detail;  ///< Free-text reason (last field, may be empty).
+};
+
+/// Per-shard ownership state derived from replay.
+enum class ShardState : std::uint8_t {
+  kUnassigned = 0,  ///< Never granted, or last grant was revoked.
+  kLeased,          ///< Granted and neither revoked nor done.
+  kDone,            ///< Completed; terminal.
+};
+
+struct ShardLease {
+  ShardState state = ShardState::kUnassigned;
+  std::uint64_t epoch = 0;  ///< Highest epoch ever granted (0 = never).
+  std::uint64_t pid = 0;    ///< Holder pid of the last grant.
+};
+
+struct LeaseReplay {
+  bool has_header = false;
+  JournalHeader header;
+  std::vector<LeaseRecord> records;
+  bool torn_tail = false;
+  std::uint64_t valid_bytes = 0;
+  std::uint64_t next_seq = 0;
+  bool merged = false;  ///< A kMerged record landed (run is complete).
+
+  /// Latest state per shard (index < num_shards; later records win).
+  std::vector<ShardLease> lease_states(std::size_t num_shards) const;
+};
+
+/// Replays a lease journal. Same tolerance contract as read_journal:
+/// torn FINAL line ok, anything else is kMalformedInput (including an
+/// empty-but-existing file).
+Outcome<LeaseReplay> read_lease_journal(const std::string& path);
+
+/// Appending writer with the same durability discipline as Journal:
+/// every append is one whole-line write + fsync; a failed write is
+/// rolled back by truncation so the file never carries a mid-file torn
+/// record. Single-process use (only the supervisor writes leases), but
+/// thread-safe anyway.
+class LeaseJournal {
+ public:
+  LeaseJournal();
+  ~LeaseJournal();
+  LeaseJournal(LeaseJournal&&) noexcept;
+  LeaseJournal& operator=(LeaseJournal&&) noexcept;
+  LeaseJournal(const LeaseJournal&) = delete;
+  LeaseJournal& operator=(const LeaseJournal&) = delete;
+
+  /// Creates (truncating) with a durable magic + header.
+  static Outcome<LeaseJournal> create(const std::string& path,
+                                      const JournalHeader& header);
+
+  /// Opens for appending after replay, truncating a torn tail and
+  /// re-validating the header against the bytes on disk (same contract
+  /// as Journal::append_to).
+  static Outcome<LeaseJournal> append_to(const std::string& path,
+                                         const LeaseReplay& replay);
+
+  /// Durably appends one lease event (fault site "dist.lease.append").
+  bool append(std::uint64_t shard, std::uint64_t epoch, LeaseEvent event,
+              std::uint64_t pid, const std::string& detail = "",
+              std::string* error = nullptr);
+
+  bool is_open() const;
+  const std::string& path() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace odcfp::dist

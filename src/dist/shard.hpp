@@ -1,0 +1,89 @@
+// Shard geometry and on-disk layout of a distributed fingerprinting run.
+//
+// A sharded run lives in one `run_dir`:
+//
+//   run_dir/run.spec          — the run's full configuration (RunSpec),
+//                               written once by the supervisor and read
+//                               by every worker process, so workers
+//                               reconstruct the golden netlist and the
+//                               codebook themselves instead of trusting
+//                               bytes shipped over a pipe.
+//   run_dir/leases.odcfp      — the supervisor's lease journal
+//                               (src/dist/lease.hpp).
+//   run_dir/shard_<i>.journal — one write-ahead journal per shard
+//                               (src/common/journal.hpp); the worker
+//                               holding shard i appends lifecycle and
+//                               heartbeat records here.
+//   run_dir/editions/         — shared artifact directory; every worker
+//                               publishes `edition_<buyer>.blif` via
+//                               atomic_io into this one directory.
+//   run_dir/merged/           — deterministic merged outputs
+//                               (src/dist/merge.hpp).
+//
+// Every shard journal carries the GLOBAL buyer count and config checksum
+// in its header (only the [begin, end) roster differs), so any two shard
+// journals of one run are mutually consistent and the merge layer can
+// cross-check them against run.spec.
+//
+// Determinism: shard_ranges() is a pure function of (num_buyers,
+// num_shards); per-buyer seeds derive from the global batch seed and the
+// buyer index only (src/fingerprint/batch.hpp), so the set of artifact
+// bytes is independent of how buyers are sharded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/budget.hpp"
+
+namespace odcfp::dist {
+
+/// Everything a worker needs to rebuild the run's inputs from scratch.
+/// The golden netlist is reconstructed via make_benchmark(circuit) — a
+/// deterministic function of the name — and the codebook via
+/// find_locations + Codebook(locs, num_buyers, codebook_seed), so every
+/// process derives bit-identical inputs without any netlist bytes
+/// crossing the process boundary.
+struct RunSpec {
+  std::string circuit;            ///< Benchmark name (make_benchmark).
+  std::uint64_t num_buyers = 0;   ///< Global codebook size.
+  std::uint64_t codebook_seed = 0;
+  std::uint64_t batch_seed = 0;   ///< BatchOptions::seed.
+  /// BatchOptions::max_delay_overhead, round-tripped bit-exactly (the
+  /// file stores the raw IEEE-754 bits, not a decimal rendering).
+  double max_delay_overhead = 0;
+  std::string label;              ///< Journal header label.
+};
+
+/// Writes `spec` to `path` (atomic publish). The format reuses the
+/// journal wire framing: a magic line, then one CRC'd "S" record.
+Outcome<bool> write_run_spec(const std::string& path, const RunSpec& spec);
+
+/// Reads a run.spec back; kMalformedInput on framing/CRC damage.
+Outcome<RunSpec> read_run_spec(const std::string& path);
+
+/// CRC-32 of the spec's canonical wire payload. Stored in the lease
+/// journal header as its config checksum, so a lease journal replayed
+/// against a different run.spec is rejected.
+std::uint32_t run_spec_crc(const RunSpec& spec);
+
+/// Partitions [0, num_buyers) into at most `num_shards` contiguous
+/// half-open ranges, near-even (first `num_buyers % shards` ranges get
+/// the extra buyer). Empty ranges are never returned: with fewer buyers
+/// than shards the result has num_buyers single-buyer ranges. Pure
+/// function of its arguments — every process computes the same split.
+std::vector<std::pair<std::size_t, std::size_t>> shard_ranges(
+    std::size_t num_buyers, std::size_t num_shards);
+
+// ---- run_dir layout helpers ----
+
+std::string run_spec_path(const std::string& run_dir);
+std::string lease_journal_path(const std::string& run_dir);
+std::string shard_journal_path(const std::string& run_dir,
+                               std::size_t shard);
+std::string editions_dir(const std::string& run_dir);
+std::string merged_dir(const std::string& run_dir);
+
+}  // namespace odcfp::dist

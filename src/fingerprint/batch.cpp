@@ -1,7 +1,11 @@
 #include "fingerprint/batch.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "common/atomic_io.hpp"
@@ -151,6 +155,43 @@ std::uint32_t run_config_crc(const Netlist& golden, const Codebook& book,
   return atomic_io::crc32(os.str());
 }
 
+/// Sidecar liveness ticker: appends a heartbeat record to the journal
+/// every `interval_ms` until stopped. Appends serialize on the journal's
+/// internal mutex, so the ticker can run alongside pool workers.
+class HeartbeatTicker {
+ public:
+  HeartbeatTicker(Journal* journal, std::int64_t interval_ms) {
+    if (interval_ms <= 0) return;
+    thread_ = std::thread([this, journal, interval_ms] {
+      std::uint64_t beat = 0;
+      std::unique_lock<std::mutex> lock(mu_);
+      while (!stop_) {
+        lock.unlock();
+        journal->heartbeat(++beat);
+        lock.lock();
+        cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                     [this] { return stop_; });
+      }
+    });
+  }
+
+  ~HeartbeatTicker() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
 }  // namespace
 
 ResumableBatchResult batch_fingerprint_resumable(
@@ -170,6 +211,15 @@ ResumableBatchResult batch_fingerprint_resumable(
     log::error("batch.resumable.rejected").field("reason", rr.message);
     return rr;
   };
+  // The buyer range this process owns ([0, n) unless sharded).
+  const std::size_t rb = options.range_begin;
+  const std::size_t re = options.range_end == 0 ? n : options.range_end;
+  if (re > n || (n > 0 && rb >= re)) {
+    std::ostringstream os;
+    os << "invalid shard range [" << rb << ", " << re << ") for " << n
+       << " buyer(s)";
+    return fail(os.str());
+  }
   if (options.artifact_dir.empty()) {
     return fail("ResumeOptions::artifact_dir must be set");
   }
@@ -207,7 +257,7 @@ ResumableBatchResult batch_fingerprint_resumable(
         bo.seed = replay.header.seed;
       }
       phases = replay.phase_of(n);
-      for (std::size_t b = 0; b < n; ++b) {
+      for (std::size_t b = rb; b < re; ++b) {
         if (phases[b] != BuyerPhase::kCommitted) continue;
         const JournalEntry* e = replay.committed(b);
         committed_path[b] = e->artifact;
@@ -242,7 +292,7 @@ ResumableBatchResult batch_fingerprint_resumable(
   // present at the final path with the checksum recorded at commit time,
   // else the buyer is demoted and re-stamped (idempotent by design).
   std::vector<char> recovered(n, 0);
-  for (std::size_t b = 0; b < n; ++b) {
+  for (std::size_t b = rb; b < re; ++b) {
     if (phases[b] != BuyerPhase::kCommitted) continue;
     std::string bytes;
     if (atomic_io::read_file(committed_path[b], &bytes) &&
@@ -256,13 +306,18 @@ ResumableBatchResult batch_fingerprint_resumable(
     }
   }
   if (fresh) {
-    // Roster records: every buyer enters the journal as queued, so a
-    // crash before any edition finishes still leaves the run's scope on
-    // disk. Failures here are advisory — commit records are what gate.
-    for (std::size_t b = 0; b < n; ++b) {
+    // Roster records: every buyer of this range enters the journal as
+    // queued, so a crash before any edition finishes still leaves the
+    // run's scope on disk. Failures here are advisory — commit records
+    // are what gate.
+    for (std::size_t b = rb; b < re; ++b) {
       journal.append(b, BuyerPhase::kQueued);
     }
   }
+
+  // Liveness sidecar for supervised shard workers: joined (and thus
+  // silent) before the journal closes.
+  HeartbeatTicker ticker(&journal, options.heartbeat_interval_ms);
 
   rr.batch.baseline = Baseline::measure(golden, sta, power);
   rr.batch.editions.resize(n);
@@ -276,8 +331,9 @@ ResumableBatchResult batch_fingerprint_resumable(
   std::atomic<std::size_t> recovered_count{0};
   const std::vector<const char*> tpath = telemetry::current_path();
   const Status loop_status = parallel_for(
-      bo.pool, n,
-      [&](std::size_t b) {
+      bo.pool, re - rb,
+      [&](std::size_t i) {
+        const std::size_t b = rb + i;
         const telemetry::AttachScope attach(tpath);
         TELEM_SPAN("batch_fingerprint.edition");
         BuyerEdition& slot = rr.batch.editions[b];
@@ -301,6 +357,14 @@ ResumableBatchResult batch_fingerprint_resumable(
             "batch.edition", rp, [&](int) -> Status {
               edition = make_edition(golden, book, b, rr.batch.baseline,
                                      sta, power, bo);
+              // The delay-overhead verdict gates BEFORE publishing: a
+              // constraint-violating edition must never be committed, or
+              // a resume would recover it as kOk and disagree with an
+              // uninterrupted run about the batch's feasibility.
+              if (edition.status == Status::kInfeasible) {
+                permanent_error = "delay overhead constraint violated";
+                return Status::kInfeasible;
+              }
               // Idempotency gate before publishing: the stamped clone
               // must decode back to exactly this buyer's codeword.
               if (extract_code(edition.netlist, golden,
@@ -351,10 +415,12 @@ ResumableBatchResult batch_fingerprint_resumable(
   if (loop_status == Status::kExhausted && bo.budget != nullptr) {
     rr.batch.exhausted_at = bo.budget->died_in();
   }
+  // Slots outside [rb, re) keep their prefilled kExhausted status but are
+  // someone else's shard — only this range gates pending/ok.
   std::size_t pending = 0, stamped = 0;
-  for (const BuyerEdition& e : rr.batch.editions) {
-    if (e.status == Status::kExhausted) ++pending;
-    if (e.status != Status::kExhausted) ++stamped;
+  for (std::size_t b = rb; b < re; ++b) {
+    if (rr.batch.editions[b].status == Status::kExhausted) ++pending;
+    else ++stamped;
   }
   if (pending > 0) {
     rr.status = Status::kExhausted;
@@ -366,8 +432,8 @@ ResumableBatchResult batch_fingerprint_resumable(
   } else {
     rr.status = Status::kOk;
     rr.batch.status = Status::kOk;
-    for (const BuyerEdition& e : rr.batch.editions) {
-      if (e.status == Status::kInfeasible) {
+    for (std::size_t b = rb; b < re; ++b) {
+      if (rr.batch.editions[b].status == Status::kInfeasible) {
         rr.status = Status::kInfeasible;
         rr.batch.status = Status::kInfeasible;
         break;
@@ -375,7 +441,7 @@ ResumableBatchResult batch_fingerprint_resumable(
     }
   }
   log::info("batch.resumable.done")
-      .field("buyers", n)
+      .field("buyers", re - rb)
       .field("recovered", rr.recovered)
       .field("stamped", stamped - rr.recovered)
       .field("pending", pending)

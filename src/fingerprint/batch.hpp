@@ -144,6 +144,25 @@ struct ResumeOptions {
   RetryPolicy retry;
   /// Human label stored in the journal header (e.g. the circuit name).
   std::string label;
+
+  // ---- sharded execution (src/dist/) ----
+
+  /// Half-open buyer range this process stamps. range_end == 0 means
+  /// "through the last buyer", so the default {0, 0} covers the whole
+  /// codebook. A sharded run gives each worker process its own range
+  /// (and its own journal file); the journal header still pins the
+  /// GLOBAL buyer count and config checksum, so every shard journal of
+  /// one run is mutually consistent and the merge layer can cross-check
+  /// them. Buyers outside the range are returned as kExhausted slots but
+  /// never counted as pending.
+  std::size_t range_begin = 0;
+  std::size_t range_end = 0;
+  /// When > 0, a sidecar thread appends a liveness heartbeat record to
+  /// the journal every this-many milliseconds (Journal::heartbeat) for
+  /// the duration of the run, so an external supervisor watching the
+  /// journal can distinguish a wedged worker from a slow one. 0 (the
+  /// default) spawns nothing.
+  std::int64_t heartbeat_interval_ms = 0;
 };
 
 struct ResumableBatchResult {
@@ -160,7 +179,8 @@ struct ResumableBatchResult {
   /// Total transient retries absorbed across all buyers.
   std::size_t retries = 0;
   std::string journal_path;
-  /// kOk: every buyer committed. kExhausted: budget died or transient
+  /// kOk: every buyer in this process's range committed. kExhausted:
+  /// budget died or transient
   /// faults outlasted the retry policy — rerun with the same journal to
   /// continue. kMalformedInput: the journal belongs to a different run
   /// or is corrupt mid-file (message explains; nothing was stamped).

@@ -4,7 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+#include <utime.h>
+
 #include <cstdio>
+#include <ctime>
 #include <string>
 
 #include "common/fault.hpp"
@@ -70,22 +75,64 @@ TEST(AtomicIo, ReadMissingFileFails) {
   EXPECT_FALSE(atomic_io::read_file(temp_path("missing-none"), &out));
 }
 
+/// Pid of a process that provably no longer exists: fork a child that
+/// exits immediately and reap it.
+pid_t dead_pid() {
+  const pid_t pid = ::fork();
+  if (pid == 0) ::_exit(0);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return pid;
+}
+
 TEST(AtomicIo, RemoveStaleTempsSweepsOnlyTemps) {
   const std::string dir = temp_path("sweep");
   ASSERT_TRUE(atomic_io::make_dirs(dir));
   ASSERT_TRUE(
       atomic_io::write_file_atomic(dir + "/keep.blif", "keep").ok);
-  // Simulated crash debris: temp names as the writer creates them.
+  // Simulated crash debris: temp names as a DEAD writer left them (a
+  // reaped child's pid, so the liveness check cannot be fooled by an
+  // unrelated process that happens to wear a hardcoded pid).
+  const std::string dead = std::to_string(dead_pid());
+  ASSERT_TRUE(atomic_io::write_file_atomic(
+                  dir + "/a.blif.tmp." + dead + ".7", "junk")
+                  .ok);
+  ASSERT_TRUE(atomic_io::write_file_atomic(
+                  dir + "/b.json.tmp." + dead + ".0", "junk")
+                  .ok);
+  // A temp whose pid field does not parse is always debris.
   ASSERT_TRUE(
-      atomic_io::write_file_atomic(dir + "/a.blif.tmp.1234.7", "junk")
+      atomic_io::write_file_atomic(dir + "/c.blif.tmp.garbage", "junk")
           .ok);
-  ASSERT_TRUE(
-      atomic_io::write_file_atomic(dir + "/b.json.tmp.99.0", "junk").ok);
-  EXPECT_EQ(atomic_io::remove_stale_temps(dir), 2u);
+  EXPECT_EQ(atomic_io::remove_stale_temps(dir), 3u);
   EXPECT_TRUE(atomic_io::exists(dir + "/keep.blif"));
-  EXPECT_FALSE(atomic_io::exists(dir + "/a.blif.tmp.1234.7"));
+  EXPECT_FALSE(
+      atomic_io::exists(dir + "/a.blif.tmp." + dead + ".7"));
   EXPECT_EQ(atomic_io::remove_stale_temps(dir), 0u);
   EXPECT_EQ(atomic_io::remove_stale_temps(dir + "/no-such-subdir"), 0u);
+}
+
+// A temp owned by a LIVE process is mid-publish, not debris: in a
+// sharded run several workers publish into one artifact directory and
+// each sweeps it on entry, so the sweep must never delete a sibling's
+// in-flight temp.
+TEST(AtomicIo, RemoveStaleTempsSkipsLiveOwners) {
+  const std::string dir = temp_path("sweep_live");
+  ASSERT_TRUE(atomic_io::make_dirs(dir));
+  const std::string mine = std::to_string(::getpid());
+  const std::string live_temp = dir + "/e.blif.tmp." + mine + ".3";
+  ASSERT_TRUE(atomic_io::write_file_atomic(live_temp, "in flight").ok);
+  EXPECT_EQ(atomic_io::remove_stale_temps(dir), 0u);
+  EXPECT_TRUE(atomic_io::exists(live_temp));
+  // The age guard breaks pid-reuse ties: a temp older than the cap is
+  // removed even though a process with that pid exists.
+  struct utimbuf ancient;
+  ancient.actime = ancient.modtime = std::time(nullptr) - 7200;
+  ASSERT_EQ(::utime(live_temp.c_str(), &ancient), 0);
+  EXPECT_EQ(atomic_io::remove_stale_temps(dir, /*max_live_age_seconds=*/
+                                          3600),
+            1u);
+  EXPECT_FALSE(atomic_io::exists(live_temp));
 }
 
 TEST(AtomicIo, Crc32KnownVectors) {

@@ -350,5 +350,37 @@ TEST(CrashRecovery, MissingOrCorruptArtifactIsRestamped) {
   }
 }
 
+// A delay-constraint violation is a permanent verdict and must gate
+// BEFORE the artifact is published: committing a violating edition
+// would let a later resume recover it as kOk, making interrupted and
+// uninterrupted runs disagree about the batch's feasibility.
+TEST(CrashRecovery, InfeasibleEditionIsNeverCommitted) {
+  const Fixture f;
+  const std::string dir = chaos_base() + "infeasible_gate";
+  atomic_io::make_dirs(dir);
+  wipe_dir(dir);
+  ResumeOptions opt = f.options(dir);
+  opt.batch.max_delay_overhead = 1e-12;  // "no slowdown allowed"
+  const ResumableBatchResult first = batch_fingerprint_resumable(
+      dir + "/journal.odcfp", f.golden, f.book, f.sta, f.power, opt);
+  ASSERT_EQ(first.status, Status::kInfeasible) << first.message;
+  std::size_t violating = 0;
+  for (std::size_t b = 0; b < kBuyers; ++b) {
+    if (first.batch.editions[b].status != Status::kInfeasible) continue;
+    ++violating;
+    EXPECT_TRUE(first.artifacts[b].empty()) << "buyer " << b;
+    EXPECT_FALSE(
+        atomic_io::exists(dir + "/edition_" + std::to_string(b) + ".blif"))
+        << "buyer " << b << " was published despite violating the "
+        << "delay constraint";
+  }
+  EXPECT_GT(violating, 0u);  // full codewords do slow c432 down
+  // Resume agreement: the rerun re-stamps the failed buyers, reaches
+  // the same verdict, and still publishes nothing for them.
+  const ResumableBatchResult again = batch_fingerprint_resumable(
+      dir + "/journal.odcfp", f.golden, f.book, f.sta, f.power, opt);
+  EXPECT_EQ(again.status, Status::kInfeasible) << again.message;
+}
+
 }  // namespace
 }  // namespace odcfp

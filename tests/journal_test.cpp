@@ -120,7 +120,10 @@ TEST(Journal, TruncationSweepNeverMalformed) {
   ASSERT_TRUE(atomic_io::read_file(src, &bytes));
   const std::string dst = temp_path("sweep_dst");
   std::size_t prev_entries = 0;
-  for (std::size_t len = 0; len <= bytes.size(); ++len) {
+  // len == 0 is excluded: an empty-but-existing journal is impossible
+  // from a crash (create() writes magic + header in one write) and is
+  // rejected with its own diagnostic — see EmptyFileIsRejected.
+  for (std::size_t len = 1; len <= bytes.size(); ++len) {
     std::remove(dst.c_str());
     ASSERT_TRUE(
         atomic_io::write_file_atomic(dst, bytes.substr(0, len)).ok);
@@ -313,6 +316,124 @@ TEST(Journal, CreateFaultIsTypedError) {
   const Outcome<Journal> j = Journal::create(path, header());
   EXPECT_EQ(j.status(), Status::kMalformedInput);
   EXPECT_NE(j.message().find("injected"), std::string::npos);
+}
+
+// An empty-but-existing journal cannot come from a crash — create()
+// writes magic + header in a single write before returning — so it must
+// be rejected with a diagnostic naming the condition, never silently
+// treated as a fresh run (that would discard whatever the journal once
+// recorded).
+TEST(Journal, EmptyFileIsRejectedWithDistinctDiagnostic) {
+  const std::string dst = temp_path("empty");
+  ASSERT_TRUE(atomic_io::write_file_atomic(dst, "").ok);
+  const Outcome<JournalReplay> out = read_journal(dst);
+  EXPECT_EQ(out.status(), Status::kMalformedInput);
+  EXPECT_NE(out.message().find("exists but is empty"), std::string::npos)
+      << out.message();
+  // Distinct from the mid-file corruption diagnostic.
+  EXPECT_EQ(out.message().find("corrupt record"), std::string::npos);
+}
+
+// Heartbeats are a liveness sidecar: CRC-checked, but invisible to
+// replay state — phase_of/committed/next_seq are exactly as without
+// them, and they consume no sequence numbers.
+TEST(Journal, HeartbeatsCountButNeverAffectReplayState) {
+  const std::string path = temp_path("heartbeat");
+  std::remove(path.c_str());
+  Outcome<Journal> j = Journal::create(path, header());
+  ASSERT_TRUE(j.ok());
+  ASSERT_TRUE(j.value().append(0, BuyerPhase::kEmbedding));
+  ASSERT_TRUE(j.value().heartbeat(1));
+  ASSERT_TRUE(j.value().heartbeat(2));
+  ASSERT_TRUE(j.value().append(0, BuyerPhase::kVerified));
+  ASSERT_TRUE(j.value().heartbeat(3));
+  const Outcome<JournalReplay> out = read_journal(path);
+  ASSERT_TRUE(out.ok()) << out.message();
+  const JournalReplay& r = out.value();
+  EXPECT_EQ(r.heartbeats, 3u);
+  EXPECT_EQ(r.last_heartbeat, 3u);
+  ASSERT_EQ(r.entries.size(), 2u);
+  EXPECT_EQ(r.next_seq, 2u);  // heartbeats consumed no seq
+  EXPECT_EQ(r.phase_of(4)[0], BuyerPhase::kVerified);
+
+  // append_to after heartbeats continues the record sequence unbroken.
+  Outcome<Journal> resumed = Journal::append_to(path, r);
+  ASSERT_TRUE(resumed.ok()) << resumed.message();
+  ASSERT_TRUE(resumed.value().append(0, BuyerPhase::kCommitted, "a", 1));
+  const Outcome<JournalReplay> after = read_journal(path);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().entries.back().seq, 2u);
+}
+
+// A torn FINAL heartbeat is tolerated like any torn tail; a damaged
+// MID-FILE heartbeat is corruption like any damaged record.
+TEST(Journal, HeartbeatDamageFollowsTornTailRules) {
+  const std::string path = temp_path("heartbeat_torn");
+  std::remove(path.c_str());
+  {
+    Outcome<Journal> j = Journal::create(path, header());
+    ASSERT_TRUE(j.ok());
+    ASSERT_TRUE(j.value().heartbeat(1));
+  }
+  std::string bytes;
+  ASSERT_TRUE(atomic_io::read_file(path, &bytes));
+  // Torn final heartbeat: chop mid-line.
+  const std::string torn = temp_path("heartbeat_torn_dst");
+  ASSERT_TRUE(
+      atomic_io::write_file_atomic(torn, bytes.substr(0, bytes.size() - 3))
+          .ok);
+  Outcome<JournalReplay> out = read_journal(torn);
+  ASSERT_TRUE(out.ok()) << out.message();
+  EXPECT_TRUE(out.value().torn_tail);
+  EXPECT_EQ(out.value().heartbeats, 0u);
+  // Mid-file damaged heartbeat: flip a payload byte, then append an
+  // intact line after it.
+  std::string bad = bytes;
+  const std::size_t hb_line = bad.rfind("B ");
+  bad[hb_line + 12] ^= 0x1;
+  bad += "B deadbeef pid=1 beat=2\n";  // bad crc too, but non-final rule
+                                       // fires on the first damaged line
+  const std::string corrupt = temp_path("heartbeat_corrupt_dst");
+  ASSERT_TRUE(atomic_io::write_file_atomic(corrupt, bad).ok);
+  out = read_journal(corrupt);
+  EXPECT_EQ(out.status(), Status::kMalformedInput);
+  EXPECT_NE(out.message().find("corrupt heartbeat"), std::string::npos)
+      << out.message();
+}
+
+// append_to re-validates the on-disk prologue before appending: a file
+// swapped or tampered with between replay and open — possible in the
+// multi-process world — must be rejected, not extended.
+TEST(Journal, AppendToRejectsTamperedHeader) {
+  const std::string path = make_populated("tamper_header");
+  Outcome<JournalReplay> replay = read_journal(path);
+  ASSERT_TRUE(replay.ok());
+  // Corrupt one byte of the header line ON DISK after the replay.
+  std::string bytes;
+  ASSERT_TRUE(atomic_io::read_file(path, &bytes));
+  const std::size_t header_start = bytes.find('\n') + 1;
+  bytes[header_start + 12] ^= 0x10;
+  ASSERT_TRUE(atomic_io::write_file_atomic(path, bytes).ok);
+  const Outcome<Journal> j = Journal::append_to(path, replay.value());
+  EXPECT_EQ(j.status(), Status::kMalformedInput);
+  EXPECT_NE(j.message().find("header CRC re-validation failed"),
+            std::string::npos)
+      << j.message();
+}
+
+TEST(Journal, AppendToRejectsSwappedMagic) {
+  const std::string path = make_populated("swap_magic");
+  Outcome<JournalReplay> replay = read_journal(path);
+  ASSERT_TRUE(replay.ok());
+  std::string bytes;
+  ASSERT_TRUE(atomic_io::read_file(path, &bytes));
+  bytes[0] = 'x';  // no longer "odcfp-journal 1"
+  ASSERT_TRUE(atomic_io::write_file_atomic(path, bytes).ok);
+  const Outcome<Journal> j = Journal::append_to(path, replay.value());
+  EXPECT_EQ(j.status(), Status::kMalformedInput);
+  EXPECT_NE(j.message().find("magic line no longer valid"),
+            std::string::npos)
+      << j.message();
 }
 
 }  // namespace

@@ -10,7 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cstring>
 #include <functional>
 #include <new>
 #include <stdexcept>
@@ -264,6 +268,89 @@ TEST(Retry, ThreadInvarianceOfScheduleAndTelemetry) {
     EXPECT_EQ(other.backoffs, base.backoffs);
     EXPECT_EQ(other.exhausted, base.exhausted);
   }
+}
+
+// The multi-process determinism gate: backoff_delay_ms must be a pure
+// function of (seed, attempt) — no hidden global RNG state, no
+// process-local entropy — so shard workers spawned by the distributed
+// supervisor (src/dist/) compute bit-identical retry schedules to their
+// parent and to each other. Each forked child recomputes the schedule
+// from scratch and ships the raw double bits back over a pipe.
+TEST(Retry, BackoffScheduleIsBitIdenticalAcrossForkedProcesses) {
+  constexpr int kAttempts = 6;
+  constexpr int kChildren = 3;
+  RetryPolicy p;
+  p.seed = 0xfeedfacecafebeefull;
+  p.base_delay_ms = 3.0;
+  p.jitter = 0.5;
+
+  double expected[kAttempts];
+  for (int a = 1; a <= kAttempts; ++a) {
+    expected[a - 1] = backoff_delay_ms(p, a);
+  }
+
+  for (int child = 0; child < kChildren; ++child) {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      ::close(fds[0]);
+      double mine[kAttempts];
+      for (int a = 1; a <= kAttempts; ++a) {
+        mine[a - 1] = backoff_delay_ms(p, a);
+      }
+      const ssize_t n = ::write(fds[1], mine, sizeof(mine));
+      ::_exit(n == static_cast<ssize_t>(sizeof(mine)) ? 0 : 1);
+    }
+    ::close(fds[1]);
+    double theirs[kAttempts];
+    std::size_t got = 0;
+    while (got < sizeof(theirs)) {
+      const ssize_t n =
+          ::read(fds[0], reinterpret_cast<char*>(theirs) + got,
+                 sizeof(theirs) - got);
+      ASSERT_GT(n, 0);
+      got += static_cast<std::size_t>(n);
+    }
+    ::close(fds[0]);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+    // Bitwise equality, not EXPECT_DOUBLE_EQ: the contract is identical
+    // schedules, not merely close ones.
+    EXPECT_EQ(std::memcmp(theirs, expected, sizeof(expected)), 0)
+        << "child " << child;
+  }
+}
+
+// The deadline lands MID-backoff: the first backoff fits and is slept,
+// the second would overshoot the remaining budget, so the retry gives up
+// after the second attempt instead of sleeping through the caller's
+// deadline (the supervisor-facing shape: a worker killed mid-recovery
+// must surface kExhausted promptly, not stall its heartbeat).
+TEST(Retry, DeadlineLandingMidBackoffGivesUpAfterSleptBackoff) {
+  Budget budget = Budget::deadline_ms(200);
+  RetryPolicy p;
+  p.max_attempts = 5;
+  p.jitter = 0;
+  p.base_delay_ms = 5;       // first backoff: 5 ms — fits, slept
+  p.multiplier = 1000;       // second backoff: 5000 ms — cannot fit
+  p.max_delay_ms = 10000;
+  p.budget = &budget;
+  p.sleep = true;
+  int calls = 0;
+  const RetryStats s = retry_with_backoff("test.mid_backoff", p, [&](int) {
+    ++calls;
+    return Status::kExhausted;
+  });
+  EXPECT_EQ(s.status, Status::kExhausted);
+  EXPECT_EQ(s.attempts, 2);
+  EXPECT_EQ(calls, 2);
+  ASSERT_EQ(s.backoff_ms.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.backoff_ms[0], 5.0);
+  // Give-up happened by decision, not by burning the deadline asleep.
+  EXPECT_FALSE(budget.exhausted());
 }
 
 }  // namespace
