@@ -90,9 +90,12 @@ int main() {
     }
   }
 
-  std::printf("\nCEC fan-out (editions verified equivalent per second, "
-              "c880, %zu buyers)\n", kBuyers);
-  print_rule(54);
+  std::printf("\nCEC fan-out (editions verified per second, c880, "
+              "%zu buyers)\n", kBuyers);
+  std::printf("legacy re-encodes the full miter per buyer; incremental "
+              "shares one\nbase encoding per session and stamps only the "
+              "edited cones\n");
+  print_rule(64);
   {
     const PreparedCircuit prepared = prepare("c880");
     const Codebook book(prepared.locations, kBuyers, 17);
@@ -100,31 +103,63 @@ int main() {
     stamp.max_delay_overhead = 0;
     const BatchResult batch =
         batch_fingerprint(prepared.golden, book, sta(), power(), stamp);
-    for (int threads : {1, 2, 4, 8}) {
-      ThreadPool pool(threads);
-      BatchCecOptions opt;
-      opt.pool = &pool;
-      // Conflict limits (not wall-clock) keep every verdict
-      // deterministic regardless of machine load.
-      opt.cec.sat_conflict_limit = 100000;
-      const auto t0 = std::chrono::steady_clock::now();
-      const auto verdicts =
-          batch_verify_equivalence(prepared.golden, batch.editions, opt);
-      const double elapsed = seconds_since(t0);
-      std::size_t ok = 0;
-      for (const auto& v : verdicts) {
-        ok += v.ok() && v.value().equivalent();
+
+    // Verdict statuses from the first run are the reference every other
+    // (path, thread-count) combination must reproduce exactly — the
+    // contract the incremental rework must not bend.
+    std::vector<CecResult::Status> reference;
+    bool verdicts_identical = true;
+    double legacy_t1 = 0, incremental_t1 = 0;
+    for (const bool incremental : {false, true}) {
+      for (const int threads : {1, 2, 8}) {
+        ThreadPool pool(threads);
+        BatchCecOptions opt;
+        opt.pool = &pool;
+        opt.incremental = incremental;
+        // Conflict limits (not wall-clock) keep every verdict
+        // deterministic regardless of machine load.
+        opt.cec.sat_conflict_limit = 100000;
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto verdicts =
+            batch_verify_equivalence(prepared.golden, batch.editions, opt);
+        const double elapsed = seconds_since(t0);
+        const double rate = static_cast<double>(kBuyers) / elapsed;
+
+        std::size_t ok = 0;
+        std::vector<CecResult::Status> statuses;
+        for (const auto& v : verdicts) {
+          ok += v.ok() && v.value().equivalent();
+          statuses.push_back(v.has_value() ? v.value().status
+                                           : CecResult::Status::kUnknown);
+        }
+        if (reference.empty()) {
+          reference = statuses;
+        } else {
+          verdicts_identical &= statuses == reference;
+        }
+        if (threads == 1) {
+          (incremental ? incremental_t1 : legacy_t1) = rate;
+        }
+        report.add_row("c880")
+            .label("panel", "cec")
+            .label("path", incremental ? "incremental" : "legacy")
+            .metric("threads", threads)
+            .metric("editions_per_sec", rate)
+            .metric("equivalent", static_cast<double>(ok));
+        std::printf("%-11s t=%d: %8.1f editions/s (%zu/%zu equivalent)\n",
+                    incremental ? "incremental" : "legacy", threads, rate,
+                    ok, verdicts.size());
       }
-      report.add_row("c880")
-          .label("panel", "cec")
-          .metric("threads", threads)
-          .metric("editions_per_sec",
-                  static_cast<double>(kBuyers) / elapsed)
-          .metric("equivalent", static_cast<double>(ok));
-      std::printf("t=%d: %6.1f editions/s (%zu/%zu equivalent)\n", threads,
-                  static_cast<double>(kBuyers) / elapsed, ok,
-                  verdicts.size());
     }
+    const double speedup =
+        legacy_t1 > 0 ? incremental_t1 / legacy_t1 : 0.0;
+    report.add_row("c880")
+        .label("panel", "cec-summary")
+        .metric("verdicts_identical", verdicts_identical ? 1.0 : 0.0)
+        .metric("incremental_speedup_t1", speedup);
+    std::printf("verdicts identical across paths and thread counts: %s\n",
+                verdicts_identical ? "yes" : "NO");
+    std::printf("incremental speedup (t=1): %.2fx\n", speedup);
   }
 
   std::printf("\n(editions are byte-identical across every thread count; "

@@ -1,5 +1,7 @@
 #include "equiv/cec.hpp"
 
+#include <algorithm>
+#include <memory>
 #include <sstream>
 #include <unordered_map>
 
@@ -78,6 +80,47 @@ bool words_differ(const Simulator& sa, const Simulator& sb,
   return true;
 }
 
+/// Trivially-equivalent verdict for degenerate miters; `diagnostic` names
+/// the reason so callers can tell "proved" from "nothing to prove".
+CecResult trivially_equivalent(const char* diagnostic) {
+  CecResult result;
+  result.status = CecResult::Status::kEquivalent;
+  result.method = diagnostic;
+  TELEM_COUNT("cec.trivial", 1);
+  return result;
+}
+
+/// Encodes the full (a vs b) miter into `solver` and asserts "some output
+/// differs". Returns a's PI variables for counterexample extraction.
+/// Requires at least one output pair (degenerate miters must be handled
+/// by the caller before any clause reaches the solver).
+std::vector<sat::Var> encode_miter(sat::Solver& solver, const Netlist& a,
+                                   const Netlist& b,
+                                   const InterfaceMap& map) {
+  ODCFP_CHECK(!a.outputs().empty());
+  const sat::TseitinEncoding enc_a(solver, a);
+  // b shares a's PI vars, permuted into b's PI order.
+  std::vector<sat::Var> b_inputs(b.inputs().size(), sat::kUndefVar);
+  for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+    b_inputs[map.b_pi_for_a_pi[i]] = enc_a.input_vars()[i];
+  }
+  const sat::TseitinEncoding enc_b(solver, b, &b_inputs);
+
+  std::vector<sat::Var> diffs;
+  for (std::size_t i = 0; i < a.outputs().size(); ++i) {
+    const sat::Var va = enc_a.var_of(a.outputs()[i].net);
+    const sat::Var vb =
+        enc_b.var_of(b.outputs()[map.b_po_for_a_po[i]].net);
+    const sat::Var d = solver.new_var();
+    sat::encode_xor(solver, va, vb, d);
+    diffs.push_back(d);
+  }
+  const sat::Var any_diff = solver.new_var();
+  sat::encode_or(solver, diffs, any_diff);
+  solver.add_clause(sat::pos_lit(any_diff));
+  return enc_a.input_vars();
+}
+
 }  // namespace
 
 bool random_sim_equal(const Netlist& a, const Netlist& b,
@@ -137,27 +180,13 @@ CecResult check_equivalence_sat(const Netlist& a, const Netlist& b,
                                 const Budget* budget) {
   TELEM_SPAN("cec.sat_proof");
   const InterfaceMap map = match_interfaces(a, b);
-  sat::Solver solver;
-  const sat::TseitinEncoding enc_a(solver, a);
-  // b shares a's PI vars, permuted into b's PI order.
-  std::vector<sat::Var> b_inputs(b.inputs().size(), sat::kUndefVar);
-  for (std::size_t i = 0; i < a.inputs().size(); ++i) {
-    b_inputs[map.b_pi_for_a_pi[i]] = enc_a.input_vars()[i];
-  }
-  const sat::TseitinEncoding enc_b(solver, b, &b_inputs);
+  // Degenerate miter: nothing to compare, hence equivalent by definition.
+  // Handled before the encoder — an empty diff disjunction would otherwise
+  // force any_diff false and poison the solver with a level-0 conflict.
+  if (a.outputs().empty()) return trivially_equivalent("trivial-no-outputs");
 
-  std::vector<sat::Var> diffs;
-  for (std::size_t i = 0; i < a.outputs().size(); ++i) {
-    const sat::Var va = enc_a.var_of(a.outputs()[i].net);
-    const sat::Var vb =
-        enc_b.var_of(b.outputs()[map.b_po_for_a_po[i]].net);
-    const sat::Var d = solver.new_var();
-    sat::encode_xor(solver, va, vb, d);
-    diffs.push_back(d);
-  }
-  const sat::Var any_diff = solver.new_var();
-  sat::encode_or(solver, diffs, any_diff);
-  solver.add_clause(sat::pos_lit(any_diff));
+  sat::Solver solver;
+  const std::vector<sat::Var> a_inputs = encode_miter(solver, a, b, map);
 
   CecResult result;
   result.method = "sat";
@@ -168,8 +197,7 @@ CecResult check_equivalence_sat(const Netlist& a, const Netlist& b,
     case sat::Solver::Result::kSat: {
       result.status = CecResult::Status::kDifferent;
       for (std::size_t i = 0; i < a.inputs().size(); ++i) {
-        result.counterexample.push_back(
-            solver.model_value(enc_a.input_vars()[i]));
+        result.counterexample.push_back(solver.model_value(a_inputs[i]));
       }
       break;
     }
@@ -179,6 +207,257 @@ CecResult check_equivalence_sat(const Netlist& a, const Netlist& b,
   }
   result.sat_stats = solver.stats();
   return result;
+}
+
+std::vector<sat::Solver::Config> default_portfolio_configs() {
+  return {
+      // Classic MiniSat-style defaults — the same search the plain
+      // single-solver path runs, so the portfolio never loses to it.
+      sat::Solver::Config{},
+      // Positive phases + slow restarts: favors SAT answers (models).
+      sat::Solver::Config{.default_phase = true,
+                          .restart_base = 256,
+                          .branch_seed = 0x9e3779b97f4a7c15ull},
+      // Seeded branching order + fast restarts: favors UNSAT proofs that
+      // need a different variable order than index/VSIDS-from-zero.
+      sat::Solver::Config{.default_phase = false,
+                          .restart_base = 32,
+                          .branch_seed = 0x6a09e667f3bcc909ull},
+  };
+}
+
+CecResult check_equivalence_portfolio(const Netlist& a, const Netlist& b,
+                                      const PortfolioCecOptions& options,
+                                      const Budget* budget) {
+  TELEM_SPAN("cec.portfolio");
+  const InterfaceMap map = match_interfaces(a, b);
+  if (a.outputs().empty()) return trivially_equivalent("trivial-no-outputs");
+
+  const std::vector<sat::Solver::Config> configs =
+      options.configs.empty() ? default_portfolio_configs()
+                              : options.configs;
+  struct Entrant {
+    explicit Entrant(const sat::Solver::Config& config) : solver(config) {}
+    sat::Solver solver;
+    std::vector<sat::Var> a_inputs;
+  };
+  std::vector<std::unique_ptr<Entrant>> entrants;
+  entrants.reserve(configs.size());
+  for (const sat::Solver::Config& config : configs) {
+    auto e = std::make_unique<Entrant>(config);
+    // Each entrant continues its own search across slices; the carried
+    // state is per-entrant and the slicing is sequential, so the race
+    // stays deterministic.
+    e->solver.set_heuristic_policy(
+        sat::Solver::HeuristicPolicy::kCarryAcrossCalls);
+    e->a_inputs = encode_miter(e->solver, a, b, map);
+    entrants.push_back(std::move(e));
+  }
+
+  CecResult result;
+  result.method = "sat-portfolio";
+  sat::Solver::Stats combined;
+  std::int64_t spent = 0;
+  for (;;) {
+    for (std::size_t i = 0; i < entrants.size(); ++i) {
+      Entrant& e = *entrants[i];
+      std::int64_t slice = options.slice_conflicts;
+      if (options.total_conflict_limit >= 0) {
+        slice = std::min(slice, options.total_conflict_limit - spent);
+        if (slice <= 0) break;
+      }
+      const sat::Solver::Result r = e.solver.solve({}, slice, budget);
+      combined += e.solver.last_call_stats();
+      spent +=
+          static_cast<std::int64_t>(e.solver.last_call_stats().conflicts);
+      if (r == sat::Solver::Result::kSat) {
+        result.status = CecResult::Status::kDifferent;
+        for (std::size_t k = 0; k < a.inputs().size(); ++k) {
+          result.counterexample.push_back(
+              e.solver.model_value(e.a_inputs[k]));
+        }
+        result.sat_stats = combined;
+        TELEM_COUNT("cec.portfolio_won", 1);
+        return result;
+      }
+      if (r == sat::Solver::Result::kUnsat) {
+        result.status = CecResult::Status::kEquivalent;
+        result.sat_stats = combined;
+        TELEM_COUNT("cec.portfolio_won", 1);
+        return result;
+      }
+      if (budget_exhausted(budget)) {
+        result.status = CecResult::Status::kUnknown;
+        result.sat_stats = combined;
+        return result;
+      }
+    }
+    if (options.total_conflict_limit >= 0 &&
+        spent >= options.total_conflict_limit) {
+      break;
+    }
+  }
+  result.status = CecResult::Status::kUnknown;
+  result.sat_stats = combined;
+  return result;
+}
+
+IncrementalCecSession::IncrementalCecSession(const Netlist& golden,
+                                             const Options& options)
+    : golden_(golden), options_(options), solver_(options.solver_config) {
+  // The session keeps the solver's CLAUSES warm (the golden encoding and
+  // every base-circuit lemma learned along the way) but runs each check
+  // with pristine HEURISTICS: the default kResetPerCall policy stands.
+  // Measured on the batch-throughput workload, VSIDS activity carried
+  // from one edition's proof misdirects the next one — the hot variables
+  // of a retired cone are free nonsense to its successor — and reset
+  // checks are ~20% faster. Reset is also the stronger determinism
+  // story: each verdict depends only on the clause database, which the
+  // batch layer makes a pure function of the buyer index.
+  golden_enc_.emplace(solver_, golden_);
+}
+
+IncrementalCecSession::StampedCone IncrementalCecSession::stamp_edition(
+    const Netlist& edition) {
+  const InterfaceMap map = match_interfaces(golden_, edition);
+
+  // Stamp the edition's cone behind a fresh activation literal, reusing
+  // the golden encoding for every structurally unchanged gate.
+  const sat::Var act = solver_.push_activation();
+  sat::TseitinOptions topts;
+  // The edition shares the golden PI variables, permuted into ITS PI
+  // order by the name-matched map (identity for the clone editions batch
+  // verification produces, but a name-permuted same-interface netlist
+  // must not be wired positionally).
+  std::vector<sat::Var> b_inputs(edition.inputs().size(), sat::kUndefVar);
+  for (std::size_t i = 0; i < golden_.inputs().size(); ++i) {
+    b_inputs[map.b_pi_for_a_pi[i]] = golden_enc_->input_vars()[i];
+  }
+  topts.share_inputs = &b_inputs;
+  topts.activation = act;
+  topts.base = &golden_;
+  topts.base_encoding = &*golden_enc_;
+  const sat::TseitinEncoding enc_b(solver_, edition, topts);
+  gates_reused_ += enc_b.reused_gates();
+  gates_encoded_ += enc_b.encoded_gates();
+
+  std::vector<sat::Var> diffs;
+  for (std::size_t i = 0; i < golden_.outputs().size(); ++i) {
+    const sat::Var va = golden_enc_->var_of(golden_.outputs()[i].net);
+    const sat::Var vb =
+        enc_b.var_of(edition.outputs()[map.b_po_for_a_po[i]].net);
+    // Outputs whose whole cone was reused resolve to the very same
+    // variable — identical by construction, no XOR needed.
+    if (va == vb) continue;
+    const sat::Var d = solver_.new_var();
+    sat::encode_xor(solver_, va, vb, d, act);
+    diffs.push_back(d);
+  }
+  return {act, std::move(diffs)};
+}
+
+CecResult IncrementalCecSession::check(const Netlist& edition,
+                                       const Budget* budget) {
+  TELEM_SPAN("cec.incremental_check");
+  ++checks_;
+  if (golden_.outputs().empty()) {
+    match_interfaces(golden_, edition);  // still surfaces typed errors
+    return trivially_equivalent("trivial-no-outputs");
+  }
+  CecResult result;
+  if (!healthy_) {
+    // A previous check left the solver in a state the session cannot
+    // vouch for; refuse to answer and let the caller escalate.
+    result.status = CecResult::Status::kUnknown;
+    result.method = "sat-incremental-unhealthy";
+    return result;
+  }
+
+  const StampedCone cone = stamp_edition(edition);
+  if (cone.diffs.empty()) {
+    // Empty edit cone: every output reuses the golden variable. This is
+    // the second degenerate-miter shape; answer it before the solver
+    // ever sees an empty disjunction.
+    retire_scope(cone.act);
+    return trivially_equivalent("trivial-identical-cone");
+  }
+
+  result.method = "sat-incremental";
+  if (options_.per_output_proofs) {
+    // One focused sub-query per changed output, in PO order, sharing the
+    // activation literal — so lemmas learned refuting output i (they
+    // carry neg_lit(act)) stay live for outputs i+1..n within this
+    // check. The per-check conflict quota is spent across sub-queries.
+    result.status = CecResult::Status::kEquivalent;
+    std::int64_t remaining = options_.conflict_limit;
+    for (const sat::Var d : cone.diffs) {
+      if (options_.conflict_limit >= 0 && remaining <= 0) {
+        result.status = CecResult::Status::kUnknown;
+        break;
+      }
+      const sat::Solver::Result r = solver_.solve(
+          {sat::pos_lit(cone.act), sat::pos_lit(d)}, remaining, budget);
+      result.sat_stats += solver_.last_call_stats();
+      if (options_.conflict_limit >= 0) {
+        remaining -= static_cast<std::int64_t>(
+            solver_.last_call_stats().conflicts);
+      }
+      if (r == sat::Solver::Result::kSat) {
+        result.status = CecResult::Status::kDifferent;
+        for (std::size_t i = 0; i < golden_.inputs().size(); ++i) {
+          result.counterexample.push_back(
+              solver_.model_value(golden_enc_->input_vars()[i]));
+        }
+        break;
+      }
+      if (r == sat::Solver::Result::kUnknown) {
+        result.status = CecResult::Status::kUnknown;
+        break;
+      }
+    }
+  } else {
+    const sat::Var any_diff = solver_.new_var();
+    sat::encode_or(solver_, cone.diffs, any_diff, cone.act);
+    const sat::Solver::Result r =
+        solver_.solve({sat::pos_lit(cone.act), sat::pos_lit(any_diff)},
+                      options_.conflict_limit, budget);
+    switch (r) {
+      case sat::Solver::Result::kUnsat:
+        result.status = CecResult::Status::kEquivalent;
+        break;
+      case sat::Solver::Result::kSat:
+        result.status = CecResult::Status::kDifferent;
+        // Extract the model before retirement backtracks it away.
+        for (std::size_t i = 0; i < golden_.inputs().size(); ++i) {
+          result.counterexample.push_back(
+              solver_.model_value(golden_enc_->input_vars()[i]));
+        }
+        break;
+      case sat::Solver::Result::kUnknown:
+        result.status = CecResult::Status::kUnknown;
+        break;
+    }
+    // Per-call delta, not the session's cumulative stats: the whole
+    // point of last_call_stats is attributing proof effort to this
+    // edition.
+    result.sat_stats = solver_.last_call_stats();
+  }
+  retire_scope(cone.act);
+  return result;
+}
+
+void IncrementalCecSession::retire_scope(sat::Var act) {
+  solver_.retire_activation(act);
+  // Sweeping retired cones out of the clause database rebuilds every
+  // watch list — worth paying once every few checks, not per check.
+  if (++checks_since_simplify_ >=
+      std::max<std::size_t>(1, options_.simplify_interval)) {
+    solver_.simplify();
+    checks_since_simplify_ = 0;
+  }
+  // The base formula alone is satisfiable, so a healthy session can never
+  // become globally UNSAT; if it did, stop answering from it.
+  healthy_ = solver_.ok();
 }
 
 CecResult verify_equivalence(const Netlist& a, const Netlist& b,

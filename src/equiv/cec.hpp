@@ -1,16 +1,22 @@
 // Combinational equivalence checking (CEC).
 //
 // Every fingerprint embedding must preserve functionality (requirement 1
-// of the paper). This module provides the three verification layers used
+// of the paper). This module provides the verification layers used
 // throughout the tests and benches:
 //
 //  * random_sim_equal     — fast 64-way random simulation filter; finds
 //                           almost all real differences in microseconds;
 //  * exhaustive_equal     — complete for circuits with <= 24 inputs;
-//  * check_equivalence    — SAT-based proof on a shared-PI miter.
+//  * check_equivalence    — SAT-based proof on a shared-PI miter;
+//  * IncrementalCecSession — one long-lived solver holding the golden
+//                           circuit's encoding; each edition stamps only
+//                           its edited cone behind an activation literal
+//                           and is answered by an assumption solve;
+//  * check_equivalence_portfolio — 2–3 solver configurations racing one
+//                           query in deterministic round-robin slices.
 //
-// verify_equivalence() composes them: simulation first (cheap refutation),
-// then exhaustive or SAT proof depending on input count.
+// verify_equivalence() composes the first three: simulation first (cheap
+// refutation), then exhaustive or SAT proof depending on input count.
 //
 // Circuits are matched by PI name and PO port name; mismatched interfaces
 // throw CheckError.
@@ -19,11 +25,13 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/budget.hpp"
 #include "netlist/netlist.hpp"
 #include "sat/solver.hpp"
+#include "sat/tseitin.hpp"
 
 namespace odcfp {
 
@@ -53,9 +61,124 @@ bool exhaustive_equal(const Netlist& a, const Netlist& b,
 
 /// SAT CEC on a miter with shared PIs. conflict_limit < 0 = no limit.
 /// `budget` adds deadline / step / cancellation caps to the proof search.
+/// Degenerate miters (no outputs to compare) are reported as trivially
+/// equivalent with method "trivial-no-outputs" without touching a solver.
 CecResult check_equivalence_sat(const Netlist& a, const Netlist& b,
                                 std::int64_t conflict_limit = -1,
                                 const Budget* budget = nullptr);
+
+/// Deterministic solver portfolio racing one query: each configuration
+/// gets its own solver + miter encoding, and they take turns solving in
+/// fixed-size conflict slices on the calling thread. First verdict wins;
+/// ties (two configs finishing in the same round) break by configuration
+/// order. Time-sliced rather than thread-raced on purpose — the winner is
+/// a pure function of the inputs, never of the scheduler.
+struct PortfolioCecOptions {
+  /// Configurations in race order (empty = default_portfolio_configs()).
+  std::vector<sat::Solver::Config> configs;
+  /// Conflicts per round-robin slice per configuration.
+  std::int64_t slice_conflicts = 2048;
+  /// Total conflicts across all configurations before giving up
+  /// (< 0 = race until a verdict or the budget dies).
+  std::int64_t total_conflict_limit = -1;
+};
+
+/// The three stock configurations: classic MiniSat-style defaults, a
+/// positive-phase/slow-restart variant, and a seeded-branching/fast-
+/// restart variant.
+std::vector<sat::Solver::Config> default_portfolio_configs();
+
+CecResult check_equivalence_portfolio(
+    const Netlist& a, const Netlist& b,
+    const PortfolioCecOptions& options = {}, const Budget* budget = nullptr);
+
+/// Shared-miter incremental CEC: encodes the golden netlist once, then
+/// answers each edition with an assumption solve that only pays for the
+/// edition's edited cone (and its transitive fanout). The edition's delta
+/// clauses are guarded by a fresh activation literal and retracted after
+/// the verdict, so the solver — and everything it learned about the base
+/// circuit — stays warm for the next edition.
+///
+/// Contract: editions must be structural clones of the golden netlist
+/// (same gate/net id space), which is exactly what batch_fingerprint
+/// produces. An arbitrary same-interface netlist still verifies correctly
+/// — it just encodes fresh (reuse degrades to zero, not to wrong).
+/// Not thread-safe; one session per thread.
+class IncrementalCecSession {
+ public:
+  struct Options {
+    /// Per-check conflict quota (< 0 = unlimited). A check that blows it
+    /// returns kUnknown; the batch layer escalates to the portfolio.
+    std::int64_t conflict_limit = -1;
+    /// Retired edition cones are swept from the clause database every
+    /// this-many checks (1 = after every check). A sweep rebuilds every
+    /// watch list, which costs more than letting a few already-satisfied
+    /// cones sit in the database — propagation skips them via their
+    /// false activation guard. The schedule is a pure function of the
+    /// check count, so deferral never disturbs determinism.
+    std::size_t simplify_interval = 1;
+    /// Prove each changed output with its own focused assumption solve
+    /// (in PO order, sharing the activation literal so lemmas carry
+    /// across sub-queries) instead of one solve over the OR of all
+    /// output differences. The per-check conflict quota is shared across
+    /// the sub-queries either way.
+    bool per_output_proofs = true;
+    sat::Solver::Config solver_config;
+  };
+
+  explicit IncrementalCecSession(const Netlist& golden)
+      : IncrementalCecSession(golden, Options{}) {}
+  IncrementalCecSession(const Netlist& golden, const Options& options);
+  // The session only references `golden`; binding a temporary would
+  // dangle on the first check, so reject rvalues at compile time.
+  explicit IncrementalCecSession(Netlist&&) = delete;
+  IncrementalCecSession(Netlist&&, const Options&) = delete;
+  IncrementalCecSession(const IncrementalCecSession&) = delete;
+  IncrementalCecSession& operator=(const IncrementalCecSession&) = delete;
+
+  /// Proves or refutes golden == edition. kUnknown on quota/budget
+  /// exhaustion (escalate) or when the session solver is no longer
+  /// healthy. Degenerate checks (no outputs, or an edit cone that is
+  /// empty after structural reuse) are trivially equivalent with methods
+  /// "trivial-no-outputs" / "trivial-identical-cone".
+  CecResult check(const Netlist& edition, const Budget* budget = nullptr);
+
+  std::size_t checks() const { return checks_; }
+  /// Cumulative structural-reuse tallies across all checks; the batch
+  /// layer turns these into the cec.incremental.* telemetry counters.
+  std::size_t gates_reused() const { return gates_reused_; }
+  std::size_t gates_encoded() const { return gates_encoded_; }
+
+ private:
+  struct StampedCone {
+    sat::Var act = sat::kUndefVar;
+    /// One "this output differs" variable per output whose edition cone
+    /// did not resolve to the golden variable (empty = nothing to
+    /// prove: the edit cone vanished under structural reuse).
+    std::vector<sat::Var> diffs;
+  };
+
+  /// Validates the edition's interface (throws CheckError on mismatch),
+  /// opens a fresh activation scope, and stamps the edition's edited
+  /// cone into it, reusing the golden encoding for every structurally
+  /// unchanged gate.
+  StampedCone stamp_edition(const Netlist& edition);
+
+  /// Retires a check's activation scope, runs the periodic database
+  /// sweep (every Options::simplify_interval checks), and refreshes the
+  /// session health flag.
+  void retire_scope(sat::Var act);
+
+  const Netlist& golden_;
+  Options options_;
+  sat::Solver solver_;
+  std::optional<sat::TseitinEncoding> golden_enc_;
+  bool healthy_ = true;
+  std::size_t checks_since_simplify_ = 0;
+  std::size_t checks_ = 0;
+  std::size_t gates_reused_ = 0;
+  std::size_t gates_encoded_ = 0;
+};
 
 /// The composed checker: random simulation, then exhaustive (<= 20 PIs) or
 /// SAT. `sat_conflict_limit` bounds the proof effort; on limit-exhaustion

@@ -12,7 +12,7 @@ namespace odcfp::sat {
 Var Solver::new_var() {
   const Var v = static_cast<Var>(assigns_.size());
   assigns_.push_back(LBool::kUndef);
-  phase_.push_back(false);
+  phase_.push_back(config_.default_phase);
   level_.push_back(0);
   reason_.push_back(kNoReason);
   activity_.push_back(0.0);
@@ -75,6 +75,91 @@ void Solver::attach_clause(ClauseRef cr) {
   ODCFP_DCHECK(c.lits.size() >= 2);
   watches_[(~c.lits[0]).code()].push_back({cr, c.lits[1]});
   watches_[(~c.lits[1]).code()].push_back({cr, c.lits[0]});
+}
+
+void Solver::pop_activation(Var act) {
+  retire_activation(act);
+  simplify();
+}
+
+void Solver::retire_activation(Var act) {
+  ODCFP_CHECK(act >= 0 && act < num_vars());
+  if (!ok_) return;
+  backtrack(0);
+  if (value_var(act) == LBool::kTrue) {
+    // pos_lit(act) was derived at level 0 — the caller asserted the
+    // activation positively somewhere, which the protocol forbids.
+    // Retiring it would make the whole formula UNSAT; reflect that.
+    ok_ = false;
+    return;
+  }
+  if (value_var(act) == LBool::kUndef) {
+    enqueue(neg_lit(act), kNoReason);
+    if (propagate() != kNoReason) {
+      ok_ = false;
+    }
+  }
+}
+
+std::size_t Solver::simplify() {
+  if (!ok_) return 0;
+  backtrack(0);
+  if (propagate() != kNoReason) {
+    ok_ = false;
+    return 0;
+  }
+  // Level-0 assignments are permanent facts and their antecedent clauses
+  // are about to be compacted away; conflict analysis never resolves on
+  // level-0 variables, so the reasons can be dropped.
+  for (const Lit l : trail_) reason_[l.var()] = kNoReason;
+
+  std::size_t removed = 0;
+  std::vector<Lit> units;
+  std::vector<Clause> kept;
+  kept.reserve(clauses_.size());
+  for (Clause& c : clauses_) {
+    bool satisfied = false;
+    std::size_t keep = 0;
+    for (const Lit l : c.lits) {
+      const LBool v = value(l);  // every assignment is level 0 here
+      if (v == LBool::kTrue) {
+        satisfied = true;
+        break;
+      }
+      if (v == LBool::kFalse) continue;
+      c.lits[keep] = l;
+      ++keep;
+    }
+    if (satisfied) {
+      ++removed;
+      continue;
+    }
+    c.lits.resize(keep);
+    // An all-false clause would have been a propagation conflict above.
+    ODCFP_CHECK(keep >= 1);
+    if (keep == 1) {
+      units.push_back(c.lits[0]);
+      ++removed;
+      continue;
+    }
+    kept.push_back(std::move(c));
+  }
+  clauses_ = std::move(kept);
+  // Clause refs changed: rebuild every watch list from scratch.
+  for (auto& ws : watches_) ws.clear();
+  for (ClauseRef cr = 0; cr < static_cast<ClauseRef>(clauses_.size());
+       ++cr) {
+    attach_clause(cr);
+  }
+  for (const Lit u : units) {
+    if (value(u) == LBool::kFalse) {
+      ok_ = false;
+      return removed;
+    }
+    if (value(u) == LBool::kUndef) enqueue(u, kNoReason);
+  }
+  if (propagate() != kNoReason) ok_ = false;
+  return removed;
 }
 
 void Solver::enqueue(Lit l, ClauseRef reason) {
@@ -228,16 +313,59 @@ std::uint64_t Solver::luby(std::uint64_t i) {
 
 namespace {
 
-/// Charges this query's decision/conflict/restart deltas to the
-/// enclosing telemetry span on every solve() exit path.
-struct QueryTelemetry {
-  const Solver::Stats& live;
-  const Solver::Stats before;
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
 
-  explicit QueryTelemetry(const Solver::Stats& stats)
-      : live(stats), before(stats) {}
-  ~QueryTelemetry() {
-    const Solver::Stats d = live - before;
+}  // namespace
+
+void Solver::reset_heuristics() {
+  var_inc_ = 1.0;
+  std::uint64_t state = config_.branch_seed;
+  for (Var v = 0; v < num_vars(); ++v) {
+    // With a branch seed, each variable starts with a tiny distinct
+    // activity so the initial branching order is a deterministic shuffle
+    // instead of index order — the diversification knob the portfolio
+    // configurations use. The values are far below any bumped activity,
+    // so they only break ties among never-bumped variables.
+    activity_[v] =
+        config_.branch_seed == 0
+            ? 0.0
+            : static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53 * 1e-6;
+    phase_[v] = config_.default_phase;
+  }
+  heap_.clear();
+  std::fill(heap_pos_.begin(), heap_pos_.end(), -1);
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (assigns_[v] == LBool::kUndef) heap_insert(v);
+  }
+}
+
+Solver::Result Solver::solve(const std::vector<Lit>& assumptions,
+                             std::int64_t conflict_limit,
+                             const Budget* budget) {
+  TELEM_SPAN("sat.solve");
+  const Stats before = stats_;
+  const Result result = solve_internal(assumptions, conflict_limit, budget);
+  last_call_stats_ = stats_ - before;
+  const Stats& d = last_call_stats_;
+  // Verdict-gated commit: aborted calls (kUnknown) go to sat.aborted_* so
+  // cumulative counters never double-count work a retry or portfolio
+  // escalation is about to redo. Everything a retry re-earns lands in the
+  // plain sat.* counters exactly once — on the call that returns the
+  // verdict.
+  if (result == Result::kUnknown) {
+    TELEM_COUNT("sat.aborted_queries", 1);
+    TELEM_COUNT("sat.aborted_decisions",
+                static_cast<std::int64_t>(d.decisions));
+    TELEM_COUNT("sat.aborted_propagations",
+                static_cast<std::int64_t>(d.propagations));
+    TELEM_COUNT("sat.aborted_conflicts",
+                static_cast<std::int64_t>(d.conflicts));
+  } else {
     TELEM_COUNT("sat.queries", 1);
     TELEM_COUNT("sat.decisions", static_cast<std::int64_t>(d.decisions));
     TELEM_COUNT("sat.propagations",
@@ -246,19 +374,25 @@ struct QueryTelemetry {
     TELEM_COUNT("sat.restarts", static_cast<std::int64_t>(d.restarts));
     TELEM_COUNT("sat.learned_clauses",
                 static_cast<std::int64_t>(d.learned_clauses));
-    (void)d;  // used only when telemetry is compiled in
   }
-};
+  (void)d;  // used only when telemetry is compiled in
+  return result;
+}
 
-}  // namespace
-
-Solver::Result Solver::solve(const std::vector<Lit>& assumptions,
-                             std::int64_t conflict_limit,
-                             const Budget* budget) {
-  TELEM_SPAN("sat.solve");
-  const QueryTelemetry query_telemetry(stats_);
+Solver::Result Solver::solve_internal(const std::vector<Lit>& assumptions,
+                                      std::int64_t conflict_limit,
+                                      const Budget* budget) {
   if (!ok_) return Result::kUnsat;
   backtrack(0);
+  if (policy_ == HeuristicPolicy::kResetPerCall || !heuristics_primed_) {
+    // Default policy: every call starts from the pristine heuristic state
+    // a fresh solver with this Config would have, so logically
+    // independent queries cannot influence each other's search through
+    // leaked activities or saved phases. kCarryAcrossCalls still primes
+    // once so the Config's seed/phase apply to the first call.
+    reset_heuristics();
+    heuristics_primed_ = true;
+  }
   // Fold the budget's conflict quota into the explicit limit (tighter
   // wins); the deadline / cancellation axes are checked per conflict.
   if (budget != nullptr && budget->conflicts() >= 0 &&
@@ -268,7 +402,7 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions,
   if (budget_exhausted(budget)) return Result::kUnknown;
 
   std::uint64_t restart_count = 0;
-  std::uint64_t restart_budget = 64 * luby(restart_count);
+  std::uint64_t restart_budget = config_.restart_base * luby(restart_count);
   std::uint64_t conflicts_since_restart = 0;
   std::int64_t total_conflicts = 0;
 
@@ -327,7 +461,7 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions,
       if (conflicts_since_restart >= restart_budget) {
         ++stats_.restarts;
         ++restart_count;
-        restart_budget = 64 * luby(restart_count);
+        restart_budget = config_.restart_base * luby(restart_count);
         conflicts_since_restart = 0;
         backtrack(0);
         trace::instant("sat.restart");

@@ -6,6 +6,23 @@
 // engine behind the combinational equivalence checker in src/equiv, and is
 // also exposed directly (tests include pigeonhole instances and random
 // 3-SAT cross-checked against brute force).
+//
+// Incremental use. The solver is built for repeated solve() calls over a
+// growing formula:
+//  * Learned clauses always persist across calls — the shared-miter CEC
+//    sessions rely on proofs about the base circuit carrying over to
+//    every subsequent edition query.
+//  * Heuristic state (VSIDS activities, saved phases, the decision heap)
+//    is governed by an explicit policy. The default, kResetPerCall,
+//    re-initializes it at every solve() entry so logically independent
+//    queries cannot observe each other through heuristic state — under a
+//    conflict limit, verdicts become order-invariant. Incremental
+//    sessions opt into kCarryAcrossCalls to keep the search warm.
+//  * push_activation()/pop_activation() give MiniSat-style retractable
+//    scopes: clauses guarded by an activation literal are enforced only
+//    while the literal is assumed, and pop_activation retires the scope
+//    permanently (asserting the negation and garbage-collecting every
+//    clause the retirement satisfied).
 #pragma once
 
 #include <cstdint>
@@ -55,6 +72,26 @@ class Solver {
  public:
   enum class Result { kSat, kUnsat, kUnknown };
 
+  /// Search configuration. The portfolio layer in src/equiv races a few
+  /// of these on one query; every knob is deterministic.
+  struct Config {
+    /// Initial saved phase of every variable (and the phase restored by
+    /// reset_heuristics). false matches the classic MiniSat default.
+    bool default_phase = false;
+    /// Luby restart multiplier (conflicts before the first restart).
+    std::uint32_t restart_base = 64;
+    /// When nonzero, reset_heuristics seeds each variable's activity with
+    /// a tiny splitmix64-derived value, diversifying the initial branching
+    /// order. 0 keeps the classic all-zero start (index order).
+    std::uint64_t branch_seed = 0;
+  };
+
+  /// Cross-call heuristic-state policy (see file header).
+  enum class HeuristicPolicy : std::uint8_t {
+    kResetPerCall = 0,   ///< Default: pristine heuristics at solve() entry.
+    kCarryAcrossCalls,   ///< Incremental sessions: keep the search warm.
+  };
+
   struct Stats {
     std::uint64_t decisions = 0;
     std::uint64_t propagations = 0;
@@ -90,6 +127,14 @@ class Solver {
     }
   };
 
+  Solver() = default;
+  explicit Solver(const Config& config) : config_(config) {}
+
+  const Config& config() const { return config_; }
+
+  void set_heuristic_policy(HeuristicPolicy policy) { policy_ = policy; }
+  HeuristicPolicy heuristic_policy() const { return policy_; }
+
   /// Creates a fresh variable and returns it.
   Var new_var();
   int num_vars() const { return static_cast<int>(assigns_.size()); }
@@ -106,12 +151,44 @@ class Solver {
     return add_clause(std::vector<Lit>{a, b, c});
   }
 
+  // ---- retractable scopes (activation literals) ----
+
+  /// Opens a retractable scope: returns a fresh activation variable.
+  /// Clauses guarded by it (carrying neg_lit(act)) are enforced only
+  /// while pos_lit(act) appears in solve()'s assumptions.
+  Var push_activation() { return new_var(); }
+
+  /// Retires an activation scope permanently: asserts neg_lit(act) at
+  /// level 0 and garbage-collects every clause (original or learned) the
+  /// retirement satisfied, so later queries never propagate through the
+  /// retracted cone. Learned clauses that depend on the scope's clauses
+  /// contain neg_lit(act) by construction of conflict analysis, so they
+  /// are swept too — retraction is sound.
+  void pop_activation(Var act);
+
+  /// pop_activation without the clause-database sweep: asserts
+  /// neg_lit(act) at level 0 and propagates. Callers retiring several
+  /// scopes at once chain retire_activation calls and finish with one
+  /// simplify() instead of paying a watch-list rebuild per scope.
+  void retire_activation(Var act);
+
+  /// Level-0 clause database cleanup: drops clauses satisfied at level 0,
+  /// strips falsified literals, and rebuilds the watch lists. Returns the
+  /// number of clauses removed. Called by pop_activation; also useful
+  /// after asserting many units into a long-lived solver.
+  std::size_t simplify();
+
   /// Solves under optional assumptions. conflict_limit < 0 means no limit.
   /// `budget` (optional) adds a wall-clock deadline / step quota /
   /// cancellation token checked alongside the conflict limit; its own
   /// conflict quota (Budget::conflicts()) combines with `conflict_limit`
   /// by taking the tighter of the two. kUnknown is only returned when a
   /// limit or the budget is hit.
+  ///
+  /// Telemetry: stats deltas of calls that return a verdict (kSat/kUnsat)
+  /// are committed to the sat.* counters; a call aborted by a limit or
+  /// budget (kUnknown) charges sat.aborted_* instead, so cumulative
+  /// counters never double-count work that a retry will redo.
   Result solve(const std::vector<Lit>& assumptions = {},
                std::int64_t conflict_limit = -1,
                const Budget* budget = nullptr);
@@ -119,7 +196,19 @@ class Solver {
   /// Model access after Result::kSat.
   bool model_value(Var v) const;
 
+  /// Cumulative effort across every solve() on this solver.
   const Stats& stats() const { return stats_; }
+  /// Effort delta of the most recent solve() alone — what the caller
+  /// needs to attribute work to the query (buyer) that incurred it.
+  const Stats& last_call_stats() const { return last_call_stats_; }
+
+  std::size_t num_clauses() const { return clauses_.size(); }
+
+  /// False once the formula is proven unsatisfiable at level 0 (every
+  /// later solve returns kUnsat). Long-lived sessions use this as a
+  /// health check: their base formula is satisfiable by construction, so
+  /// ok() flipping false means something violated the protocol.
+  bool ok() const { return ok_; }
 
  private:
   using ClauseRef = std::int32_t;
@@ -136,6 +225,8 @@ class Solver {
   };
 
   // --- core operations ---
+  Result solve_internal(const std::vector<Lit>& assumptions,
+                        std::int64_t conflict_limit, const Budget* budget);
   LBool value(Lit l) const;
   LBool value_var(Var v) const;
   void enqueue(Lit l, ClauseRef reason);
@@ -157,7 +248,14 @@ class Solver {
   void heap_down(int i);
   bool heap_contains(Var v) const;
 
+  /// Re-initializes activities, saved phases, var_inc, and the decision
+  /// heap to the state a fresh solver with this Config would have.
+  void reset_heuristics();
+
   static std::uint64_t luby(std::uint64_t i);
+
+  Config config_;
+  HeuristicPolicy policy_ = HeuristicPolicy::kResetPerCall;
 
   std::vector<Clause> clauses_;
   std::vector<std::vector<Watcher>> watches_;  // indexed by lit code
@@ -177,7 +275,11 @@ class Solver {
   std::vector<bool> seen_;  // scratch for analyze()
 
   bool ok_ = true;  // false once UNSAT at level 0
+  // Whether reset_heuristics has run at least once, so kCarryAcrossCalls
+  // still applies the Config's phase/seed to the first call.
+  bool heuristics_primed_ = false;
   Stats stats_;
+  Stats last_call_stats_;
 };
 
 }  // namespace odcfp::sat

@@ -4,23 +4,72 @@
 
 namespace odcfp::sat {
 
-TseitinEncoding::TseitinEncoding(Solver& solver, const Netlist& nl,
-                                 const std::vector<Var>* share_inputs)
-    : var_of_(nl.num_nets(), kUndefVar) {
-  if (share_inputs != nullptr) {
-    ODCFP_CHECK(share_inputs->size() == nl.inputs().size());
+namespace {
+
+/// True when gate `g` of `nl` is bit-for-bit identical to its counterpart
+/// in `base` AND every fanin already resolved to the base's variable, so
+/// the base's clauses for it are already in the solver. Editions are
+/// clones of the base (gate/net ids align), which is what makes the
+/// id-wise comparison meaningful; for unrelated netlists this simply
+/// never fires and the whole circuit is encoded fresh — still correct.
+bool gate_reusable(const Netlist& nl, GateId g, const Gate& gt,
+                   const std::vector<Var>& var_of,
+                   const TseitinOptions& options) {
+  if (options.base == nullptr || options.base_encoding == nullptr) {
+    return false;
   }
+  const Netlist& base = *options.base;
+  if (static_cast<std::size_t>(g) >= base.num_gates()) return false;
+  const Gate& bg = base.gate(g);
+  if (bg.is_dead()) return false;
+  if (bg.cell != gt.cell || bg.output != gt.output ||
+      bg.fanins != gt.fanins) {
+    return false;
+  }
+  // The base must actually have encoded this output net.
+  if (options.base_encoding->var_or_undef(gt.output) == kUndefVar) {
+    return false;
+  }
+  // Transitive-fanout propagation: a fanin whose driver was edited maps
+  // to a fresh variable here, which breaks equality and forces this gate
+  // (and, inductively, everything downstream) to be re-encoded.
+  for (NetId in : gt.fanins) {
+    if (var_of[in] != options.base_encoding->var_or_undef(in)) return false;
+  }
+  (void)nl;
+  return true;
+}
+
+}  // namespace
+
+TseitinEncoding::TseitinEncoding(Solver& solver, const Netlist& nl,
+                                 const TseitinOptions& options)
+    : var_of_(nl.num_nets(), kUndefVar) {
+  ODCFP_CHECK_MSG((options.base == nullptr) ==
+                      (options.base_encoding == nullptr),
+                  "base and base_encoding must be given together");
+  if (options.share_inputs != nullptr) {
+    ODCFP_CHECK(options.share_inputs->size() == nl.inputs().size());
+  }
+  const Var act = options.activation;
   for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
-    const Var v = (share_inputs != nullptr) ? (*share_inputs)[i]
-                                            : solver.new_var();
+    const Var v = (options.share_inputs != nullptr)
+                      ? (*options.share_inputs)[i]
+                      : solver.new_var();
     var_of_[nl.inputs()[i]] = v;
     input_vars_.push_back(v);
   }
   for (GateId g : nl.topo_order()) {
     const Gate& gt = nl.gate(g);
+    if (gate_reusable(nl, g, gt, var_of_, options)) {
+      var_of_[gt.output] = options.base_encoding->var_of(gt.output);
+      ++reused_gates_;
+      continue;
+    }
     const TruthTable& tt = nl.library().cell(gt.cell).function;
     const Var out = solver.new_var();
     var_of_[gt.output] = out;
+    ++encoded_gates_;
     const int k = tt.num_inputs();
     std::vector<Var> in_vars;
     in_vars.reserve(static_cast<std::size_t>(k));
@@ -31,13 +80,14 @@ TseitinEncoding::TseitinEncoding(Solver& solver, const Netlist& nl,
     }
     for (unsigned p = 0; p < tt.num_rows(); ++p) {
       std::vector<Lit> clause;
-      clause.reserve(static_cast<std::size_t>(k) + 1);
+      clause.reserve(static_cast<std::size_t>(k) + 2);
       for (int i = 0; i < k; ++i) {
         // "input i differs from pattern bit" escapes the row.
         const bool bit = (p >> i) & 1;
         clause.push_back(Lit(in_vars[static_cast<std::size_t>(i)], bit));
       }
       clause.push_back(Lit(out, !tt.eval(p)));
+      if (act != kUndefVar) clause.push_back(neg_lit(act));
       solver.add_clause(std::move(clause));
     }
   }
@@ -48,21 +98,40 @@ Var TseitinEncoding::var_of(NetId net) const {
   return var_of_[net];
 }
 
-void encode_xor(Solver& solver, Var a, Var b, Var out) {
-  solver.add_clause(neg_lit(a), neg_lit(b), neg_lit(out));
-  solver.add_clause(pos_lit(a), pos_lit(b), neg_lit(out));
-  solver.add_clause(pos_lit(a), neg_lit(b), pos_lit(out));
-  solver.add_clause(neg_lit(a), pos_lit(b), pos_lit(out));
+Var TseitinEncoding::var_or_undef(NetId net) const {
+  if (static_cast<std::size_t>(net) >= var_of_.size()) return kUndefVar;
+  return var_of_[net];
 }
 
-void encode_or(Solver& solver, const std::vector<Var>& ins, Var out) {
+void encode_xor(Solver& solver, Var a, Var b, Var out, Var activation) {
+  if (activation == kUndefVar) {
+    solver.add_clause(neg_lit(a), neg_lit(b), neg_lit(out));
+    solver.add_clause(pos_lit(a), pos_lit(b), neg_lit(out));
+    solver.add_clause(pos_lit(a), neg_lit(b), pos_lit(out));
+    solver.add_clause(neg_lit(a), pos_lit(b), pos_lit(out));
+    return;
+  }
+  const Lit g = neg_lit(activation);
+  solver.add_clause({neg_lit(a), neg_lit(b), neg_lit(out), g});
+  solver.add_clause({pos_lit(a), pos_lit(b), neg_lit(out), g});
+  solver.add_clause({pos_lit(a), neg_lit(b), pos_lit(out), g});
+  solver.add_clause({neg_lit(a), pos_lit(b), pos_lit(out), g});
+}
+
+void encode_or(Solver& solver, const std::vector<Var>& ins, Var out,
+               Var activation) {
   std::vector<Lit> big;
-  big.reserve(ins.size() + 1);
+  big.reserve(ins.size() + 2);
   for (Var v : ins) {
-    solver.add_clause(neg_lit(v), pos_lit(out));
+    if (activation == kUndefVar) {
+      solver.add_clause(neg_lit(v), pos_lit(out));
+    } else {
+      solver.add_clause({neg_lit(v), pos_lit(out), neg_lit(activation)});
+    }
     big.push_back(pos_lit(v));
   }
   big.push_back(neg_lit(out));
+  if (activation != kUndefVar) big.push_back(neg_lit(activation));
   solver.add_clause(std::move(big));
 }
 

@@ -3,14 +3,45 @@
 // One SAT variable per net; each gate contributes 2^k clauses (k = fanin
 // count, k <= 6 by construction of TruthTable) asserting out == F(inputs)
 // row by row. Small and simple; the solver's propagation handles the rest.
+//
+// Two features support the incremental shared-miter CEC sessions:
+//  * Structural reuse: when an edition netlist is encoded against the
+//    base circuit's existing encoding, every gate that is bit-for-bit
+//    identical to its base counterpart (same cell, output, fanins — and
+//    whose fanins all resolved to the base's variables) reuses the base's
+//    output variable instead of being re-encoded. Only the edited cone
+//    and its transitive fanout get fresh variables and clauses.
+//  * Activation guards: all clauses emitted for the fresh cone can carry
+//    a negated activation literal, making the cone retractable via
+//    Solver::pop_activation once the edition's query is answered.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "netlist/netlist.hpp"
 #include "sat/solver.hpp"
 
 namespace odcfp::sat {
+
+class TseitinEncoding;
+
+/// Knobs for TseitinEncoding. Plain pointers are non-owning views that
+/// must outlive the constructor call only.
+struct TseitinOptions {
+  /// PI variables to share (indexed by PI position) instead of fresh ones
+  /// — how a miter shares primary inputs.
+  const std::vector<Var>* share_inputs = nullptr;
+  /// When valid, every emitted clause is guarded by neg_lit(activation):
+  /// the encoded cone is enforced only while pos_lit(activation) is
+  /// assumed, and retractable afterwards.
+  Var activation = kUndefVar;
+  /// Base netlist + its encoding to structurally reuse against. Both or
+  /// neither; the edition being encoded must use the same net/gate id
+  /// space (editions are clones of the base, so ids align).
+  const Netlist* base = nullptr;
+  const TseitinEncoding* base_encoding = nullptr;
+};
 
 /// Maps NetId -> SAT variable for one encoded netlist.
 class TseitinEncoding {
@@ -19,20 +50,39 @@ class TseitinEncoding {
   /// (indexed by PI position), those variables are used for the primary
   /// inputs instead of fresh ones — this is how a miter shares PIs.
   TseitinEncoding(Solver& solver, const Netlist& nl,
-                  const std::vector<Var>* share_inputs = nullptr);
+                  const std::vector<Var>* share_inputs = nullptr)
+      : TseitinEncoding(solver, nl,
+                        TseitinOptions{.share_inputs = share_inputs}) {}
+
+  TseitinEncoding(Solver& solver, const Netlist& nl,
+                  const TseitinOptions& options);
 
   Var var_of(NetId net) const;
+  /// Like var_of but returns kUndefVar for unknown/undriven nets instead
+  /// of failing — the reuse check probes base nets that may not exist.
+  Var var_or_undef(NetId net) const;
   const std::vector<Var>& input_vars() const { return input_vars_; }
+
+  /// Gates whose base variable was reused verbatim (no clauses emitted).
+  std::size_t reused_gates() const { return reused_gates_; }
+  /// Gates encoded fresh (the edited cone and its transitive fanout).
+  std::size_t encoded_gates() const { return encoded_gates_; }
 
  private:
   std::vector<Var> var_of_;  // indexed by NetId
   std::vector<Var> input_vars_;
+  std::size_t reused_gates_ = 0;
+  std::size_t encoded_gates_ = 0;
 };
 
-/// Adds clauses asserting out == (a XOR b); returns nothing (out given).
-void encode_xor(Solver& solver, Var a, Var b, Var out);
+/// Adds clauses asserting out == (a XOR b). When `activation` is valid the
+/// constraint is guarded (enforced only under pos_lit(activation)).
+void encode_xor(Solver& solver, Var a, Var b, Var out,
+                Var activation = kUndefVar);
 
 /// Adds clauses asserting out == OR(ins); ins may be empty (out = false).
-void encode_or(Solver& solver, const std::vector<Var>& ins, Var out);
+/// When `activation` is valid the constraint is guarded.
+void encode_or(Solver& solver, const std::vector<Var>& ins, Var out,
+               Var activation = kUndefVar);
 
 }  // namespace odcfp::sat

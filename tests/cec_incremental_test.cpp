@@ -1,0 +1,311 @@
+// IncrementalCecSession and the batch verification paths built on it.
+//
+// The load-bearing property (and the reason this suite is in the TSan
+// regex): for every (circuit, edition) pair, the shared-miter incremental
+// path, the solver portfolio, and the legacy per-buyer path must produce
+// identical verdict statuses at any thread count — and every reported
+// counterexample, whichever path found it, must actually distinguish the
+// two circuits under simulation. (Counterexample bits may legitimately
+// differ between paths: distinct searches find distinct models.)
+#include "equiv/cec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "benchgen/benchmarks.hpp"
+#include "common/parallel.hpp"
+#include "fingerprint/batch.hpp"
+#include "sim/simulator.hpp"
+
+namespace odcfp {
+namespace {
+
+/// f = a & ~b, with PIs declared in the given order. The function is
+/// asymmetric on purpose: wiring the PIs positionally instead of by name
+/// would flip the verdict, which is exactly what the permuted-interface
+/// tests pin.
+Netlist a_and_not_b(bool declare_b_first) {
+  Netlist nl(&default_cell_library(), "a_and_not_b");
+  NetId a, b;
+  if (declare_b_first) {
+    b = nl.add_input("b");
+    a = nl.add_input("a");
+  } else {
+    a = nl.add_input("a");
+    b = nl.add_input("b");
+  }
+  const GateId inv = nl.add_gate_kind(CellKind::kInv, {b});
+  const GateId g = nl.add_gate_kind(CellKind::kAnd,
+                                    {a, nl.gate(inv).output});
+  nl.add_output(nl.gate(g).output, "f");
+  return nl;
+}
+
+/// Simulates `pattern` (in a's PI order) on both circuits and reports
+/// whether any name-matched output pair disagrees.
+bool cex_distinguishes(const Netlist& a, const Netlist& b,
+                       const std::vector<bool>& pattern) {
+  EXPECT_EQ(pattern.size(), a.inputs().size());
+  Simulator sa(a), sb(b);
+  for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+    const std::uint64_t word = pattern[i] ? ~0ull : 0ull;
+    sa.set_input_word(i, word);
+    const std::string& name = a.net(a.inputs()[i]).name;
+    for (std::size_t j = 0; j < b.inputs().size(); ++j) {
+      if (b.net(b.inputs()[j]).name == name) sb.set_input_word(j, word);
+    }
+  }
+  sa.run();
+  sb.run();
+  for (const OutputPort& pa : a.outputs()) {
+    for (const OutputPort& pb : b.outputs()) {
+      if (pa.name != pb.name) continue;
+      if ((sa.value(pa.net) & 1) != (sb.value(pb.net) & 1)) return true;
+    }
+  }
+  return false;
+}
+
+struct Fixture {
+  Netlist golden = make_benchmark("c880");
+  StaticTimingAnalyzer sta;
+  PowerAnalyzer power;
+  std::vector<FingerprintLocation> locs = find_locations(golden);
+  Codebook book{locs, 6, 17};
+
+  BatchResult stamp() {
+    BatchOptions opt;
+    opt.max_delay_overhead = 0;
+    return batch_fingerprint(golden, book, sta, power, opt);
+  }
+};
+
+TEST(IncrementalCec, SessionProvesCloneEditionsEquivalent) {
+  Fixture f;
+  const BatchResult batch = f.stamp();
+  IncrementalCecSession session(f.golden);
+  for (const BuyerEdition& e : batch.editions) {
+    const CecResult r = session.check(e.netlist);
+    EXPECT_EQ(r.status, CecResult::Status::kEquivalent);
+    EXPECT_EQ(r.method, "sat-incremental");
+  }
+  EXPECT_EQ(session.checks(), batch.editions.size());
+  // Edits re-encode their whole transitive fanout, so reuse is partial —
+  // but it must be substantial, or the session degraded to fresh
+  // per-edition encoding.
+  EXPECT_GT(4 * session.gates_reused(), session.gates_encoded());
+}
+
+TEST(IncrementalCec, SessionFindsRealCounterexamples) {
+  // Corrupt each edition by inverting one stamped net's fanout; the
+  // session must refute it with a counterexample that simulation
+  // confirms, and keep answering correctly on the next check.
+  Fixture f;
+  const BatchResult batch = f.stamp();
+  IncrementalCecSession session(f.golden);
+  for (const BuyerEdition& e : batch.editions) {
+    Netlist bad = e.netlist;
+    for (GateId g = 0; g < bad.num_gates(); ++g) {
+      if (bad.gate(g).is_dead()) continue;
+      if (bad.cell_of(g).kind == CellKind::kNand &&
+          bad.cell_of(g).num_inputs() == 2) {
+        bad.rewire_gate(g, bad.library().find_kind(CellKind::kNor, 2),
+                        bad.gate(g).fanins);
+        break;
+      }
+    }
+    const CecResult r = session.check(bad);
+    ASSERT_EQ(r.status, CecResult::Status::kDifferent);
+    EXPECT_TRUE(cex_distinguishes(f.golden, bad, r.counterexample));
+  }
+}
+
+TEST(IncrementalCec, IdenticalCloneIsTriviallyEquivalent) {
+  // A byte-identical clone reuses every cone: the degenerate empty edit
+  // cone is answered without a solve, with its own diagnostic.
+  const Netlist golden = make_benchmark("c432");
+  const Netlist clone = make_benchmark("c432");
+  IncrementalCecSession session(golden);
+  const CecResult r = session.check(clone);
+  EXPECT_EQ(r.status, CecResult::Status::kEquivalent);
+  EXPECT_EQ(r.method, "trivial-identical-cone");
+  EXPECT_EQ(r.sat_stats.conflicts, 0u);
+}
+
+TEST(IncrementalCec, NoOutputsIsTriviallyEquivalent) {
+  Netlist golden(&default_cell_library(), "g");
+  golden.add_input("x");
+  Netlist edition(&default_cell_library(), "e");
+  edition.add_input("x");
+  IncrementalCecSession session(golden);
+  const CecResult r = session.check(edition);
+  EXPECT_EQ(r.status, CecResult::Status::kEquivalent);
+  EXPECT_EQ(r.method, "trivial-no-outputs");
+}
+
+TEST(IncrementalCec, ZeroConflictQuotaReturnsUnknown) {
+  // A quota the first sub-query cannot even start is an escalation
+  // signal, never a fabricated verdict. The edition is a structurally
+  // different implementation, so the check cannot short-circuit through
+  // structural reuse.
+  Netlist golden(&default_cell_library(), "flat");
+  {
+    const NetId a = golden.add_input("a");
+    const NetId b = golden.add_input("b");
+    const NetId c = golden.add_input("c");
+    const GateId g = golden.add_gate_kind(CellKind::kAnd, {a, b, c});
+    golden.add_output(golden.gate(g).output, "f");
+  }
+  Netlist tree(&default_cell_library(), "tree");
+  {
+    const NetId a = tree.add_input("a");
+    const NetId b = tree.add_input("b");
+    const NetId c = tree.add_input("c");
+    const GateId g1 = tree.add_gate_kind(CellKind::kNand, {a, b});
+    const GateId g2 = tree.add_gate_kind(CellKind::kInv,
+                                         {tree.gate(g1).output});
+    const GateId g3 = tree.add_gate_kind(CellKind::kAnd,
+                                         {tree.gate(g2).output, c});
+    tree.add_output(tree.gate(g3).output, "f");
+  }
+  IncrementalCecSession::Options options;
+  options.conflict_limit = 0;
+  IncrementalCecSession session(golden, options);
+  const CecResult r = session.check(tree);
+  EXPECT_EQ(r.status, CecResult::Status::kUnknown);
+
+  // The same check with an honest quota proves equivalence — the
+  // session stays healthy after a quota-exhausted answer.
+  IncrementalCecSession generous(golden);
+  EXPECT_EQ(generous.check(tree).status, CecResult::Status::kEquivalent);
+}
+
+TEST(IncrementalCec, PermutedInterfaceVerifiesByName) {
+  // The edition declares its PIs in the opposite order but names them
+  // identically, and implements ~b with different gates so nothing can
+  // be structurally reused: the proof must run through PI vars shared by
+  // the name-matched map, not positionally, or this asymmetric function
+  // flips verdict.
+  Netlist permuted(&default_cell_library(), "permuted");
+  const NetId b = permuted.add_input("b");
+  const NetId a = permuted.add_input("a");
+  const GateId nb = permuted.add_gate_kind(CellKind::kNand, {b, b});
+  const GateId g = permuted.add_gate_kind(CellKind::kAnd,
+                                          {a, permuted.gate(nb).output});
+  permuted.add_output(permuted.gate(g).output, "f");
+
+  const Netlist golden = a_and_not_b(false);
+  IncrementalCecSession session(golden);
+  const CecResult r = session.check(permuted);
+  EXPECT_EQ(r.status, CecResult::Status::kEquivalent);
+  EXPECT_EQ(r.method, "sat-incremental");
+}
+
+TEST(IncrementalCec, PermutedInterfaceStillRefutesRealDifferences) {
+  // Same declaration permutation, but the edition genuinely computes
+  // b & ~a: the session must refute it, with a simulation-confirmed
+  // counterexample.
+  Netlist swapped(&default_cell_library(), "b_and_not_a");
+  const NetId b = swapped.add_input("b");
+  const NetId a = swapped.add_input("a");
+  const GateId inv = swapped.add_gate_kind(CellKind::kInv, {a});
+  const GateId g = swapped.add_gate_kind(
+      CellKind::kAnd, {b, swapped.gate(inv).output});
+  swapped.add_output(swapped.gate(g).output, "f");
+
+  const Netlist golden = a_and_not_b(false);
+  IncrementalCecSession session(golden);
+  const CecResult r = session.check(swapped);
+  ASSERT_EQ(r.status, CecResult::Status::kDifferent);
+  EXPECT_TRUE(cex_distinguishes(golden, swapped, r.counterexample));
+}
+
+TEST(IncrementalCec, VerdictsIdenticalAcrossPathsAndThreadCounts) {
+  // The property test from the issue: every (circuit, edition) pair
+  // yields the same verdict status from the incremental path, the
+  // portfolio, and the legacy per-buyer path, at 1/2/8 threads. One
+  // edition is corrupted so both verdict polarities are exercised.
+  Fixture f;
+  BatchResult batch = f.stamp();
+  ASSERT_GE(batch.editions.size(), 4u);
+  Netlist& victim = batch.editions[2].netlist;
+  for (GateId g = 0; g < victim.num_gates(); ++g) {
+    if (victim.gate(g).is_dead()) continue;
+    if (victim.cell_of(g).kind == CellKind::kNand &&
+        victim.cell_of(g).num_inputs() == 2) {
+      victim.rewire_gate(g, victim.library().find_kind(CellKind::kNor, 2),
+                         victim.gate(g).fanins);
+      break;
+    }
+  }
+
+  std::vector<CecResult::Status> reference;
+  const auto check_statuses =
+      [&](const std::vector<Outcome<CecResult>>& verdicts,
+          const char* label) {
+        std::vector<CecResult::Status> statuses;
+        for (std::size_t i = 0; i < verdicts.size(); ++i) {
+          const CecResult& r = verdicts[i].value();
+          statuses.push_back(r.status);
+          if (r.status == CecResult::Status::kDifferent) {
+            EXPECT_TRUE(cex_distinguishes(f.golden,
+                                          batch.editions[i].netlist,
+                                          r.counterexample))
+                << label << " edition " << i;
+          }
+        }
+        if (reference.empty()) {
+          reference = statuses;
+          EXPECT_EQ(statuses[2], CecResult::Status::kDifferent);
+        } else {
+          EXPECT_EQ(statuses, reference) << label;
+        }
+      };
+
+  for (const bool incremental : {false, true}) {
+    for (const int threads : {1, 2, 8}) {
+      ThreadPool pool(threads);
+      BatchCecOptions opt;
+      opt.pool = &pool;
+      opt.incremental = incremental;
+      const auto verdicts =
+          batch_verify_equivalence(f.golden, batch.editions, opt);
+      ASSERT_EQ(verdicts.size(), batch.editions.size());
+      check_statuses(verdicts,
+                     incremental ? "incremental" : "legacy");
+    }
+  }
+
+  // The portfolio path, edition by edition (its race is single-threaded
+  // by design).
+  std::vector<CecResult::Status> portfolio;
+  for (std::size_t i = 0; i < batch.editions.size(); ++i) {
+    const CecResult r =
+        check_equivalence_portfolio(f.golden, batch.editions[i].netlist);
+    portfolio.push_back(r.status);
+    if (r.status == CecResult::Status::kDifferent) {
+      EXPECT_TRUE(cex_distinguishes(f.golden, batch.editions[i].netlist,
+                                    r.counterexample))
+          << "portfolio edition " << i;
+    }
+  }
+  EXPECT_EQ(portfolio, reference);
+}
+
+TEST(IncrementalCec, SessionVerdictsMatchLegacyPerEdition) {
+  // Direct session-vs-legacy agreement without the batch layer, so a
+  // batch-layer bug cannot mask a session one.
+  Fixture f;
+  const BatchResult batch = f.stamp();
+  IncrementalCecSession session(f.golden);
+  for (const BuyerEdition& e : batch.editions) {
+    const CecResult inc = session.check(e.netlist);
+    const CecResult legacy = verify_equivalence(f.golden, e.netlist);
+    EXPECT_EQ(inc.status, legacy.status);
+  }
+}
+
+}  // namespace
+}  // namespace odcfp

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "common/rng.hpp"
+#include "common/telemetry.hpp"
 
 namespace odcfp::sat {
 namespace {
@@ -174,6 +178,170 @@ TEST(Solver, Assumptions) {
   // Solver is reusable after assumption solving.
   EXPECT_EQ(s.solve(), Solver::Result::kSat);
   EXPECT_FALSE(s.model_value(x));
+}
+
+TEST(Solver, LastCallStatsIsPerCallDelta) {
+  Solver s;
+  std::vector<std::vector<Var>> p;
+  add_php(s, 5, 4, p);
+  ASSERT_EQ(s.solve(), Solver::Result::kUnsat);
+  const Solver::Stats first = s.last_call_stats();
+  EXPECT_GT(first.conflicts, 0u);
+  EXPECT_EQ(first.conflicts, s.stats().conflicts);
+
+  // Proven-UNSAT solvers answer follow-ups from ok() without searching:
+  // the per-call delta must be zero while the cumulative stats stand.
+  ASSERT_EQ(s.solve(), Solver::Result::kUnsat);
+  EXPECT_EQ(s.last_call_stats().conflicts, 0u);
+  EXPECT_EQ(s.last_call_stats().decisions, 0u);
+  EXPECT_EQ(s.stats().conflicts, first.conflicts);
+}
+
+TEST(Solver, ActivationScopeEnforcesOnlyWhileAssumed) {
+  Solver s;
+  const Var x = s.new_var();
+  const Var act = s.push_activation();
+  s.add_clause(neg_lit(act), pos_lit(x));  // act -> x
+
+  EXPECT_EQ(s.solve({pos_lit(act), neg_lit(x)}), Solver::Result::kUnsat);
+  // Without the activation assumption the guarded clause is inert.
+  EXPECT_EQ(s.solve({neg_lit(x)}), Solver::Result::kSat);
+
+  // Retiring the scope garbage-collects the guarded clause and leaves
+  // the solver healthy for later queries.
+  ASSERT_EQ(s.num_clauses(), 1u);
+  s.pop_activation(act);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.num_clauses(), 0u);
+  EXPECT_EQ(s.solve({neg_lit(x)}), Solver::Result::kSat);
+}
+
+TEST(Solver, RetireActivationBatchesIntoOneSimplify) {
+  Solver s;
+  const Var x = s.new_var();
+  std::vector<Var> scopes;
+  for (int i = 0; i < 4; ++i) {
+    const Var act = s.push_activation();
+    s.add_clause(neg_lit(act), (i % 2) ? pos_lit(x) : neg_lit(x));
+    scopes.push_back(act);
+  }
+  // Chained retirement defers the sweep; one simplify pays for all four.
+  for (const Var act : scopes) s.retire_activation(act);
+  s.simplify();
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.num_clauses(), 0u);
+  EXPECT_EQ(s.solve({pos_lit(x)}), Solver::Result::kSat);
+  EXPECT_EQ(s.solve({neg_lit(x)}), Solver::Result::kSat);
+}
+
+/// Guarded pigeonhole instance on a fresh variable block, selected by its
+/// activation literal — the shape incremental CEC sessions use.
+Var add_guarded_php(Solver& s, int pigeons, int holes) {
+  const Var act = s.push_activation();
+  std::vector<std::vector<Var>> p(static_cast<std::size_t>(pigeons));
+  for (auto& row : p) {
+    for (int j = 0; j < holes; ++j) row.push_back(s.new_var());
+  }
+  for (int i = 0; i < pigeons; ++i) {
+    std::vector<Lit> cl{neg_lit(act)};
+    for (int j = 0; j < holes; ++j) {
+      cl.push_back(pos_lit(p[static_cast<std::size_t>(i)]
+                            [static_cast<std::size_t>(j)]));
+    }
+    s.add_clause(cl);
+  }
+  for (int j = 0; j < holes; ++j) {
+    for (int i1 = 0; i1 < pigeons; ++i1) {
+      for (int i2 = i1 + 1; i2 < pigeons; ++i2) {
+        s.add_clause({neg_lit(act),
+                      neg_lit(p[static_cast<std::size_t>(i1)]
+                               [static_cast<std::size_t>(j)]),
+                      neg_lit(p[static_cast<std::size_t>(i2)]
+                               [static_cast<std::size_t>(j)])});
+      }
+    }
+  }
+  return act;
+}
+
+TEST(Solver, VerdictsAreOrderInvariantUnderPermutation) {
+  // Satellite pin: logically independent assumption queries on one
+  // long-lived solver must not observe each other through leaked
+  // heuristic state. Three guarded instances — easy UNSAT, easy SAT,
+  // and one far beyond its conflict quota — are solved in every order;
+  // each query's verdict must be a function of the query alone. (Effort
+  // profiles may shift by a few decisions — a prior UNSAT proof leaves a
+  // level-0 ~act fact that shortens later tails — but verdicts may not.)
+  struct Query {
+    int pigeons, holes;
+    std::int64_t limit;
+  };
+  const std::vector<Query> queries = {
+      {5, 4, 10000},  // UNSAT well inside the quota
+      {4, 4, 10000},  // SAT well inside the quota
+      {9, 8, 50},     // needs thousands of conflicts: always kUnknown
+  };
+  std::vector<std::size_t> order = {0, 1, 2};
+  std::vector<Solver::Result> reference;
+  do {
+    Solver s;
+    std::vector<Var> acts;
+    for (const Query& q : queries) {
+      acts.push_back(add_guarded_php(s, q.pigeons, q.holes));
+    }
+    std::vector<Solver::Result> results(queries.size());
+    for (const std::size_t i : order) {
+      results[i] = s.solve({pos_lit(acts[i])}, queries[i].limit);
+    }
+    if (reference.empty()) {
+      reference = results;
+      EXPECT_EQ(results[0], Solver::Result::kUnsat);
+      EXPECT_EQ(results[1], Solver::Result::kSat);
+      EXPECT_EQ(results[2], Solver::Result::kUnknown);
+    } else {
+      EXPECT_EQ(results, reference);
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+TEST(Solver, AbortedCallsChargeAbortedTelemetry) {
+  // Satellite pin: a call that returns kUnknown must not commit its
+  // partial effort to the sat.* counters a retry is about to re-earn.
+  const bool was_enabled = telemetry::enabled();
+  telemetry::set_enabled(true);
+  telemetry::flush_thread();
+  telemetry::reset();
+
+  Solver s;
+  std::vector<std::vector<Var>> p;
+  add_php(s, 7, 6, p);
+  ASSERT_EQ(s.solve({}, /*conflict_limit=*/5), Solver::Result::kUnknown);
+  telemetry::flush_thread();
+  {
+    const telemetry::Node root = telemetry::snapshot();
+    const telemetry::Node* solve = root.find({"sat.solve"});
+    ASSERT_NE(solve, nullptr);
+    EXPECT_EQ(solve->counter("sat.aborted_queries"), 1);
+    EXPECT_GE(solve->counter("sat.aborted_conflicts"), 5);
+    EXPECT_EQ(solve->counter("sat.queries"), 0);
+    EXPECT_EQ(solve->counter("sat.conflicts"), 0);
+  }
+
+  // The retry that reaches a verdict commits to the plain counters.
+  ASSERT_EQ(s.solve(), Solver::Result::kUnsat);
+  telemetry::flush_thread();
+  {
+    const telemetry::Node root = telemetry::snapshot();
+    const telemetry::Node* solve = root.find({"sat.solve"});
+    ASSERT_NE(solve, nullptr);
+    EXPECT_EQ(solve->counter("sat.queries"), 1);
+    EXPECT_GT(solve->counter("sat.conflicts"), 0);
+    EXPECT_EQ(solve->counter("sat.aborted_queries"), 1);
+  }
+
+  telemetry::flush_thread();
+  telemetry::reset();
+  telemetry::set_enabled(was_enabled);
 }
 
 /// Brute-force evaluation of a CNF over few variables.
