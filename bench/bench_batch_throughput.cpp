@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/telemetry.hpp"
 #include "fingerprint/batch.hpp"
 
 using namespace odcfp;
@@ -160,6 +162,37 @@ int main() {
     std::printf("verdicts identical across paths and thread counts: %s\n",
                 verdicts_identical ? "yes" : "NO");
     std::printf("incremental speedup (t=1): %.2fx\n", speedup);
+  }
+
+  // Histogram roll-up (schema v3). Conflicts-per-call is a deterministic
+  // multiset — conflict-limited SAT under fixed seeds — so its count and
+  // bucket quantiles gate like any other telemetry-derived value. The
+  // edition-latency quantiles are wall-clock; the *_ns suffix keeps
+  // bench_diff.py from ever comparing them.
+  if (telemetry::enabled()) {
+    telemetry::flush_thread();
+    const telemetry::Node snap = telemetry::snapshot();
+    const metrics::HistData conflicts =
+        snap.hist_total("sat.conflicts_per_call");
+    const metrics::HistData edition = snap.hist_total("batch.edition_ns");
+    const metrics::HistSummary cq = metrics::summarize(conflicts);
+    const metrics::HistSummary eq = metrics::summarize(edition);
+    report.add_row("hist_summary")
+        .label("panel", "histograms")
+        .metric("conflicts_calls", static_cast<double>(conflicts.count))
+        .metric("conflicts_p50", static_cast<double>(cq.p50))
+        .metric("conflicts_p90", static_cast<double>(cq.p90))
+        .metric("conflicts_p99", static_cast<double>(cq.p99))
+        .metric("edition_samples", static_cast<double>(edition.count))
+        .metric("edition_p50_ns", static_cast<double>(eq.p50))
+        .metric("edition_p90_ns", static_cast<double>(eq.p90))
+        .metric("edition_p99_ns", static_cast<double>(eq.p99));
+    std::printf("\nSAT conflicts/call: %llu calls, p50<=%llu p90<=%llu "
+                "p99<=%llu\n",
+                static_cast<unsigned long long>(conflicts.count),
+                static_cast<unsigned long long>(cq.p50),
+                static_cast<unsigned long long>(cq.p90),
+                static_cast<unsigned long long>(cq.p99));
   }
 
   std::printf("\n(editions are byte-identical across every thread count; "

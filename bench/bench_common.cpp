@@ -137,7 +137,7 @@ void BenchReport::write() {
   std::ostringstream os;
   os << "{\n  \"bench\": ";
   write_json_string(os, name_);
-  os << ",\n  \"schema_version\": 2";
+  os << ",\n  \"schema_version\": 3";
   os << ",\n  \"smoke\": " << (smoke() ? "true" : "false");
   // Host metadata (schema v2): labels only — tools/bench_diff.py must
   // never gate on them, they exist so a surprising artifact can be
@@ -193,6 +193,12 @@ void BenchReport::write() {
   }
   os << "\n  ]";
   if (telemetry::enabled()) {
+    // Mirror the trace recorder's drop count into the gated telemetry
+    // tree: the baseline records 0, so any trace loss creeping into a
+    // smoke bench fails bench_diff.py instead of silently truncating
+    // the timeline.
+    telemetry::count("trace.dropped_events",
+                     static_cast<std::int64_t>(trace::dropped_events()));
     telemetry::flush_thread();
     os << ",\n  \"telemetry\": " << telemetry::to_json(telemetry::snapshot());
   }

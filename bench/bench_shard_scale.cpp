@@ -20,7 +20,10 @@
 
 #include "bench_common.hpp"
 #include "common/atomic_io.hpp"
+#include "common/metrics.hpp"
+#include "common/telemetry.hpp"
 #include "dist/shard.hpp"
+#include "dist/status.hpp"
 #include "dist/supervisor.hpp"
 
 using namespace odcfp;
@@ -44,6 +47,10 @@ std::string scratch_base() {
 struct MergedBytes {
   std::vector<std::string> editions;
   std::string codebook, verification, telemetry;
+  // Final run_status.json roll-up — a pure function of (buyers,
+  // artifact sizes), so it must be byte-identical across shard counts
+  // and kill schedules just like the merged artifacts.
+  std::string run_status;
 
   bool operator==(const MergedBytes&) const = default;
 };
@@ -62,6 +69,7 @@ MergedBytes collect(const std::string& run_dir,
                        &m.verification);
   atomic_io::read_file(dist::merged_dir(run_dir) + "/telemetry.json",
                        &m.telemetry);
+  atomic_io::read_file(dist::run_status_path(run_dir), &m.run_status);
   return m;
 }
 
@@ -131,8 +139,14 @@ int main() {
     const double recovery_ms =
         killed_s > clean_s ? (killed_s - clean_s) * 1000.0 : 0.0;
 
+    const MergedBytes killed_bytes = collect(chaos.run_dir, killed);
     const bool identical =
-        clean_bytes == reference && collect(chaos.run_dir, killed) == reference;
+        clean_bytes == reference && killed_bytes == reference;
+    const bool status_identical = !reference.run_status.empty() &&
+                                  clean_bytes.run_status ==
+                                      reference.run_status &&
+                                  killed_bytes.run_status ==
+                                      reference.run_status;
     all_identical &= identical;
 
     const double editions_per_sec =
@@ -152,8 +166,35 @@ int main() {
                 static_cast<double>(killed.workers_spawned))
         .metric("regrants", static_cast<double>(killed.regrants))
         .metric("identical", identical ? 1.0 : 0.0)
+        .metric("status_identical", status_identical ? 1.0 : 0.0)
         .metric("editions_per_sec", editions_per_sec)
         .metric("recovery_ms", recovery_ms);
+  }
+
+  // Histogram roll-up (schema v3). The supervisor process records no
+  // histograms itself — the editions are stamped in worker subprocesses
+  // — so the artifact-size histogram is read back from the merged
+  // telemetry.json, where merge_run records one sample per buyer. Its
+  // quantiles are a pure function of the committed artifact bytes and
+  // gate like any other deterministic metric.
+  if (!reference.telemetry.empty()) {
+    const telemetry::Node merged_telem =
+        telemetry::parse_json(reference.telemetry);
+    const metrics::HistData sizes =
+        merged_telem.hist_total("artifact_bytes");
+    const metrics::HistSummary sq = metrics::summarize(sizes);
+    report.add_row("hist_summary")
+        .label("panel", "histograms")
+        .metric("artifact_samples", static_cast<double>(sizes.count))
+        .metric("artifact_bytes_p50", static_cast<double>(sq.p50))
+        .metric("artifact_bytes_p90", static_cast<double>(sq.p90))
+        .metric("artifact_bytes_p99", static_cast<double>(sq.p99));
+    std::printf("\nartifact bytes: %llu buyers, p50<=%llu p90<=%llu "
+                "p99<=%llu\n",
+                static_cast<unsigned long long>(sizes.count),
+                static_cast<unsigned long long>(sq.p50),
+                static_cast<unsigned long long>(sq.p90),
+                static_cast<unsigned long long>(sq.p99));
   }
 
   std::printf("\n(merged artifacts are byte-identical across every shard "

@@ -1,0 +1,70 @@
+#include "common/metrics.hpp"
+
+#include <bit>
+#include <limits>
+
+namespace odcfp::metrics {
+
+int hist_bucket(std::uint64_t v) {
+  return v == 0 ? 0 : std::bit_width(v);
+}
+
+std::uint64_t hist_bucket_min(int b) {
+  if (b <= 0) return 0;
+  return std::uint64_t{1} << (b - 1);
+}
+
+std::uint64_t hist_bucket_max(int b) {
+  if (b <= 0) return 0;
+  if (b >= 64) return std::numeric_limits<std::uint64_t>::max();
+  return (std::uint64_t{1} << b) - 1;
+}
+
+void HistData::record(std::uint64_t v) {
+  const int b = hist_bucket(v);
+  if (buckets.size() <= static_cast<std::size_t>(b)) {
+    buckets.resize(static_cast<std::size_t>(b) + 1, 0);
+  }
+  ++buckets[static_cast<std::size_t>(b)];
+  ++count;
+  sum += v;
+}
+
+void HistData::merge(const HistData& other) {
+  count += other.count;
+  sum += other.sum;
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+std::uint64_t HistData::quantile_permille(unsigned q) const {
+  if (count == 0) return 0;
+  if (q > 1000) q = 1000;
+  // rank = ceil(count * q / 1000), at least 1 so q=0 reads the minimum
+  // bucket. 128-bit intermediate: count * q must not overflow.
+  using u128 = unsigned __int128;
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      (static_cast<u128>(count) * q + 999) / 1000);
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= rank) return hist_bucket_max(static_cast<int>(b));
+  }
+  // Trimmed invariant: the last bucket is nonzero, so we cannot get here
+  // with a rank <= count; defensive fallback for hand-built vectors.
+  return buckets.empty()
+             ? 0
+             : hist_bucket_max(static_cast<int>(buckets.size()) - 1);
+}
+
+HistSummary summarize(const HistData& h) {
+  return {h.quantile_permille(500), h.quantile_permille(900),
+          h.quantile_permille(990)};
+}
+
+}  // namespace odcfp::metrics

@@ -1,0 +1,83 @@
+// Deterministic fixed-log2-bucket histograms for the telemetry plane.
+//
+// A HistData is a multiset of unsigned samples compressed into 65
+// power-of-two buckets: bucket 0 holds the value 0, bucket b (1..64)
+// holds [2^(b-1), 2^b). The bucket vector plus an exact count and sum is
+// everything a histogram carries — no per-sample storage, no floats —
+// which buys the two properties the rest of the system leans on:
+//
+//  * Deterministic merge. merge() is an elementwise add, commutative and
+//    associative, so the merged histogram depends only on the multiset
+//    of recorded values, never on thread scheduling or shard geometry.
+//    A histogram whose recorded VALUES are scheduling-free (SAT
+//    conflicts per call, window-ODC cone sizes, artifact byte sizes) is
+//    therefore bit-identical at any thread/shard count and safe to gate
+//    in CI; one whose values are wall-clock (*_ns names) is
+//    informational only and excluded from gates by the same time-like
+//    name rule that already exempts total_ns (tools/bench_diff.py).
+//
+//  * Pure-function quantiles. quantile_permille() walks the cumulative
+//    bucket counts with integer arithmetic only: its output is a pure
+//    function of the bucket vector, so p50/p90/p99 summaries are as
+//    reproducible as the buckets themselves. The estimate is the upper
+//    bound of the bucket holding the requested rank — at most 2x the
+//    true sample, the usual log2-bucket resolution.
+//
+// Recording into the telemetry shadow tree (TELEM_HIST, lock-free
+// per-thread, zero-allocation disabled mode, JSON export) lives in
+// common/telemetry.hpp; this header is the bucket math and is
+// deliberately telemetry-free so src/dist/status.* can reuse it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace odcfp::metrics {
+
+/// Bucket 0 plus one bucket per bit position of a 64-bit value.
+inline constexpr int kMaxHistBuckets = 65;
+
+/// Bucket index of `v`: 0 for 0, else bit_width(v) — so bucket b >= 1
+/// holds exactly the values with b significant bits, [2^(b-1), 2^b).
+int hist_bucket(std::uint64_t v);
+
+/// Smallest value bucket `b` can hold (0 for bucket 0).
+std::uint64_t hist_bucket_min(int b);
+
+/// Largest value bucket `b` can hold (0 for bucket 0; UINT64_MAX for 64).
+std::uint64_t hist_bucket_max(int b);
+
+/// One histogram: exact count and sum, log2 bucket counts. The bucket
+/// vector is trimmed — its size is one past the highest nonzero bucket —
+/// so equality and serialization are canonical.
+struct HistData {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::vector<std::uint64_t> buckets;
+
+  bool operator==(const HistData&) const = default;
+
+  bool empty() const { return count == 0; }
+
+  /// Adds one sample.
+  void record(std::uint64_t v);
+
+  /// Elementwise add of `other` (commutative, associative).
+  void merge(const HistData& other);
+
+  /// Upper bound of the bucket holding the sample of 1-based rank
+  /// ceil(count * q / 1000); 0 when empty. q is clamped to [0, 1000].
+  /// Integer arithmetic only: a pure function of the bucket counts.
+  std::uint64_t quantile_permille(unsigned q) const;
+};
+
+/// The three summary quantiles every consumer wants.
+struct HistSummary {
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+};
+
+HistSummary summarize(const HistData& h);
+
+}  // namespace odcfp::metrics

@@ -39,6 +39,7 @@ struct LocalNode {
   std::uint64_t count = 0;
   std::uint64_t total_ns = 0;
   std::vector<std::pair<const char*, std::int64_t>> counters;
+  std::vector<std::pair<const char*, metrics::HistData>> hists;
   std::vector<std::unique_ptr<LocalNode>> children;
 
   explicit LocalNode(const char* n) : name(n) {}
@@ -64,16 +65,28 @@ struct LocalNode {
     counters.emplace_back(counter_name, n);
   }
 
+  void add_hist(const char* hist_name, std::uint64_t v) {
+    for (auto& [hn, h] : hists) {
+      if (hn == hist_name || std::strcmp(hn, hist_name) == 0) {
+        h.record(v);
+        return;
+      }
+    }
+    hists.emplace_back(hist_name, metrics::HistData{});
+    hists.back().second.record(v);
+  }
+
   void clear() {
     count = 0;
     total_ns = 0;
     counters.clear();
+    hists.clear();
     children.clear();
   }
 
   bool empty() const {
     return count == 0 && total_ns == 0 && counters.empty() &&
-           children.empty();
+           hists.empty() && children.empty();
   }
 };
 
@@ -100,6 +113,9 @@ void merge_into(Node& dst, const LocalNode& src) {
   dst.total_ns += src.total_ns;
   for (const auto& [name, v] : src.counters) {
     dst.counters[std::string(name)] += v;
+  }
+  for (const auto& [name, h] : src.hists) {
+    dst.hists[std::string(name)].merge(h);
   }
   for (const auto& c : src.children) {
     merge_into(dst.children[std::string(c->name)], *c);
@@ -184,6 +200,34 @@ void count(const char* name, std::int64_t n) {
   if (trace::enabled()) trace::counter(name, n);
   if (!enabled()) return;
   sink().current()->add_counter(name, n);
+}
+
+void hist(const char* name, std::uint64_t value) {
+  if (trace::enabled()) {
+    trace::counter(name, static_cast<std::int64_t>(value));
+  }
+  if (!enabled()) return;
+  sink().current()->add_hist(name, value);
+}
+
+HistTimer::HistTimer(const char* name) {
+  if (!enabled()) return;
+  name_ = name;
+  start_ns_ = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+HistTimer::~HistTimer() {
+  if (name_ == nullptr) return;
+  const std::uint64_t now_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+  // Record even if telemetry was toggled off mid-scope: the sample was
+  // armed, and dropping it would make disable() racy with open timers.
+  sink().current()->add_hist(name_, now_ns - start_ns_);
 }
 
 const char* current_span_name() {
@@ -273,6 +317,20 @@ std::int64_t Node::counter(std::string_view name) const {
   return it == counters.end() ? 0 : it->second;
 }
 
+const metrics::HistData* Node::hist(std::string_view name) const {
+  auto it = hists.find(std::string(name));
+  return it == hists.end() ? nullptr : &it->second;
+}
+
+metrics::HistData Node::hist_total(std::string_view name) const {
+  metrics::HistData total;
+  if (const metrics::HistData* h = hist(name)) total.merge(*h);
+  for (const auto& [child_name, child] : children) {
+    total.merge(child.hist_total(name));
+  }
+  return total;
+}
+
 // ---- export ----
 
 namespace {
@@ -298,6 +356,18 @@ void write_escaped(std::ostream& os, std::string_view s) {
   os << '"';
 }
 
+void write_hist_json(std::ostream& os, const metrics::HistData& h) {
+  os << "{\"count\":" << h.count << ",\"sum\":" << h.sum
+     << ",\"buckets\":[";
+  bool first = true;
+  for (std::uint64_t b : h.buckets) {
+    if (!first) os << ',';
+    first = false;
+    os << b;
+  }
+  os << "]}";
+}
+
 void write_node_json(std::ostream& os, const Node& node) {
   os << "{\"count\":" << node.count << ",\"total_ns\":" << node.total_ns
      << ",\"counters\":{";
@@ -308,7 +378,22 @@ void write_node_json(std::ostream& os, const Node& node) {
     write_escaped(os, name);
     os << ':' << v;
   }
-  os << "},\"children\":{";
+  os << '}';
+  // Emitted only when present, so trees without histograms serialize
+  // byte-identically to the pre-histogram format.
+  if (!node.hists.empty()) {
+    os << ",\"hists\":{";
+    first = true;
+    for (const auto& [name, h] : node.hists) {
+      if (!first) os << ',';
+      first = false;
+      write_escaped(os, name);
+      os << ':';
+      write_hist_json(os, h);
+    }
+    os << '}';
+  }
+  os << ",\"children\":{";
   first = true;
   for (const auto& [name, child] : node.children) {
     if (!first) os << ',';
@@ -333,7 +418,22 @@ void write_node_jsonl(std::ostream& os, const Node& node,
     write_escaped(os, name);
     os << ':' << v;
   }
-  os << "}}\n";
+  os << '}';
+  if (!node.hists.empty()) {
+    os << ",\"hists\":{";
+    first = true;
+    for (const auto& [name, h] : node.hists) {
+      if (!first) os << ',';
+      first = false;
+      write_escaped(os, name);
+      const metrics::HistSummary q = metrics::summarize(h);
+      os << ":{\"count\":" << h.count << ",\"sum\":" << h.sum
+         << ",\"p50\":" << q.p50 << ",\"p90\":" << q.p90
+         << ",\"p99\":" << q.p99 << '}';
+    }
+    os << '}';
+  }
+  os << "}\n";
   for (const auto& [name, child] : node.children) {
     write_node_jsonl(os, child, path + "/" + name);
   }
@@ -358,6 +458,12 @@ void dump_node(std::ostream& os, const Node& node, const std::string& name,
   os << '\n';
   for (const auto& [cname, v] : node.counters) {
     os << pad << "  . " << cname << " = " << v << '\n';
+  }
+  for (const auto& [hname, h] : node.hists) {
+    const metrics::HistSummary q = metrics::summarize(h);
+    os << pad << "  ~ " << hname << "  n=" << h.count
+       << "  p50<=" << q.p50 << "  p90<=" << q.p90 << "  p99<=" << q.p99
+       << '\n';
   }
   for (const auto& [cname, child] : node.children) {
     dump_node(os, child, cname, indent + 1);
@@ -498,6 +604,36 @@ struct Parser {
     return neg ? -v : v;
   }
 
+  metrics::HistData parse_hist() {
+    metrics::HistData h;
+    expect('{');
+    if (try_consume('}')) return h;
+    for (;;) {
+      const std::string key = parse_string();
+      expect(':');
+      if (key == "count") {
+        h.count = static_cast<std::uint64_t>(parse_int());
+      } else if (key == "sum") {
+        h.sum = static_cast<std::uint64_t>(parse_int());
+      } else if (key == "buckets") {
+        expect('[');
+        if (!try_consume(']')) {
+          for (;;) {
+            h.buckets.push_back(
+                static_cast<std::uint64_t>(parse_int()));
+            if (try_consume(']')) break;
+            expect(',');
+          }
+        }
+      } else {
+        fail("unknown hist key");
+      }
+      if (try_consume('}')) break;
+      expect(',');
+    }
+    return h;
+  }
+
   Node parse_node() {
     Node node;
     expect('{');
@@ -516,6 +652,17 @@ struct Parser {
             const std::string name = parse_string();
             expect(':');
             node.counters[name] = parse_int();
+            if (try_consume('}')) break;
+            expect(',');
+          }
+        }
+      } else if (key == "hists") {
+        expect('{');
+        if (!try_consume('}')) {
+          for (;;) {
+            const std::string name = parse_string();
+            expect(':');
+            node.hists[name] = parse_hist();
             if (try_consume('}')) break;
             expect(',');
           }

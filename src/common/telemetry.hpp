@@ -49,6 +49,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/metrics.hpp"
+
 // Compile-time master switch: 0 compiles the macros down to nothing (the
 // functions remain defined so direct calls still link).
 #ifndef ODCFP_TELEMETRY_ENABLED
@@ -65,6 +67,10 @@ struct Node {
   /// Counter name -> accumulated value. std::map keeps export order
   /// deterministic (sorted by name, independent of creation order).
   std::map<std::string, std::int64_t> counters;
+  /// Histogram name -> log2-bucket histogram (TELEM_HIST). Same merge
+  /// and export discipline as counters; see common/metrics.hpp for the
+  /// bucket scheme and determinism contract.
+  std::map<std::string, metrics::HistData> hists;
   std::map<std::string, Node> children;
 
   bool operator==(const Node&) const = default;
@@ -73,6 +79,12 @@ struct Node {
   const Node* find(std::initializer_list<std::string_view> path) const;
   /// Counter value on this node (0 when absent).
   std::int64_t counter(std::string_view name) const;
+  /// Histogram on this node, nullptr when absent.
+  const metrics::HistData* hist(std::string_view name) const;
+  /// Merge of every histogram named `name` anywhere in this subtree
+  /// (histograms merge commutatively, so the result is path-free but
+  /// still deterministic). Empty HistData when the name never occurs.
+  metrics::HistData hist_total(std::string_view name) const;
 };
 
 /// Runtime toggle. Initialized from the ODCFP_TELEMETRY environment
@@ -101,6 +113,30 @@ class Span {
 /// Adds `n` to counter `name` on the innermost open span of this thread
 /// (on the root when no span is open). `name` must be a literal.
 void count(const char* name, std::int64_t n = 1);
+
+/// Records one sample into histogram `name` on the innermost open span
+/// of this thread (on the root when no span is open). `name` must be a
+/// literal. Like count(), the sample also feeds the event trace as a
+/// counter track when tracing is active. Name histograms of wall-clock
+/// values `*_ns`: the time-like-name rule is what keeps them out of the
+/// determinism gates.
+void hist(const char* name, std::uint64_t value);
+
+/// RAII wall-clock sampler: records the scope's elapsed nanoseconds
+/// into histogram `name` on destruction. Unlike Span it adds no node to
+/// the tree and never emits trace events — it is a pure latency sample.
+/// Disabled telemetry costs one relaxed atomic load and no clock read.
+class HistTimer {
+ public:
+  explicit HistTimer(const char* name);
+  ~HistTimer();
+  HistTimer(const HistTimer&) = delete;
+  HistTimer& operator=(const HistTimer&) = delete;
+
+ private:
+  const char* name_ = nullptr;  ///< Non-null only when armed.
+  std::uint64_t start_ns_ = 0;
+};
 
 /// Name of the innermost open span on this thread; nullptr when no span
 /// is open or telemetry is disabled. The pointer has static storage
@@ -177,7 +213,16 @@ Node parse_json(std::string_view json);
   ::odcfp::telemetry::Span ODCFP_TELEM_CAT(telem_span_, __LINE__)("" name)
 /// Adds `n` to counter `name` (a string literal) on the innermost span.
 #define TELEM_COUNT(name, n) ::odcfp::telemetry::count("" name, (n))
+/// Records one sample into histogram `name` (a string literal).
+#define TELEM_HIST(name, v) ::odcfp::telemetry::hist("" name, (v))
+/// Samples the elapsed wall time of the enclosing scope into histogram
+/// `name` (a string literal — use a `*_ns` suffix).
+#define TELEM_HIST_TIMER(name) \
+  ::odcfp::telemetry::HistTimer ODCFP_TELEM_CAT(telem_hist_, \
+                                                __LINE__)("" name)
 #else
 #define TELEM_SPAN(name) ((void)0)
 #define TELEM_COUNT(name, n) ((void)0)
+#define TELEM_HIST(name, v) ((void)0)
+#define TELEM_HIST_TIMER(name) ((void)0)
 #endif

@@ -126,6 +126,7 @@ MergeResult merge_run(
                       "' does not match the CRC its commit record pinned");
     }
     result.artifact_bytes += bytes.size();
+    result.artifact_sizes.push_back(bytes.size());
     // Record the path relative to run_dir: merged files must compare
     // byte-equal across run directories.
     std::string rel = artifact[b];
@@ -154,6 +155,13 @@ MergeResult merge_run(
       static_cast<std::int64_t>(usable_bits(book.locations()));
   merge_node.counters["locations"] =
       static_cast<std::int64_t>(book.locations().size());
+  // Artifact-size distribution: values are artifact bytes (a pure
+  // function of the run's inputs), so the histogram is as deterministic
+  // as the counters above and gates in CI alongside them.
+  metrics::HistData& size_hist = merge_node.hists["artifact_bytes"];
+  for (const std::uint64_t bytes : result.artifact_sizes) {
+    size_hist.record(bytes);
+  }
 
   const std::string out_dir = merged_dir(run_dir);
   if (!atomic_io::make_dirs(out_dir)) {

@@ -51,6 +51,10 @@ struct MergeResult {
   std::string message;
   std::size_t buyers = 0;
   std::uint64_t artifact_bytes = 0;
+  /// Byte size of each buyer's artifact, index-aligned with the buyers
+  /// (set only on kOk). State-derived — feeds the final run_status
+  /// roll-up's artifact-size histogram.
+  std::vector<std::uint64_t> artifact_sizes;
   /// Paths of the published files (codebook, verification, telemetry).
   std::vector<std::string> outputs;
 };

@@ -1,0 +1,357 @@
+#include "dist/status.hpp"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/atomic_io.hpp"
+#include "common/fault.hpp"
+#include "dist/shard.hpp"
+
+namespace odcfp::dist {
+
+namespace {
+
+constexpr const char* kMagic = "odcfp-status 1";
+
+bool consume(std::string_view* s, const char* prefix) {
+  const std::size_t len = std::strlen(prefix);
+  if (s->size() < len || s->compare(0, len, prefix) != 0) return false;
+  s->remove_prefix(len);
+  return true;
+}
+
+bool parse_u64(std::string_view* s, std::uint64_t* out) {
+  std::uint64_t v = 0;
+  std::size_t digits = 0;
+  while (!s->empty() && (*s)[0] >= '0' && (*s)[0] <= '9') {
+    v = v * 10 + static_cast<std::uint64_t>((*s)[0] - '0');
+    s->remove_prefix(1);
+    ++digits;
+  }
+  if (digits == 0) return false;
+  if (!s->empty() && (*s)[0] == ' ') s->remove_prefix(1);
+  *out = v;
+  return true;
+}
+
+std::string status_payload(const ShardStatus& st) {
+  std::ostringstream os;
+  os << "shard=" << st.shard << " epoch=" << st.epoch << " pid=" << st.pid
+     << " begin=" << st.range_begin << " end=" << st.range_end
+     << " committed=" << st.committed << " recovered=" << st.recovered
+     << " elapsed_ms=" << st.elapsed_ms << " eps_milli=" << st.eps_milli
+     << " done=" << st.done << " hist=" << st.edition_ns.count << ':'
+     << st.edition_ns.sum << ':';
+  for (std::size_t i = 0; i < st.edition_ns.buckets.size(); ++i) {
+    if (i > 0) os << ',';
+    os << st.edition_ns.buckets[i];
+  }
+  return os.str();
+}
+
+bool parse_status_payload(std::string_view payload, ShardStatus* out) {
+  if (!consume(&payload, "shard=") || !parse_u64(&payload, &out->shard)) {
+    return false;
+  }
+  if (!consume(&payload, "epoch=") || !parse_u64(&payload, &out->epoch)) {
+    return false;
+  }
+  if (!consume(&payload, "pid=") || !parse_u64(&payload, &out->pid)) {
+    return false;
+  }
+  if (!consume(&payload, "begin=") ||
+      !parse_u64(&payload, &out->range_begin)) {
+    return false;
+  }
+  if (!consume(&payload, "end=") ||
+      !parse_u64(&payload, &out->range_end)) {
+    return false;
+  }
+  if (!consume(&payload, "committed=") ||
+      !parse_u64(&payload, &out->committed)) {
+    return false;
+  }
+  if (!consume(&payload, "recovered=") ||
+      !parse_u64(&payload, &out->recovered)) {
+    return false;
+  }
+  if (!consume(&payload, "elapsed_ms=") ||
+      !parse_u64(&payload, &out->elapsed_ms)) {
+    return false;
+  }
+  if (!consume(&payload, "eps_milli=") ||
+      !parse_u64(&payload, &out->eps_milli)) {
+    return false;
+  }
+  if (!consume(&payload, "done=") || !parse_u64(&payload, &out->done)) {
+    return false;
+  }
+  if (!consume(&payload, "hist=")) return false;
+  if (!parse_u64(&payload, &out->edition_ns.count) || payload.empty() ||
+      payload[0] != ':') {
+    return false;
+  }
+  payload.remove_prefix(1);
+  if (!parse_u64(&payload, &out->edition_ns.sum) || payload.empty() ||
+      payload[0] != ':') {
+    return false;
+  }
+  payload.remove_prefix(1);
+  while (!payload.empty()) {
+    std::uint64_t b = 0;
+    if (!parse_u64(&payload, &b)) return false;
+    out->edition_ns.buckets.push_back(b);
+    if (!payload.empty()) {
+      if (payload[0] != ',') return false;
+      payload.remove_prefix(1);
+    }
+  }
+  return true;
+}
+
+const char* shard_state_name(ShardState s) {
+  switch (s) {
+    case ShardState::kUnassigned: return "unassigned";
+    case ShardState::kLeased: return "leased";
+    case ShardState::kDone: return "done";
+  }
+  return "unassigned";
+}
+
+/// Milliseconds since `path` was last modified; -1 when it is absent.
+/// Journal appends bump mtime, so this is the heartbeat age the
+/// supervisor's growth watcher sees — just derived from the filesystem,
+/// which is what lets a post-mortem inspector compute it too.
+std::int64_t mtime_age_ms(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return -1;
+  struct timespec now;
+  if (::clock_gettime(CLOCK_REALTIME, &now) != 0) return -1;
+  const std::int64_t mtime_ms =
+      static_cast<std::int64_t>(st.st_mtim.tv_sec) * 1000 +
+      st.st_mtim.tv_nsec / 1'000'000;
+  const std::int64_t now_ms =
+      static_cast<std::int64_t>(now.tv_sec) * 1000 +
+      now.tv_nsec / 1'000'000;
+  return now_ms >= mtime_ms ? now_ms - mtime_ms : 0;
+}
+
+void write_hist_with_quantiles(std::ostringstream& os,
+                               const metrics::HistData& h) {
+  const metrics::HistSummary q = metrics::summarize(h);
+  os << "{\"count\":" << h.count << ",\"sum\":" << h.sum
+     << ",\"buckets\":[";
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    if (i > 0) os << ',';
+    os << h.buckets[i];
+  }
+  os << "],\"p50\":" << q.p50 << ",\"p90\":" << q.p90
+     << ",\"p99\":" << q.p99 << '}';
+}
+
+}  // namespace
+
+std::string status_snapshot_path(const std::string& run_dir,
+                                 std::size_t shard) {
+  std::ostringstream os;
+  os << run_dir << "/status_" << shard << ".snap";
+  return os.str();
+}
+
+std::string run_status_path(const std::string& run_dir) {
+  return run_dir + "/run_status.json";
+}
+
+Outcome<bool> write_status_snapshot(const std::string& path,
+                                    const ShardStatus& status) {
+  ODCFP_FAULT_POINT("dist.status.publish");
+  std::string data = kMagic;
+  data += '\n';
+  data += journal_wire::format_line('S', status_payload(status));
+  const atomic_io::WriteResult wr = atomic_io::write_file_atomic(path, data);
+  if (!wr.ok) {
+    return Outcome<bool>::exhausted("status snapshot write failed: " +
+                                    wr.error);
+  }
+  return Outcome<bool>::success(true);
+}
+
+Outcome<ShardStatus> read_status_snapshot(const std::string& path) {
+  std::string data;
+  if (!atomic_io::read_file(path, &data)) {
+    return Outcome<ShardStatus>::malformed("cannot read status snapshot '" +
+                                           path + "'");
+  }
+  std::istringstream is(data);
+  std::string magic, record;
+  if (!std::getline(is, magic) || magic != kMagic ||
+      !std::getline(is, record)) {
+    return Outcome<ShardStatus>::malformed(
+        "'" + path + "' is not an odcfp status snapshot");
+  }
+  std::string_view payload;
+  ShardStatus st;
+  if (!journal_wire::checked_payload(record, 'S', &payload) ||
+      !parse_status_payload(payload, &st)) {
+    return Outcome<ShardStatus>::malformed(
+        "status snapshot '" + path + "' failed its checksum or framing");
+  }
+  return Outcome<ShardStatus>::success(std::move(st));
+}
+
+std::string render_run_status_json(const RunStatusView& view) {
+  std::ostringstream os;
+  os << "{\"odcfp_run_status\":1,\"state\":\"" << view.state
+     << "\",\"buyers\":" << view.buyers
+     << ",\"committed\":" << view.committed << ",\"shards\":[";
+  for (std::size_t i = 0; i < view.shards.size(); ++i) {
+    const ShardStatusView& sv = view.shards[i];
+    if (i > 0) os << ',';
+    os << "{\"shard\":" << sv.shard << ",\"state\":\""
+       << shard_state_name(sv.state) << "\",\"epoch\":" << sv.epoch;
+    if (sv.have_snapshot) {
+      os << ",\"begin\":" << sv.snap.range_begin
+         << ",\"end\":" << sv.snap.range_end
+         << ",\"committed\":" << sv.snap.committed
+         << ",\"recovered\":" << sv.snap.recovered
+         << ",\"elapsed_ms\":" << sv.snap.elapsed_ms
+         << ",\"eps_milli\":" << sv.snap.eps_milli;
+    }
+    os << ",\"heartbeat_age_ms\":" << sv.heartbeat_age_ms
+       << ",\"stalled\":" << (sv.stalled ? "true" : "false") << '}';
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+std::string render_final_run_status_json(
+    std::uint64_t buyers,
+    const std::vector<std::uint64_t>& artifact_sizes) {
+  metrics::HistData h;
+  std::uint64_t total = 0;
+  for (const std::uint64_t bytes : artifact_sizes) {
+    h.record(bytes);
+    total += bytes;
+  }
+  std::ostringstream os;
+  os << "{\"odcfp_run_status\":1,\"state\":\"done\",\"buyers\":" << buyers
+     << ",\"committed\":" << buyers << ",\"artifact_bytes\":" << total
+     << ",\"hists\":{\"artifact_bytes\":";
+  write_hist_with_quantiles(os, h);
+  os << "}}\n";
+  return os.str();
+}
+
+std::string render_run_status_table(const RunStatusView& view) {
+  std::ostringstream os;
+  os << "run: " << view.state << "  committed " << view.committed << "/"
+     << view.buyers << " buyer(s)\n";
+  if (view.shards.empty()) return os.str();
+  os << "shard  state       epoch  range        committed  eps"
+        "      hb_age_ms  flags\n";
+  for (const ShardStatusView& sv : view.shards) {
+    char line[160];
+    char range[32] = "?";
+    char progress[32] = "?";
+    char eps[32] = "?";
+    if (sv.have_snapshot) {
+      std::snprintf(range, sizeof(range), "[%llu,%llu)",
+                    static_cast<unsigned long long>(sv.snap.range_begin),
+                    static_cast<unsigned long long>(sv.snap.range_end));
+      std::snprintf(
+          progress, sizeof(progress), "%llu/%llu",
+          static_cast<unsigned long long>(sv.snap.committed),
+          static_cast<unsigned long long>(sv.snap.range_end -
+                                          sv.snap.range_begin));
+      std::snprintf(eps, sizeof(eps), "%.3f",
+                    static_cast<double>(sv.snap.eps_milli) / 1000.0);
+    }
+    std::snprintf(line, sizeof(line),
+                  "%-5llu  %-10s  %-5llu  %-11s  %-9s  %-7s  %-9lld  %s\n",
+                  static_cast<unsigned long long>(sv.shard),
+                  shard_state_name(sv.state),
+                  static_cast<unsigned long long>(sv.epoch), range,
+                  progress, eps,
+                  static_cast<long long>(sv.heartbeat_age_ms),
+                  sv.stalled ? "STALLED" : "");
+    os << line;
+  }
+  return os.str();
+}
+
+RunStatusView inspect_run_dir(const std::string& run_dir,
+                              std::int64_t stall_threshold_ms) {
+  RunStatusView view;
+
+  Outcome<RunSpec> spec = read_run_spec(run_spec_path(run_dir));
+  if (spec.ok()) view.buyers = spec.value().num_buyers;
+
+  // Shard ownership from the lease journal; tolerate its absence (a run
+  // dir before the first grant) and replay damage (the replay already
+  // stops at a torn tail).
+  std::vector<ShardLease> states;
+  bool merged = false;
+  bool any_lease_records = false;
+  std::size_t num_shards = 0;
+  const std::string lease_path = lease_journal_path(run_dir);
+  if (atomic_io::exists(lease_path)) {
+    Outcome<LeaseReplay> replayed = read_lease_journal(lease_path);
+    if (replayed.ok()) {
+      const LeaseReplay& replay = replayed.value();
+      any_lease_records = !replay.records.empty();
+      for (const LeaseRecord& r : replay.records) {
+        if (r.event == LeaseEvent::kMerged) merged = true;
+        num_shards = std::max(num_shards,
+                              static_cast<std::size_t>(r.shard) + 1);
+      }
+    }
+    // Probe past the lease journal: a shard can have a journal or a
+    // snapshot before its first lease record is durable.
+    while (atomic_io::exists(shard_journal_path(run_dir, num_shards)) ||
+           atomic_io::exists(
+               status_snapshot_path(run_dir, num_shards))) {
+      ++num_shards;
+    }
+    if (replayed.ok()) {
+      states = replayed.value().lease_states(num_shards);
+    }
+  } else {
+    while (atomic_io::exists(shard_journal_path(run_dir, num_shards)) ||
+           atomic_io::exists(
+               status_snapshot_path(run_dir, num_shards))) {
+      ++num_shards;
+    }
+  }
+  if (states.size() < num_shards) states.resize(num_shards);
+
+  view.state = merged ? "done" : (any_lease_records ? "running" : "idle");
+
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    ShardStatusView sv;
+    sv.shard = s;
+    sv.state = states[s].state;
+    sv.epoch = states[s].epoch;
+    Outcome<ShardStatus> snap =
+        read_status_snapshot(status_snapshot_path(run_dir, s));
+    if (snap.ok()) {
+      sv.snap = std::move(snap).value();
+      sv.have_snapshot = true;
+      view.committed += sv.snap.committed;
+    }
+    sv.heartbeat_age_ms = mtime_age_ms(shard_journal_path(run_dir, s));
+    sv.stalled = sv.state == ShardState::kLeased &&
+                 sv.heartbeat_age_ms >= stall_threshold_ms;
+    view.shards.push_back(std::move(sv));
+  }
+  // The merge re-verified every buyer; stale snapshots must not make a
+  // finished run look partial.
+  if (merged) view.committed = view.buyers;
+  return view;
+}
+
+}  // namespace odcfp::dist

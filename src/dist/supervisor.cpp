@@ -15,6 +15,7 @@
 #include "common/telemetry.hpp"
 #include "dist/lease.hpp"
 #include "dist/merge.hpp"
+#include "dist/status.hpp"
 #include "fingerprint/location.hpp"
 #include "netlist/netlist.hpp"
 
@@ -33,6 +34,9 @@ struct ShardSlot {
   /// Armed at grant and re-armed on every growth observation; expiry
   /// means the worker stopped appending for heartbeat_timeout_ms.
   std::optional<Budget> deadline;
+  /// When the journal last grew (or the lease was granted) — the
+  /// heartbeat age shown in run_status.json and in wedge diagnostics.
+  std::chrono::steady_clock::time_point last_growth;
 };
 
 std::uint64_t file_size(const std::string& path) {
@@ -82,6 +86,9 @@ DistResult run_supervised_batch(const RunSpec& spec,
     return fail(Status::kMalformedInput,
                 "cannot create run dir '" + options.run_dir + "'");
   }
+  // Status snapshots and run_status.json publish atomically into the
+  // run dir root; a writer SIGKILLed mid-publish leaves temp debris.
+  atomic_io::remove_stale_temps(options.run_dir);
 
   // Fail fast on an unknown circuit and reconstruct the inputs the merge
   // needs — the same deterministic derivation every worker performs.
@@ -180,9 +187,51 @@ DistResult run_supervised_batch(const RunSpec& spec,
     }
   };
 
+  // Live status aggregation: worker snapshots + lease state + heartbeat
+  // ages folded into run_status.json every status_interval_ms. Purely
+  // advisory — a failed publish never fails the run, and the merge
+  // overwrites the file with the deterministic final roll-up.
+  const auto publish_live_status = [&] {
+    RunStatusView view;
+    view.state = "running";
+    view.buyers = spec.num_buyers;
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      ShardStatusView sv;
+      sv.shard = s;
+      sv.state = slots[s].state;
+      sv.epoch = slots[s].epoch;
+      Outcome<ShardStatus> snap = read_status_snapshot(
+          status_snapshot_path(options.run_dir, s));
+      if (snap.ok()) {
+        sv.snap = std::move(snap).value();
+        sv.have_snapshot = true;
+        view.committed += sv.snap.committed;
+      }
+      if (slots[s].state == ShardState::kLeased) {
+        sv.heartbeat_age_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - slots[s].last_growth)
+                .count();
+        sv.stalled =
+            sv.heartbeat_age_ms >= options.heartbeat_timeout_ms / 2;
+      }
+      view.shards.push_back(std::move(sv));
+    }
+    atomic_io::write_file_atomic(run_status_path(options.run_dir),
+                                 render_run_status_json(view));
+  };
+  auto last_status_pub = std::chrono::steady_clock::time_point::min();
+
   // ------------------------------------------------ supervision loop
   while (result.shards_done < ranges.size()) {
     ODCFP_FAULT_POINT("dist.tick");
+    if (options.status_interval_ms > 0 &&
+        std::chrono::steady_clock::now() - last_status_pub >=
+            std::chrono::milliseconds(options.status_interval_ms)) {
+      publish_live_status();
+      last_status_pub = std::chrono::steady_clock::now();
+    }
     if (budget_exhausted(options.budget)) {
       kill_all("supervisor budget exhausted");
       return fail(Status::kExhausted,
@@ -245,6 +294,7 @@ DistResult run_supervised_batch(const RunSpec& spec,
           file_size(shard_journal_path(options.run_dir, s));
       slots[s].deadline.emplace(
           Budget::deadline_ms(options.heartbeat_timeout_ms));
+      slots[s].last_growth = std::chrono::steady_clock::now();
       log::info("dist.lease.granted")
           .field("shard", s)
           .field("epoch", epoch)
@@ -310,12 +360,17 @@ DistResult run_supervised_batch(const RunSpec& spec,
           slots[s].last_size = size;
           slots[s].deadline.emplace(
               Budget::deadline_ms(options.heartbeat_timeout_ms));
+          slots[s].last_growth = std::chrono::steady_clock::now();
         } else if (slots[s].deadline.has_value() &&
                    slots[s].deadline->exhausted()) {
           ODCFP_FAULT_POINT("dist.heartbeat.lost");
           // Wedged (or stopped): it holds the lease but appends
           // nothing. Kill hard — a worker that cannot heartbeat cannot
           // be trusted to finish — then re-grant.
+          const std::int64_t heartbeat_age_ms =
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - slots[s].last_growth)
+                  .count();
           proc::kill_hard(slots[s].pid);
           leases.append(s, slots[s].epoch, LeaseEvent::kRevoked,
                         static_cast<std::uint64_t>(slots[s].pid),
@@ -326,7 +381,8 @@ DistResult run_supervised_batch(const RunSpec& spec,
           log::warn("dist.worker.wedged")
               .field("shard", s)
               .field("pid", slots[s].pid)
-              .field("timeout_ms", options.heartbeat_timeout_ms);
+              .field("timeout_ms", options.heartbeat_timeout_ms)
+              .field("last_heartbeat_age_ms", heartbeat_age_ms);
         }
       }
     }
@@ -343,6 +399,19 @@ DistResult run_supervised_batch(const RunSpec& spec,
     return fail(merged.status, "merge failed: " + merged.message);
   }
   leases.append(0, 0, LeaseEvent::kMerged, 0);
+  // Final roll-up: overwrite the live status with the deterministic
+  // end-of-run form (pure function of buyers + artifact sizes, no shard
+  // geometry), so the file is byte-identical across shard counts,
+  // thread counts, and crash schedules — exactly like merged/.
+  const std::string status_path = run_status_path(options.run_dir);
+  const atomic_io::WriteResult sw = atomic_io::write_file_atomic(
+      status_path, render_final_run_status_json(spec.num_buyers,
+                                                merged.artifact_sizes));
+  if (!sw.ok) {
+    return fail(Status::kExhausted,
+                "run status publish failed: " + sw.error);
+  }
+  result.run_status = status_path;
   result.status = Status::kOk;
   result.buyers_committed = spec.num_buyers;
   result.merged_outputs = merged.outputs;

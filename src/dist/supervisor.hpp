@@ -77,6 +77,11 @@ struct DistOptions {
   std::int64_t heartbeat_timeout_ms = 10'000;
   /// Supervision loop poll period.
   std::int64_t poll_interval_ms = 5;
+  /// Period of the live run_status.json aggregation (worker snapshots +
+  /// lease states + heartbeat ages folded into one JSON, atomically
+  /// overwritten). <= 0 disables live publishing; the deterministic
+  /// final roll-up after the merge is written regardless.
+  std::int64_t status_interval_ms = 100;
   /// Total re-grants allowed across the whole run (a crashing worker
   /// burns one per respawn). Exceeding this fails the run kExhausted —
   /// a persistently dying worker is a bug, not bad luck.
@@ -109,6 +114,9 @@ struct DistResult {
   /// The three merged files (set only on kOk): codebook.txt,
   /// verification.json, telemetry.json.
   std::vector<std::string> merged_outputs;
+  /// run_status.json path (set only on kOk, once the deterministic
+  /// final roll-up has been published over the live status).
+  std::string run_status;
   std::string lease_journal;
 };
 

@@ -95,6 +95,7 @@ BatchResult batch_fingerprint(const Netlist& golden, const Codebook& book,
         // of which pool worker stamps it.
         const telemetry::AttachScope attach(tpath);
         TELEM_SPAN("batch_fingerprint.edition");
+        TELEM_HIST_TIMER("batch.edition_ns");
         result.editions[b] = make_edition(golden, book, b, result.baseline,
                                           sta, power, options);
         TELEM_COUNT("batch.editions_stamped", 1);
@@ -162,14 +163,17 @@ std::uint32_t run_config_crc(const Netlist& golden, const Codebook& book,
 /// internal mutex, so the ticker can run alongside pool workers.
 class HeartbeatTicker {
  public:
-  HeartbeatTicker(Journal* journal, std::int64_t interval_ms) {
+  HeartbeatTicker(Journal* journal, std::int64_t interval_ms,
+                  std::function<void()> on_beat = {}) {
     if (interval_ms <= 0) return;
-    thread_ = std::thread([this, journal, interval_ms] {
+    thread_ = std::thread([this, journal, interval_ms,
+                           on_beat = std::move(on_beat)] {
       std::uint64_t beat = 0;
       std::unique_lock<std::mutex> lock(mu_);
       while (!stop_) {
         lock.unlock();
         journal->heartbeat(++beat);
+        if (on_beat) on_beat();
         lock.lock();
         cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
                      [this] { return stop_; });
@@ -201,6 +205,7 @@ ResumableBatchResult batch_fingerprint_resumable(
     const Codebook& book, const StaticTimingAnalyzer& sta,
     const PowerAnalyzer& power, const ResumeOptions& options) {
   TELEM_SPAN("batch_fingerprint_resumable");
+  const auto run_t0 = std::chrono::steady_clock::now();
   ResumableBatchResult rr;
   rr.journal_path = journal_path;
   const std::size_t n = book.num_buyers();
@@ -317,10 +322,6 @@ ResumableBatchResult batch_fingerprint_resumable(
     }
   }
 
-  // Liveness sidecar for supervised shard workers: joined (and thus
-  // silent) before the journal closes.
-  HeartbeatTicker ticker(&journal, options.heartbeat_interval_ms);
-
   rr.batch.baseline = Baseline::measure(golden, sta, power);
   rr.batch.editions.resize(n);
   for (std::size_t b = 0; b < n; ++b) {
@@ -331,8 +332,33 @@ ResumableBatchResult batch_fingerprint_resumable(
 
   std::atomic<std::size_t> total_retries{0};
   std::atomic<std::size_t> recovered_count{0};
+  std::atomic<std::size_t> committed_count{0};
+  // Progress reports: from the heartbeat thread while the loop runs and
+  // once (final) from this thread after it joins. The counts are the
+  // commit-protocol's own, so a report can never claim a buyer whose
+  // artifact is not already durable.
+  const auto report_progress = [&](bool final_report) {
+    if (!options.progress) return;
+    BatchProgress p;
+    p.range_begin = rb;
+    p.range_end = re;
+    p.committed = committed_count.load(std::memory_order_relaxed);
+    p.recovered = recovered_count.load(std::memory_order_relaxed);
+    p.elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - run_t0)
+                       .count();
+    p.final = final_report;
+    options.progress(p);
+  };
+
   const std::vector<const char*> tpath = telemetry::current_path();
-  const Status loop_status = parallel_for(
+  Status loop_status = Status::kOk;
+  {
+    // Liveness sidecar for supervised shard workers: joined (and thus
+    // silent) before the final progress report and the journal close.
+    HeartbeatTicker ticker(&journal, options.heartbeat_interval_ms,
+                           [&] { report_progress(false); });
+    loop_status = parallel_for(
       bo.pool, re - rb,
       [&](std::size_t i) {
         const std::size_t b = rb + i;
@@ -344,9 +370,11 @@ ResumableBatchResult batch_fingerprint_resumable(
           slot.code = book.code(b);
           rr.artifacts[b] = committed_path[b];
           recovered_count.fetch_add(1, std::memory_order_relaxed);
+          committed_count.fetch_add(1, std::memory_order_relaxed);
           TELEM_COUNT("batch.editions_recovered", 1);
           return;
         }
+        TELEM_HIST_TIMER("batch.edition_ns");
         const std::string path =
             edition_artifact_path(options.artifact_dir, b);
         journal.append(b, BuyerPhase::kEmbedding);
@@ -393,6 +421,7 @@ ResumableBatchResult batch_fingerprint_resumable(
         if (rs.status == Status::kOk) {
           rr.batch.editions[b] = std::move(edition);
           rr.artifacts[b] = path;
+          committed_count.fetch_add(1, std::memory_order_relaxed);
           TELEM_COUNT("batch.editions_stamped", 1);
         } else if (rs.status != Status::kExhausted) {
           // Permanent failure: recorded so a resume retries it last, and
@@ -410,6 +439,8 @@ ResumableBatchResult batch_fingerprint_resumable(
         // picks this buyer up again.
       },
       bo.budget);
+  }
+  report_progress(/*final_report=*/true);
 
   rr.recovered = recovered_count.load();
   rr.retries = total_retries.load();
@@ -526,6 +557,7 @@ std::vector<Outcome<CecResult>> batch_verify_equivalence(
             // the dead budget never let us reach.
             if (budget_exhausted(options.budget)) break;
             try {
+              TELEM_HIST_TIMER("cec.check_ns");
               verdicts[i] =
                   incremental_verify_one(golden, session, e, options);
             } catch (const CheckError& err) {
@@ -569,6 +601,7 @@ std::vector<Outcome<CecResult>> batch_verify_equivalence(
           }
           BudgetedCecOptions cec = options.cec;
           cec.seed = e.seed;  // per-buyer stream, not per-worker
+          TELEM_HIST_TIMER("cec.check_ns");
           verdicts[i] =
               verify_equivalence_budgeted(golden, e.netlist,
                                           options.budget, cec);

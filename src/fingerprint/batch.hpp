@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -153,6 +154,23 @@ std::vector<Outcome<CecResult>> batch_verify_equivalence(
 
 // ------------------------------------------------- crash-safe resume
 
+/// Progress of one resumable batch run, as seen at a heartbeat. Counts
+/// are cumulative over the run's buyer range, so committed/total is a
+/// completion fraction and deltas between reports give a rate.
+struct BatchProgress {
+  std::size_t range_begin = 0;
+  std::size_t range_end = 0;
+  /// Buyers of this range whose artifact is committed (including those
+  /// recovered from the journal at startup).
+  std::size_t committed = 0;
+  /// Committed buyers that were recovered rather than stamped here.
+  std::size_t recovered = 0;
+  /// Wall time since batch_fingerprint_resumable was entered.
+  std::int64_t elapsed_ms = 0;
+  /// True exactly once, after the stamping loop joins (the last report).
+  bool final = false;
+};
+
 struct ResumeOptions {
   /// Seed / pool / budget / delay constraint, exactly as for
   /// batch_fingerprint. On resume the journal header's seed is
@@ -190,6 +208,13 @@ struct ResumeOptions {
   /// journal can distinguish a wedged worker from a slow one. 0 (the
   /// default) spawns nothing.
   std::int64_t heartbeat_interval_ms = 0;
+  /// Called from the heartbeat thread once per heartbeat interval with
+  /// the run's cumulative progress, plus exactly once (final = true)
+  /// from the calling thread after the stamping loop joins. The dist
+  /// layer wires this to a status-snapshot publisher; keep the callback
+  /// cheap and non-throwing. Never invoked concurrently with itself.
+  /// With heartbeat_interval_ms <= 0 only the final report fires.
+  std::function<void(const BatchProgress&)> progress;
 };
 
 struct ResumableBatchResult {

@@ -123,6 +123,8 @@ WindowOdcResult window_odc(const Netlist& nl, NetId net,
   result.window_inputs = static_cast<int>(side_inputs.size());
   TELEM_COUNT("odc.window_gates",
               static_cast<std::int64_t>(result.window_gates));
+  TELEM_HIST("odc.window_cone_gates",
+             static_cast<std::uint64_t>(result.window_gates));
   TELEM_COUNT("odc.window_inputs", result.window_inputs);
   if (result.window_inputs > options.max_window_inputs) {
     TELEM_COUNT("odc.refused_input_cap", 1);

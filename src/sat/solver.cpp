@@ -371,6 +371,8 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions,
     TELEM_COUNT("sat.propagations",
                 static_cast<std::int64_t>(d.propagations));
     TELEM_COUNT("sat.conflicts", static_cast<std::int64_t>(d.conflicts));
+    TELEM_HIST("sat.conflicts_per_call",
+               static_cast<std::uint64_t>(d.conflicts));
     TELEM_COUNT("sat.restarts", static_cast<std::int64_t>(d.restarts));
     TELEM_COUNT("sat.learned_clauses",
                 static_cast<std::int64_t>(d.learned_clauses));

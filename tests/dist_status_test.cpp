@@ -1,0 +1,302 @@
+// Status plane tests: snapshot wire round-trip, torn-snapshot
+// rejection, the primary-source inspector, and the determinism contract
+// of the final run_status.json roll-up — byte-identical across 1/2/4/8
+// shards, worker thread counts, and a SIGKILL landing exactly at the
+// snapshot publish site. Test names contain "Status" so the TSan CI job
+// picks them up alongside the dist suites.
+#include "dist/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/atomic_io.hpp"
+#include "dist/shard.hpp"
+#include "dist/supervisor.hpp"
+
+namespace odcfp::dist {
+namespace {
+
+std::string temp_dir(const char* name) {
+  return std::string(::testing::TempDir()) + "dist_status_test_" + name;
+}
+
+void wipe_dir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string n = entry->d_name;
+    if (n == "." || n == "..") continue;
+    const std::string path = dir + "/" + n;
+    if (entry->d_type == DT_DIR) {
+      wipe_dir(path);
+      ::rmdir(path.c_str());
+    } else {
+      std::remove(path.c_str());
+    }
+  }
+  ::closedir(d);
+}
+
+std::string fresh_dir(const char* name) {
+  const std::string dir = temp_dir(name);
+  wipe_dir(dir);
+  atomic_io::make_dirs(dir);
+  return dir;
+}
+
+RunSpec test_spec() {
+  RunSpec spec;
+  spec.circuit = "c432";
+  spec.num_buyers = 8;  // divisible by every shard count below
+  spec.codebook_seed = 2026;
+  spec.batch_seed = 42;
+  spec.max_delay_overhead = 0;
+  spec.label = "status test";
+  return spec;
+}
+
+DistOptions test_options(const std::string& run_dir, std::size_t shards) {
+  DistOptions opt;
+  opt.run_dir = run_dir;
+  opt.worker_binary = ODCFP_WORKER_BIN;
+  opt.num_shards = shards;
+  opt.worker_threads = 1;
+  opt.heartbeat_interval_ms = 10;  // drives the snapshot cadence too
+  opt.heartbeat_timeout_ms = 60'000;
+  opt.poll_interval_ms = 2;
+  opt.status_interval_ms = 20;
+  return opt;
+}
+
+ShardStatus sample_status() {
+  ShardStatus st;
+  st.shard = 3;
+  st.epoch = 2;
+  st.pid = 4242;
+  st.range_begin = 6;
+  st.range_end = 8;
+  st.committed = 2;
+  st.recovered = 1;
+  st.elapsed_ms = 125;
+  st.eps_milli = 8'000;
+  st.done = 1;
+  st.edition_ns.record(1'000'000);
+  st.edition_ns.record(3'500'000);
+  return st;
+}
+
+// ---- snapshot wire format ----
+
+TEST(Status, SnapshotRoundTripsBitExactly) {
+  const std::string path = fresh_dir("snap") + "/status_3.snap";
+  const ShardStatus st = sample_status();
+  ASSERT_TRUE(write_status_snapshot(path, st).ok());
+  const Outcome<ShardStatus> back = read_status_snapshot(path);
+  ASSERT_TRUE(back.ok()) << back.message();
+  EXPECT_EQ(back.value(), st);
+  // Overwrite with a later report: last write wins, no accumulation.
+  ShardStatus later = st;
+  later.committed = 3;
+  later.edition_ns.record(9);
+  ASSERT_TRUE(write_status_snapshot(path, later).ok());
+  EXPECT_EQ(read_status_snapshot(path).value(), later);
+}
+
+TEST(Status, DamagedOrTornSnapshotIsRejected) {
+  const std::string dir = fresh_dir("snap_bad");
+  const std::string path = dir + "/status_0.snap";
+  EXPECT_EQ(read_status_snapshot(path).status(), Status::kMalformedInput);
+
+  ASSERT_TRUE(write_status_snapshot(path, sample_status()).ok());
+  std::string bytes;
+  ASSERT_TRUE(atomic_io::read_file(path, &bytes));
+
+  // Bit flip anywhere in the record: the CRC catches it.
+  std::string flipped = bytes;
+  flipped[flipped.size() / 2] ^= 0x10;
+  ASSERT_TRUE(atomic_io::write_file_atomic(path, flipped).ok);
+  EXPECT_EQ(read_status_snapshot(path).status(), Status::kMalformedInput);
+
+  // Torn tail (the shape a mid-publish SIGKILL would leave if the write
+  // were not atomic): rejected, treated as "no snapshot yet".
+  ASSERT_TRUE(
+      atomic_io::write_file_atomic(path, bytes.substr(0, bytes.size() - 5))
+          .ok);
+  EXPECT_EQ(read_status_snapshot(path).status(), Status::kMalformedInput);
+
+  ASSERT_TRUE(atomic_io::write_file_atomic(path, "").ok);
+  EXPECT_EQ(read_status_snapshot(path).status(), Status::kMalformedInput);
+
+  ASSERT_TRUE(atomic_io::write_file_atomic(path, "not a snapshot\n").ok);
+  EXPECT_EQ(read_status_snapshot(path).status(), Status::kMalformedInput);
+}
+
+// ---- renderers ----
+
+TEST(Status, FinalRollupIsAPureFunctionOfBuyersAndSizes) {
+  const std::vector<std::uint64_t> sizes = {100, 120, 90, 110};
+  const std::string a = render_final_run_status_json(4, sizes);
+  const std::string b = render_final_run_status_json(4, sizes);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"state\":\"done\""), std::string::npos) << a;
+  EXPECT_NE(a.find("\"buyers\":4"), std::string::npos) << a;
+  EXPECT_NE(a.find("\"artifact_bytes\""), std::string::npos) << a;
+  // No shard geometry and no wall-clock fields may appear.
+  EXPECT_EQ(a.find("shard"), std::string::npos) << a;
+  EXPECT_EQ(a.find("elapsed"), std::string::npos) << a;
+  // Different artifact bytes change the roll-up.
+  EXPECT_NE(render_final_run_status_json(4, {100, 120, 90, 111}), a);
+}
+
+TEST(Status, RenderersSerializeTheViewDeterministically) {
+  RunStatusView view;
+  view.state = "running";
+  view.buyers = 8;
+  view.committed = 3;
+  ShardStatusView row;
+  row.shard = 0;
+  row.state = ShardState::kLeased;
+  row.epoch = 2;
+  row.snap = sample_status();
+  row.have_snapshot = true;
+  row.heartbeat_age_ms = 12;
+  view.shards.push_back(row);
+  ShardStatusView silent;
+  silent.shard = 1;
+  silent.state = ShardState::kLeased;
+  silent.epoch = 1;
+  silent.heartbeat_age_ms = 9'000;
+  silent.stalled = true;
+  view.shards.push_back(silent);
+
+  const std::string json = render_run_status_json(view);
+  EXPECT_EQ(json, render_run_status_json(view));
+  EXPECT_NE(json.find("\"state\":\"running\""), std::string::npos);
+  EXPECT_NE(json.find("\"stalled\":true"), std::string::npos);
+
+  const std::string table = render_run_status_table(view);
+  EXPECT_NE(table.find("STALLED"), std::string::npos) << table;
+  EXPECT_NE(table.find("leased"), std::string::npos) << table;
+}
+
+// ---- end-to-end determinism ----
+
+bool read_run_status(const std::string& run_dir, std::string* bytes) {
+  return atomic_io::read_file(run_status_path(run_dir), bytes);
+}
+
+TEST(Status, RunStatusByteIdenticalAcrossShardAndThreadCounts) {
+  const RunSpec spec = test_spec();
+  const std::string ref_dir = fresh_dir("run_ref");
+  const DistResult ref = run_supervised_batch(spec, test_options(ref_dir, 1));
+  ASSERT_EQ(ref.status, Status::kOk) << ref.message;
+  ASSERT_FALSE(ref.run_status.empty());
+  std::string want;
+  ASSERT_TRUE(read_run_status(ref_dir, &want));
+  EXPECT_NE(want.find("\"state\":\"done\""), std::string::npos) << want;
+
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    const std::string dir =
+        fresh_dir(("run_s" + std::to_string(shards)).c_str());
+    const DistResult r = run_supervised_batch(spec, test_options(dir, shards));
+    ASSERT_EQ(r.status, Status::kOk) << r.message;
+    std::string got;
+    ASSERT_TRUE(read_run_status(dir, &got));
+    EXPECT_EQ(got, want) << shards << " shards";
+  }
+
+  for (const std::size_t threads : {2u, 8u}) {
+    DistOptions opt =
+        test_options(fresh_dir(("run_t" + std::to_string(threads)).c_str()),
+                     2);
+    opt.worker_threads = threads;
+    const DistResult r = run_supervised_batch(spec, opt);
+    ASSERT_EQ(r.status, Status::kOk) << r.message;
+    std::string got;
+    ASSERT_TRUE(read_run_status(opt.run_dir, &got));
+    EXPECT_EQ(got, want) << threads << " worker threads";
+  }
+}
+
+TEST(StatusChaos, KillAtSnapshotPublishNeverCorruptsRunStatus) {
+  const RunSpec spec = test_spec();
+  const std::string ref_dir = fresh_dir("chaos_ref");
+  const DistResult ref = run_supervised_batch(spec, test_options(ref_dir, 1));
+  ASSERT_EQ(ref.status, Status::kOk) << ref.message;
+  std::string want;
+  ASSERT_TRUE(read_run_status(ref_dir, &want));
+
+  // Shard 0's epoch-1 worker SIGKILLs itself exactly when it first
+  // reaches the snapshot publish site; the supervisor must revoke,
+  // re-grant, and still converge to the byte-identical final roll-up.
+  DistOptions chaos = test_options(fresh_dir("chaos_kill"), 2);
+  chaos.extra_worker_args = {"--chaos-signal", "kill",
+                             "--chaos-site",   "dist.status.publish",
+                             "--chaos-nth",    "1",
+                             "--chaos-epoch",  "1",
+                             "--chaos-shard",  "0"};
+  const DistResult r = run_supervised_batch(spec, chaos);
+  ASSERT_EQ(r.status, Status::kOk) << r.message;
+  EXPECT_GE(r.regrants, 1u);
+  std::string got;
+  ASSERT_TRUE(read_run_status(chaos.run_dir, &got));
+  EXPECT_EQ(got, want);
+
+  // Whatever snapshot debris the kill left behind is either readable or
+  // rejected — and the inspector shrugs it off either way.
+  const RunStatusView view = inspect_run_dir(chaos.run_dir);
+  EXPECT_EQ(view.state, "done");
+  EXPECT_EQ(view.committed, spec.num_buyers);
+}
+
+TEST(Status, InspectRunDirComposesFromPrimarySources) {
+  // An empty run dir is idle, not an error.
+  const std::string empty = fresh_dir("inspect_empty");
+  const RunStatusView idle = inspect_run_dir(empty);
+  EXPECT_EQ(idle.state, "idle");
+  EXPECT_EQ(idle.buyers, 0u);
+  EXPECT_TRUE(idle.shards.empty());
+
+  const RunSpec spec = test_spec();
+  const std::string dir = fresh_dir("inspect_done");
+  const DistResult r = run_supervised_batch(spec, test_options(dir, 2));
+  ASSERT_EQ(r.status, Status::kOk) << r.message;
+
+  const RunStatusView done = inspect_run_dir(dir);
+  EXPECT_EQ(done.state, "done");
+  EXPECT_EQ(done.buyers, spec.num_buyers);
+  EXPECT_EQ(done.committed, spec.num_buyers);
+  ASSERT_EQ(done.shards.size(), 2u);
+  for (const ShardStatusView& shard : done.shards) {
+    EXPECT_EQ(shard.state, ShardState::kDone);
+    EXPECT_FALSE(shard.stalled);
+    // Workers published their final self-report before exiting 0.
+    ASSERT_TRUE(shard.have_snapshot);
+    EXPECT_EQ(shard.snap.done, 1u);
+    EXPECT_EQ(shard.snap.committed,
+              shard.snap.range_end - shard.snap.range_begin);
+  }
+
+  // Corrupt one snapshot in place: the inspector degrades that shard to
+  // "no snapshot", and the view stays consistent — a torn snap can
+  // never poison the aggregate.
+  ASSERT_TRUE(
+      atomic_io::write_file_atomic(status_snapshot_path(dir, 0), "garbage")
+          .ok);
+  const RunStatusView degraded = inspect_run_dir(dir);
+  EXPECT_EQ(degraded.state, "done");
+  ASSERT_EQ(degraded.shards.size(), 2u);
+  EXPECT_FALSE(degraded.shards[0].have_snapshot);
+  EXPECT_TRUE(degraded.shards[1].have_snapshot);
+  EXPECT_EQ(degraded.committed, spec.num_buyers);
+}
+
+}  // namespace
+}  // namespace odcfp::dist

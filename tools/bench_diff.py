@@ -27,6 +27,11 @@ counter that moves is a real behavioural change — that is what gates.
     A decrease is reported as an improvement (and with
     --fail-on-decrease also fails, so a baseline refresh is forced
     instead of silently banking the win).
+  * telemetry histograms (schema v3 "hists"): the count, sum, and
+    per-bucket counts of value histograms HARD gate exactly like
+    counters — their bucket vectors are deterministic multisets.
+    Histograms whose name is time-like (batch.edition_ns, cec.check_ns,
+    ...) are wall-clock latency and are never compared.
   * row metrics (area_overhead, capacity_bits, ...): SOFT gate. Moves
     beyond --metric-tolerance (default 0.25) print a WARN but do not
     change the exit status.
@@ -93,6 +98,13 @@ def _validate_telemetry_node(path, where, node):
     children = node.get("children", {})
     if not isinstance(children, dict):
         raise ValueError(f"{path}: {where}.children is not an object")
+    hists = node.get("hists", {})
+    if not isinstance(hists, dict):
+        raise ValueError(f"{path}: {where}.hists is not an object")
+    for name, hist in hists.items():
+        if not isinstance(hist, dict):
+            raise ValueError(
+                f"{path}: {where}.hists[{name!r}] is not an object")
     for name, sub in children.items():
         _validate_telemetry_node(path, f"{where}.children[{name!r}]", sub)
 
@@ -126,13 +138,23 @@ def load_artifacts(path):
 
 
 def flatten_telemetry(node, prefix, out):
-    """telemetry tree -> {"<path>#<counter>": int, "<path>@count": int}.
+    """telemetry tree -> {"<path>#<counter>": int, "<path>@count": int,
+    "<path>%<hist>.count/.sum/.b<i>": int}.
 
-    total_ns is wall-clock and deliberately not flattened.
+    total_ns is wall-clock and deliberately not flattened; so are
+    histograms with time-like names (edition_ns, check_ns, ...) — their
+    bucket shape depends on the machine, not the inputs.
     """
     out[f"{prefix}@count"] = node.get("count", 0)
     for key, value in sorted(node.get("counters", {}).items()):
         out[f"{prefix}#{key}"] = value
+    for name, hist in sorted(node.get("hists", {}).items()):
+        if is_time_like(name):
+            continue
+        out[f"{prefix}%{name}.count"] = hist.get("count", 0)
+        out[f"{prefix}%{name}.sum"] = hist.get("sum", 0)
+        for i, bucket in enumerate(hist.get("buckets", [])):
+            out[f"{prefix}%{name}.b{i}"] = bucket
     for child, sub in sorted(node.get("children", {}).items()):
         flatten_telemetry(sub, f"{prefix}/{child}", out)
 

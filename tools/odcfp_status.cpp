@@ -1,0 +1,103 @@
+// Run monitor for a sharded fingerprinting run dir (src/dist/).
+//
+//   odcfp_status RUN_DIR            one-shot text table
+//   odcfp_status RUN_DIR --json     one-shot JSON (render_run_status_json)
+//   odcfp_status RUN_DIR --watch    poll until the run's merge record
+//                                   lands (exit 0) — ^C to stop earlier
+//
+// The status is composed from the run dir's primary sources (run.spec,
+// lease journal, shard journals, status snapshots), never from
+// run_status.json, so the monitor works identically on a live run, a
+// crashed one, and a finished one — including a run dir whose
+// supervisor is long dead.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/atomic_io.hpp"
+#include "dist/status.hpp"
+
+namespace {
+
+using namespace odcfp;
+
+struct Args {
+  std::string run_dir;
+  bool json = false;
+  bool watch = false;
+  std::int64_t interval_ms = 500;
+  std::int64_t stall_ms = 5'000;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: odcfp_status RUN_DIR [--json] [--watch]\n"
+               "                    [--interval-ms N] [--stall-ms N]\n");
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--json") {
+      args->json = true;
+    } else if (flag == "--watch") {
+      args->watch = true;
+    } else if (flag == "--interval-ms" || flag == "--stall-ms") {
+      if (i + 1 >= argc) return false;
+      const std::int64_t v = std::strtoll(argv[++i], nullptr, 10);
+      if (v <= 0) return false;
+      (flag == "--interval-ms" ? args->interval_ms : args->stall_ms) = v;
+    } else if (!flag.empty() && flag[0] == '-') {
+      return false;
+    } else if (args->run_dir.empty()) {
+      args->run_dir = flag;
+    } else {
+      return false;
+    }
+  }
+  return !args->run_dir.empty();
+}
+
+void render_once(const Args& args, const dist::RunStatusView& view) {
+  if (args.json) {
+    std::fputs(dist::render_run_status_json(view).c_str(), stdout);
+  } else {
+    std::fputs(dist::render_run_status_table(view).c_str(), stdout);
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, &args)) return usage();
+  if (!atomic_io::exists(args.run_dir)) {
+    std::fprintf(stderr, "odcfp_status: run dir '%s' does not exist\n",
+                 args.run_dir.c_str());
+    return 2;
+  }
+
+  if (!args.watch) {
+    render_once(args,
+                dist::inspect_run_dir(args.run_dir, args.stall_ms));
+    return 0;
+  }
+
+  const bool tty = ::isatty(STDOUT_FILENO) == 1;
+  for (;;) {
+    const dist::RunStatusView view =
+        dist::inspect_run_dir(args.run_dir, args.stall_ms);
+    if (tty && !args.json) std::fputs("\033[H\033[2J", stdout);
+    render_once(args, view);
+    if (view.state == "done") return 0;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(args.interval_ms));
+  }
+}

@@ -27,6 +27,7 @@
 //                              shard), so a fleet-wide flag set can still
 //                              kill exactly one worker.
 #include <signal.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <cstdio>
@@ -39,7 +40,9 @@
 #include "common/fault.hpp"
 #include "common/log.hpp"
 #include "common/parallel.hpp"
+#include "common/telemetry.hpp"
 #include "dist/shard.hpp"
+#include "dist/status.hpp"
 #include "dist/supervisor.hpp"
 #include "fingerprint/batch.hpp"
 #include "fingerprint/codewords.hpp"
@@ -159,6 +162,31 @@ int main(int argc, char** argv) {
     options.range_begin = args.begin;
     options.range_end = args.end;
     options.heartbeat_interval_ms = args.heartbeat_ms;
+    // Status snapshots: one atomic single-record publish per heartbeat
+    // (plus the final report), carrying progress, rate, and the
+    // edition-latency histogram recorded so far by this process.
+    const std::string snap_path =
+        dist::status_snapshot_path(args.run_dir, args.shard);
+    options.progress = [&](const BatchProgress& p) {
+      dist::ShardStatus st;
+      st.shard = args.shard;
+      st.epoch = args.epoch;
+      st.pid = static_cast<std::uint64_t>(::getpid());
+      st.range_begin = p.range_begin;
+      st.range_end = p.range_end;
+      st.committed = p.committed;
+      st.recovered = p.recovered;
+      st.elapsed_ms = static_cast<std::uint64_t>(p.elapsed_ms);
+      const std::uint64_t stamped = p.committed - p.recovered;
+      st.eps_milli = p.elapsed_ms > 0
+                         ? stamped * 1'000'000 /
+                               static_cast<std::uint64_t>(p.elapsed_ms)
+                         : 0;
+      st.done = p.final ? 1 : 0;
+      st.edition_ns =
+          telemetry::snapshot().hist_total("batch.edition_ns");
+      dist::write_status_snapshot(snap_path, st);
+    };
 
     const ResumableBatchResult rr = batch_fingerprint_resumable(
         dist::shard_journal_path(args.run_dir, args.shard), golden, book,

@@ -11,9 +11,10 @@ $defs / const / enum / minimum / minLength — and fails loudly on any
 schema keyword it does not understand, so a schema edit cannot silently
 disable validation.
 
-The schema accepts both artifact generations (schema_version 1 and 2).
---strict additionally requires the current generation: schema_version
-== 2 with the v2 "host" and "trace_dropped_events" fields present.
+The schema accepts every artifact generation (schema_version 1, 2, and
+3; v3 adds optional per-node "hists" to the telemetry tree). --strict
+additionally requires the current generation: schema_version == 3 with
+the "host" and "trace_dropped_events" fields present.
 
 Exit status: 0 when every report validates, 1 otherwise.
 """
@@ -40,8 +41,9 @@ _HANDLED_KEYWORDS = {
     "additionalProperties", "items", "minimum", "minLength",
 }
 
-# schema_version 2 additions; --strict requires them (and version 2).
-_CURRENT_SCHEMA_VERSION = 2
+# Keys added in schema_version 2 (and kept since); --strict requires
+# them along with the current version.
+_CURRENT_SCHEMA_VERSION = 3
 _V2_REQUIRED_KEYS = ("host", "trace_dropped_events")
 
 
@@ -161,7 +163,7 @@ def main(argv):
             for key in _V2_REQUIRED_KEYS:
                 if key not in report:
                     errors.append(
-                        f"$: --strict requires v2 key {key!r}")
+                        f"$: --strict requires key {key!r}")
         if errors:
             failed = True
             print(f"FAIL {report_path}:", file=sys.stderr)
