@@ -21,9 +21,11 @@
 #include "bench_common.hpp"
 #include "common/atomic_io.hpp"
 #include "common/metrics.hpp"
+#include "common/parallel.hpp"
 #include "common/telemetry.hpp"
 #include "dist/shard.hpp"
 #include "dist/status.hpp"
+#include "dist/stitch.hpp"
 #include "dist/supervisor.hpp"
 
 using namespace odcfp;
@@ -123,6 +125,10 @@ int main() {
     // run is the recovery cost (revoke + respawn + journal replay).
     dist::DistOptions chaos = opt;
     chaos.run_dir = base + "/killed_" + std::to_string(shards);
+    // Killed runs capture traces (supervisor + one file per grant) so
+    // the stitch panel below has a real crash-shaped run dir to merge;
+    // the clean runs stay capture-free to keep editions/s undiluted.
+    chaos.capture_traces = true;
     chaos.extra_worker_args = {"--chaos-signal", "kill",
                                "--chaos-site",   "atomic_io.rename",
                                "--chaos-nth",    "1",
@@ -195,6 +201,69 @@ int main() {
                 static_cast<unsigned long long>(sq.p50),
                 static_cast<unsigned long long>(sq.p90),
                 static_cast<unsigned long long>(sq.p99));
+  }
+
+  // Stitch panel: merge the killed 4-shard run's cross-process debris
+  // (supervisor trace, 5 worker traces, lease journal, shard journals,
+  // snapshots) into one timeline at 1/2/8 stitcher threads. The stitched
+  // bytes, the lease-span count, and the missing-trace count are
+  // deterministic — the kill schedule is fixed and the stitcher is pure
+  // record math — and hard-gate in CI via telemetry counters; the
+  // stitch latency is wall-clock and the raw event count is
+  // schedule-dependent (heartbeat cadence), so both stay soft.
+  {
+    const std::string killed_dir = base + "/killed_4";
+    std::string first_json;
+    bool stitch_identical = true;
+    double stitch_ms = 0.0;
+    dist::StitchResult last;
+    for (const int threads : {1, 2, 8}) {
+      ThreadPool pool(threads);
+      dist::StitchOptions stitch_opt;
+      stitch_opt.pool = threads > 1 ? &pool : nullptr;
+      const auto t2 = std::chrono::steady_clock::now();
+      dist::StitchResult stitched = dist::stitch_run(killed_dir, stitch_opt);
+      const double ms = seconds_since(t2) * 1000.0;
+      if (stitched.status != Status::kOk) {
+        std::fprintf(stderr, "stitch failed at %d threads: %s\n", threads,
+                     stitched.message.c_str());
+        return 1;
+      }
+      if (first_json.empty()) {
+        first_json = stitched.json;
+        stitch_ms = ms;
+      } else {
+        stitch_identical &= stitched.json == first_json;
+        if (ms < stitch_ms) stitch_ms = ms;
+      }
+      last = std::move(stitched);
+    }
+    all_identical &= stitch_identical;
+    {
+      TELEM_SPAN("bench.stitch");
+      TELEM_COUNT("stitch.lease_spans",
+                  static_cast<std::int64_t>(last.lease_spans));
+      TELEM_COUNT("stitch.missing_traces",
+                  static_cast<std::int64_t>(last.missing_traces));
+      TELEM_COUNT("stitch.identical", stitch_identical ? 1 : 0);
+    }
+    telemetry::flush_thread();
+    report.add_row("stitch")
+        .label("panel", "stitch")
+        .metric("stitch_ms", stitch_ms)
+        .metric("stitched_events", static_cast<double>(last.total_events))
+        .metric("lease_spans", static_cast<double>(last.lease_spans))
+        .metric("missing_traces", static_cast<double>(last.missing_traces))
+        .metric("dropped_events",
+                static_cast<double>(last.dropped_events))
+        .metric("stitch_identical", stitch_identical ? 1.0 : 0.0);
+    std::printf("\nstitch (killed 4-shard run): %llu events, %llu lease "
+                "spans, %llu missing, %.1f ms, %s across 1/2/8 threads\n",
+                static_cast<unsigned long long>(last.total_events),
+                static_cast<unsigned long long>(last.lease_spans),
+                static_cast<unsigned long long>(last.missing_traces),
+                stitch_ms,
+                stitch_identical ? "byte-identical" : "DIVERGENT");
   }
 
   std::printf("\n(merged artifacts are byte-identical across every shard "

@@ -1,0 +1,50 @@
+#include "common/clock.hpp"
+
+#include <chrono>
+
+namespace odcfp::clocks {
+
+namespace {
+
+std::uint64_t steady_raw_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ClockAnchor sample_anchor() {
+  // Read steady on both sides of the wall read and midpoint: the pairing
+  // error is at most half the window, regardless of scheduling jitter
+  // between the three reads.
+  const std::uint64_t s0 = steady_raw_ns();
+  const std::uint64_t wall = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  const std::uint64_t s1 = steady_raw_ns();
+  ClockAnchor anchor;
+  anchor.wall_ns = wall;
+  anchor.steady_ns = s0 + (s1 - s0) / 2;
+  return anchor;
+}
+
+}  // namespace
+
+const ClockAnchor& process_anchor() {
+  static const ClockAnchor anchor = sample_anchor();
+  return anchor;
+}
+
+std::uint64_t steady_now_ns() { return steady_raw_ns(); }
+
+std::uint64_t wall_from_steady(std::uint64_t steady_ns) {
+  const ClockAnchor& a = process_anchor();
+  return a.wall_ns + (steady_ns - a.steady_ns);
+}
+
+std::uint64_t anchored_wall_now_ns() {
+  return wall_from_steady(steady_raw_ns());
+}
+
+}  // namespace odcfp::clocks

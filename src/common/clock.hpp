@@ -1,0 +1,49 @@
+// Process-wide clock anchoring for cross-process timeline stitching.
+//
+// Every odcfp process keeps one immutable calibration anchor: a
+// (wall_clock, steady_clock) pair sampled back-to-back at first use.
+// Event timestamps are recorded on the steady clock (monotonic, cheap,
+// immune to NTP steps), and the anchor is written into every durable
+// artifact that needs cross-process alignment — trace-file metadata
+// (src/common/trace.*), the startup `clock_anchor` log record
+// (src/common/log.*), and the wall= field stamped on lease/journal/
+// status records (src/dist/*). A stitcher that later merges artifacts
+// from N processes computes inter-process offsets purely from those
+// recorded anchors; it never consults a clock of its own, which is what
+// makes the stitched output a deterministic function of the inputs
+// (see src/dist/stitch.*).
+//
+// Error model: the anchor is sampled once with the steady clock read on
+// both sides of the wall read and midpointed, so the pairing error is
+// bounded by half the sampling window (sub-microsecond in practice).
+// Cross-process skew on one host is then bounded by wall-clock steps
+// between process launches; the stitcher surfaces each shard's offset so
+// out-of-bound anchors are visible rather than silently misaligned.
+#pragma once
+
+#include <cstdint>
+
+namespace odcfp::clocks {
+
+/// One calibration pair: the same instant read on both clocks.
+struct ClockAnchor {
+  std::uint64_t wall_ns = 0;    ///< CLOCK_REALTIME ns since Unix epoch.
+  std::uint64_t steady_ns = 0;  ///< steady_clock ns since its (arbitrary)
+                                ///< epoch, midpoint of the sample window.
+};
+
+/// This process's anchor, sampled on first call and immutable after.
+const ClockAnchor& process_anchor();
+
+/// Steady-clock now, in the same epoch as ClockAnchor::steady_ns.
+std::uint64_t steady_now_ns();
+
+/// Converts a steady timestamp (this process's epoch) to anchored wall
+/// time: anchor.wall_ns + (steady_ns - anchor.steady_ns).
+std::uint64_t wall_from_steady(std::uint64_t steady_ns);
+
+/// Anchored wall-clock now: monotonic within the process (it advances on
+/// the steady clock), comparable across processes via the anchors.
+std::uint64_t anchored_wall_now_ns();
+
+}  // namespace odcfp::clocks

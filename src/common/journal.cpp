@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "common/atomic_io.hpp"
+#include "common/clock.hpp"
 #include "common/fault.hpp"
 #include "common/log.hpp"
 
@@ -87,7 +88,7 @@ std::string entry_payload(const JournalEntry& e) {
      << " phase=" << to_string(e.phase) << " crc=";
   std::string crc;
   hex8(e.artifact_crc, &crc);
-  os << crc << " artifact=" << e.artifact;
+  os << crc << " wall=" << e.wall_ns << " artifact=" << e.artifact;
   return os.str();
 }
 
@@ -111,22 +112,36 @@ bool parse_entry_payload(std::string_view payload, JournalEntry* out) {
       !parse_hex32_field(&payload, &out->artifact_crc)) {
     return false;
   }
+  // wall= is a later wire addition: optional on parse so journals (and
+  // handcrafted fixtures) written without it still replay, wall_ns == 0.
+  if (consume(&payload, "wall=") &&
+      !parse_u64_field(&payload, &out->wall_ns)) {
+    return false;
+  }
   if (!consume(&payload, "artifact=")) return false;
   out->artifact = std::string(payload);
   return true;
 }
 
-std::string heartbeat_payload(std::uint64_t pid, std::uint64_t beat) {
+std::string heartbeat_payload(std::uint64_t pid, std::uint64_t beat,
+                              std::uint64_t wall_ns) {
   std::ostringstream os;
-  os << "pid=" << pid << " beat=" << beat;
+  os << "pid=" << pid << " beat=" << beat << " wall=" << wall_ns;
   return os.str();
 }
 
 bool parse_heartbeat_payload(std::string_view payload, std::uint64_t* pid,
-                             std::uint64_t* beat) {
-  return consume(&payload, "pid=") && parse_u64_field(&payload, pid) &&
-         consume(&payload, "beat=") && parse_u64_field(&payload, beat) &&
-         payload.empty();
+                             std::uint64_t* beat, std::uint64_t* wall_ns) {
+  if (!consume(&payload, "pid=") || !parse_u64_field(&payload, pid) ||
+      !consume(&payload, "beat=") || !parse_u64_field(&payload, beat)) {
+    return false;
+  }
+  *wall_ns = 0;  // optional trailing field (pre-wall journals)
+  if (consume(&payload, "wall=") &&
+      !parse_u64_field(&payload, wall_ns)) {
+    return false;
+  }
+  return payload.empty();
 }
 
 }  // namespace
@@ -294,9 +309,9 @@ Outcome<JournalReplay> read_journal(const std::string& path) {
       // sequence number and never enters `entries` — phase state and
       // resume decisions are blind to it.
       std::string_view payload;
-      std::uint64_t pid = 0, beat = 0;
+      std::uint64_t pid = 0, beat = 0, hb_wall = 0;
       if (!checked_payload(line, 'B', &payload) ||
-          !parse_heartbeat_payload(payload, &pid, &beat)) {
+          !parse_heartbeat_payload(payload, &pid, &beat, &hb_wall)) {
         if (is_final) {
           replay.torn_tail = true;
           break;
@@ -307,6 +322,7 @@ Outcome<JournalReplay> read_journal(const std::string& path) {
       }
       ++replay.heartbeats;
       replay.last_heartbeat = beat;
+      replay.heartbeat_walls.push_back(hb_wall);
     } else {
       JournalEntry entry;
       std::string_view payload;
@@ -507,6 +523,7 @@ bool Journal::append(std::uint64_t buyer, BuyerPhase phase,
     entry.phase = phase;
     entry.artifact = artifact;
     entry.artifact_crc = artifact_crc;
+    entry.wall_ns = clocks::anchored_wall_now_ns();
     const std::string line = format_line('R', entry_payload(entry));
     try {
       ODCFP_FAULT_POINT("journal.append");
@@ -565,7 +582,7 @@ bool Journal::heartbeat(std::uint64_t beat, std::string* error) {
   } else {
     const std::string line = format_line(
         'B', heartbeat_payload(static_cast<std::uint64_t>(::getpid()),
-                               beat));
+                               beat, clocks::anchored_wall_now_ns()));
     struct stat st;
     if (::fstat(impl_->fd, &st) != 0) {
       diag = errno_message("fstat", impl_->path);

@@ -14,11 +14,16 @@
 //
 //   odcfp-journal 1
 //   H <crc32-hex8> seed=<u64> buyers=<u64> config=<hex8> label=<text>
-//   R <crc32-hex8> seq=<u64> buyer=<u64> phase=<name> crc=<hex8> artifact=<path>
+//   R <crc32-hex8> seq=<u64> buyer=<u64> phase=<name> crc=<hex8> wall=<u64> artifact=<path>
 //
 // The checksum covers the payload after the second space. `artifact` is
 // always the last field and runs to end of line (paths may contain
-// spaces). Every append is a single write(2) of a whole line to an
+// spaces). `wall=` is the writer's anchored wall clock
+// (src/common/clock.*) at append time; it is OPTIONAL on parse —
+// journals written before the field existed (and handcrafted test
+// fixtures) replay with wall_ns == 0 — so readers must treat 0 as
+// "unknown", never as the epoch. It exists solely for the cross-process
+// timeline (src/dist/stitch.*): replay/resume decisions ignore it. Every append is a single write(2) of a whole line to an
 // O_APPEND descriptor followed by fsync, so the only way a record can be
 // damaged is a torn final line from a crash mid-write.
 //
@@ -77,6 +82,8 @@ struct JournalEntry {
   std::uint64_t buyer = 0;
   BuyerPhase phase = BuyerPhase::kQueued;
   std::uint32_t artifact_crc = 0;  ///< crc32 of artifact bytes (committed).
+  std::uint64_t wall_ns = 0;  ///< Anchored wall time of the append
+                              ///< (0 = record predates the field).
   std::string artifact;            ///< Final artifact path ("" until commit).
 };
 
@@ -89,6 +96,10 @@ struct JournalReplay {
   std::uint64_t next_seq = 0;
   std::uint64_t heartbeats = 0;       ///< Intact "B" liveness records seen.
   std::uint64_t last_heartbeat = 0;   ///< Beat counter of the last one.
+  /// Anchored wall time of every intact heartbeat, in file order (0 for
+  /// records predating the wall= field). The report analyzer derives
+  /// heartbeat-gap anomalies from consecutive differences.
+  std::vector<std::uint64_t> heartbeat_walls;
 
   /// Latest phase per buyer (kQueued where never mentioned). Entries for
   /// buyers >= num_buyers are ignored.

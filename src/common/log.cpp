@@ -1,13 +1,15 @@
 #include "common/log.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <ostream>
 
+#include "common/clock.hpp"
 #include "common/telemetry.hpp"
 
 namespace odcfp::log {
@@ -72,6 +74,11 @@ Global& g() {
           G->owns_file = true;
         }
       }
+      // Self-description first: the anchor pair lets a stitcher place
+      // every subsequent ts_ns on the cross-process timeline.
+      const std::string anchor = clock_anchor_line();
+      std::fwrite(anchor.data(), 1, anchor.size(), G->file);
+      std::fflush(G->file);
     }
     return G;
   }();
@@ -107,6 +114,26 @@ int thread_id() {
 }
 
 }  // namespace
+
+std::string clock_anchor_line() {
+  // Composed by hand rather than via Record: this runs during the log
+  // global's own initialization, where a Record would re-enter g().
+  const clocks::ClockAnchor& a = clocks::process_anchor();
+  std::string line;
+  line.reserve(160);
+  line += "{\"ts_ns\":";
+  line += std::to_string(clocks::anchored_wall_now_ns());
+  line += ",\"level\":\"info\",\"event\":\"clock_anchor\",\"tid\":";
+  line += std::to_string(thread_id());
+  line += ",\"span\":\"\",\"wall_ns\":";
+  line += std::to_string(a.wall_ns);
+  line += ",\"steady_ns\":";
+  line += std::to_string(a.steady_ns);
+  line += ",\"pid\":";
+  line += std::to_string(static_cast<long long>(::getpid()));
+  line += "}\n";
+  return line;
+}
 
 const char* to_string(Level level) {
   switch (level) {
@@ -148,11 +175,11 @@ Record::Record(Level lv, const char* event) : level_(lv) {
   if (!enabled(lv)) return;
   active_ = true;
   line_.reserve(160);
+  // Anchored wall time: same epoch as the wall clock, but advancing on
+  // the steady clock so it orders consistently with trace timestamps
+  // and the dist layer's wall= fields (see src/common/clock.*).
   line_ += "{\"ts_ns\":";
-  line_ += std::to_string(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::system_clock::now().time_since_epoch())
-          .count());
+  line_ += std::to_string(clocks::anchored_wall_now_ns());
   line_ += ",\"level\":\"";
   line_ += to_string(lv);
   line_ += "\",\"event\":";

@@ -17,8 +17,17 @@
 //    info).
 //
 // Record shape (reserved keys first, then user fields in call order):
-//   {"ts_ns":<wall ns>,"level":"info","event":"batch.done","tid":2,
-//    "span":"batch_fingerprint/batch_fingerprint.edition", ...}
+//   {"ts_ns":<anchored wall ns>,"level":"info","event":"batch.done",
+//    "tid":2,"span":"batch_fingerprint/batch_fingerprint.edition", ...}
+//
+// Timebase: ts_ns is the *anchored* wall clock (src/common/clock.*) —
+// the process clock anchor plus the steady-clock delta — so log lines,
+// trace timestamps, and the wall= fields on dist journal records all
+// share one epoch and merge into the stitched timeline without
+// per-source correction. When ODCFP_LOG names a destination, the first
+// record written is one `clock_anchor` event carrying the anchor pair
+// and pid, so a log file is self-describing the same way a trace file's
+// otherData is.
 // Field keys must not collide with the reserved keys (ts_ns, level,
 // event, tid, span); the logger does not deduplicate.
 //
@@ -51,6 +60,12 @@ bool enabled(Level level);
 /// Redirects all enabled records to `os` (tests / embedders); nullptr
 /// restores the ODCFP_LOG-configured default.
 void set_stream(std::ostream* os);
+
+/// The self-description record written first to every ODCFP_LOG
+/// destination: {"ts_ns":...,"event":"clock_anchor",...,"wall_ns":...,
+/// "steady_ns":...,"pid":...}, newline-terminated. Exposed so tests and
+/// embedders with their own sinks can emit / verify the same line.
+std::string clock_anchor_line();
 
 /// One structured record, emitted on destruction. Move-only; build it
 /// fluently in one expression:

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "common/atomic_io.hpp"
+#include "common/clock.hpp"
 #include "common/log.hpp"
 
 namespace odcfp::trace {
@@ -56,17 +58,24 @@ struct Global {
   /// Bumped on every start(); thread-local sink caches re-register when
   /// their cached epoch goes stale (handles stop()+start() cycles).
   std::atomic<std::uint64_t> epoch{0};
-  std::mutex mu;  ///< Guards sinks / next_tid / limit / env bookkeeping.
+  std::mutex mu;  ///< Guards sinks / next_tid / limit / arm bookkeeping.
   std::vector<std::shared_ptr<Sink>> sinks;
   std::uint64_t next_tid = 0;
   std::size_t limit = kDefaultLimit;
   Clock::time_point origin{};
-  std::string env_path;  ///< Non-empty when armed by ODCFP_TRACE.
+  /// The origin on the anchor's steady epoch — pairs every event's
+  /// relative ts_ns with the process clock anchor in otherData.
+  std::uint64_t origin_steady_ns = 0;
+  std::string armed_path;  ///< Flush destination; empty = disarmed.
+  bool atexit_registered = false;
+  std::atomic<std::uint64_t> flushes{0};
+  char label[48] = "odcfp";  ///< process_name metadata.
+  std::map<std::string, std::string> meta;  ///< Extra otherData entries.
 };
 
-void env_flush();
+void exit_flush();
 
-/// Leaked on purpose: the ODCFP_TRACE atexit flush and thread-local sink
+/// Leaked on purpose: the armed-path atexit flush and thread-local sink
 /// destructors may run during static destruction, after a non-leaked
 /// instance would already be gone.
 Global& g() {
@@ -74,15 +83,20 @@ Global& g() {
     Global* G = new Global();
     const char* path = std::getenv("ODCFP_TRACE");
     if (path != nullptr && *path != '\0') {
-      G->env_path = path;
+      G->armed_path = path;
       if (const char* lim = std::getenv("ODCFP_TRACE_LIMIT")) {
         const long long v = std::atoll(lim);
         if (v > 0) G->limit = static_cast<std::size_t>(v);
       }
       G->origin = Clock::now();
+      G->origin_steady_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              G->origin.time_since_epoch())
+              .count());
       G->epoch.store(1, std::memory_order_release);
       G->enabled.store(true, std::memory_order_release);
-      std::atexit(env_flush);
+      G->atexit_registered = true;
+      std::atexit(exit_flush);
     }
     return G;
   }();
@@ -164,6 +178,10 @@ void write_escaped(std::ostream& os, const char* s) {
   os << '"';
 }
 
+void write_escaped(std::ostream& os, const std::string& s) {
+  write_escaped(os, s.c_str());
+}
+
 /// Chrome's ts unit is microseconds; print ns-resolution fractions.
 void write_ts(std::ostream& os, std::uint64_t ns) {
   char buf[40];
@@ -173,14 +191,46 @@ void write_ts(std::ostream& os, std::uint64_t ns) {
   os << buf;
 }
 
-void env_flush() {
+bool reserved_meta_key(const std::string& key) {
+  return key.rfind("trace_", 0) == 0 || key.rfind("clock_", 0) == 0;
+}
+
+/// Renders and atomically publishes the armed file. `quiet` suppresses
+/// the per-write info record — heartbeat-cadence flushes would otherwise
+/// dominate the structured log.
+bool write_path(const std::string& path, bool quiet) {
+  // Render to memory, publish atomically: a timeline consumer (or an
+  // artifact-uploading CI step racing an exit flush) never sees a
+  // half-written JSON file at the final path.
+  std::ostringstream os;
+  write(os);
+  const atomic_io::WriteResult written =
+      atomic_io::write_file_atomic(path, os.str());
+  if (!written.ok) {
+    log::error("trace.write_failed")
+        .field("path", path)
+        .field("error", written.error);
+    return false;
+  }
+  if (!quiet) {
+    log::info("trace.written")
+        .field("path", path)
+        .field("events", static_cast<std::int64_t>(recorded_events()))
+        .field("dropped", static_cast<std::int64_t>(dropped_events()));
+  }
+  return true;
+}
+
+void exit_flush() {
   Global& G = g();
   std::string path;
   {
     std::lock_guard<std::mutex> lock(G.mu);
-    path.swap(G.env_path);
+    path.swap(G.armed_path);  // one shot; later flush() calls are no-ops
   }
-  if (!path.empty()) write_file(path);
+  if (path.empty()) return;
+  G.flushes.fetch_add(1, std::memory_order_relaxed);
+  write_path(path, /*quiet=*/false);
 }
 
 }  // namespace
@@ -202,6 +252,13 @@ void start(std::size_t per_thread_limit) {
   G.sinks.clear();
   G.next_tid = 0;
   G.origin = Clock::now();
+  G.origin_steady_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          G.origin.time_since_epoch())
+          .count());
+  G.flushes.store(0, std::memory_order_relaxed);
+  std::strcpy(G.label, "odcfp");
+  G.meta.clear();
   G.epoch.fetch_add(1, std::memory_order_release);
   G.enabled.store(true, std::memory_order_release);
 }
@@ -244,6 +301,61 @@ void set_thread_name(const char* name) {
   }
 }
 
+void set_process_label(const char* label) {
+  Global& G = g();
+  std::lock_guard<std::mutex> lock(G.mu);
+  std::strncpy(G.label, label, sizeof(G.label) - 1);
+  G.label[sizeof(G.label) - 1] = '\0';
+}
+
+void set_meta(const std::string& key, const std::string& value) {
+  if (key.empty() || reserved_meta_key(key)) return;
+  Global& G = g();
+  std::lock_guard<std::mutex> lock(G.mu);
+  G.meta[key] = value;
+}
+
+void arm_file(const std::string& path) {
+  Global& G = g();
+  std::lock_guard<std::mutex> lock(G.mu);
+  G.armed_path = path;
+  if (!G.atexit_registered) {
+    G.atexit_registered = true;
+    std::atexit(exit_flush);
+  }
+}
+
+void disarm() {
+  Global& G = g();
+  std::lock_guard<std::mutex> lock(G.mu);
+  G.armed_path.clear();
+}
+
+bool armed() {
+  Global& G = g();
+  std::lock_guard<std::mutex> lock(G.mu);
+  return !G.armed_path.empty();
+}
+
+bool flush() {
+  Global& G = g();
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(G.mu);
+    path = G.armed_path;
+  }
+  if (path.empty()) return false;
+  // Count first so the file being written already reports this flush —
+  // a reader of a crash-survived file sees how many rewrites it is into
+  // the run, i.e. how stale its tail can be (one heartbeat interval).
+  G.flushes.fetch_add(1, std::memory_order_relaxed);
+  return write_path(path, /*quiet=*/true);
+}
+
+std::uint64_t flush_count() {
+  return g().flushes.load(std::memory_order_relaxed);
+}
+
 void begin(const char* name) { emit(Phase::kBegin, name, nullptr, 0); }
 void end(const char* name) { emit(Phase::kEnd, name, nullptr, 0); }
 void counter(const char* name, std::int64_t value) {
@@ -255,13 +367,20 @@ void instant(const char* name, const char* detail) {
 
 void write(std::ostream& os) {
   Global& G = g();
+  // Pair the trace's steady-clock origin with the process anchor before
+  // taking the trace mutex (process_anchor() is itself lazily sampled).
+  const std::uint64_t origin_wall =
+      clocks::wall_from_steady(G.origin_steady_ns);
+  const clocks::ClockAnchor& anchor = clocks::process_anchor();
   std::lock_guard<std::mutex> lock(G.mu);
   // Sinks register in first-event order, so the vector is already sorted
   // by tid; one pass emits name metadata then each track's events.
   std::uint64_t dropped = 0;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
-        "\"args\":{\"name\":\"odcfp\"}}";
+        "\"args\":{\"name\":";
+  write_escaped(os, G.label);
+  os << "}}";
   for (const auto& sink : G.sinks) {
     const std::uint64_t tid = sink->tid;
     os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
@@ -303,35 +422,32 @@ void write(std::ostream& os) {
       os << "}";
     }
   }
-  char dropped_str[24];
-  std::snprintf(dropped_str, sizeof(dropped_str), "%llu",
-                static_cast<unsigned long long>(dropped));
-  char limit_str[24];
-  std::snprintf(limit_str, sizeof(limit_str), "%llu",
-                static_cast<unsigned long long>(G.limit));
-  os << "\n],\"otherData\":{\"trace_dropped_events\":\"" << dropped_str
-     << "\",\"trace_event_limit_per_thread\":\"" << limit_str << "\"}}\n";
+  // otherData: one sorted map so the rendering is deterministic and
+  // user meta can never split the fixed keys. All values are strings —
+  // u64 would lose precision as a JSON double in lenient parsers.
+  std::map<std::string, std::string> other = G.meta;
+  other["clock_anchor_steady_ns"] = std::to_string(anchor.steady_ns);
+  other["clock_anchor_wall_ns"] = std::to_string(anchor.wall_ns);
+  other["trace_origin_steady_ns"] = std::to_string(G.origin_steady_ns);
+  other["trace_origin_wall_ns"] = std::to_string(origin_wall);
+  other["trace_dropped_events"] = std::to_string(dropped);
+  other["trace_event_limit_per_thread"] = std::to_string(G.limit);
+  other["trace_flushes"] =
+      std::to_string(G.flushes.load(std::memory_order_relaxed));
+  os << "\n],\"otherData\":{";
+  bool first = true;
+  for (const auto& [key, value] : other) {
+    if (!first) os << ',';
+    first = false;
+    write_escaped(os, key);
+    os << ':';
+    write_escaped(os, value);
+  }
+  os << "}}\n";
 }
 
 bool write_file(const std::string& path) {
-  // Render to memory, publish atomically: a timeline consumer (or an
-  // artifact-uploading CI step racing an exit flush) never sees a
-  // half-written JSON file at the final path.
-  std::ostringstream os;
-  write(os);
-  const atomic_io::WriteResult written =
-      atomic_io::write_file_atomic(path, os.str());
-  if (!written.ok) {
-    log::error("trace.write_failed")
-        .field("path", path)
-        .field("error", written.error);
-    return false;
-  }
-  log::info("trace.written")
-      .field("path", path)
-      .field("events", static_cast<std::int64_t>(recorded_events()))
-      .field("dropped", static_cast<std::int64_t>(dropped_events()));
-  return true;
+  return write_path(path, /*quiet=*/false);
 }
 
 }  // namespace odcfp::trace

@@ -37,11 +37,26 @@
 // re-rooting path as B/E events on the worker's track, so a worker's
 // timeline shows which fan-out phase each item served.
 //
-// Activation: set ODCFP_TRACE=<path> to record for the whole process and
-// write <path> at exit, or call start()/write_file() programmatically.
-// All name/detail strings passed to the emitters must have static
-// storage duration (they are the TELEM_SPAN/fault-site literals);
-// set_thread_name copies its argument.
+// Durability: arm_file(path) makes the trace crash-survivable — flush()
+// atomically rewrites `path` with everything published so far, and a
+// one-shot atexit handler writes the final state on clean exit. The
+// distributed layer arms per-shard files under run_dir/traces/ and
+// flushes on every heartbeat tick, so a worker SIGKILLed mid-run loses
+// at most the events since its last heartbeat; otherData counts the
+// flushes so the stitcher can report how stale a truncated file is.
+//
+// Cross-process identity: each trace file's otherData embeds this
+// process's clock anchor (see src/common/clock.*) plus the process
+// label and any set_meta() key/values (run label, shard, epoch), which
+// is everything src/dist/stitch.* needs to align and attribute tracks
+// without out-of-band context.
+//
+// Activation: set ODCFP_TRACE=<path> to record for the whole process
+// (the path is armed, so the same incremental-durability rules apply),
+// or call start()/arm_file()/write_file() programmatically. All
+// name/detail strings passed to the emitters must have static storage
+// duration (they are the TELEM_SPAN/fault-site literals);
+// set_thread_name / set_process_label / set_meta copy their arguments.
 #pragma once
 
 #include <cstddef>
@@ -83,6 +98,40 @@ std::uint64_t recorded_events();
 /// "pool-worker-3"). Copied (truncated to 47 chars); callable before
 /// start(), the name sticks to the thread for later traces.
 void set_thread_name(const char* name);
+
+/// Names this process's track group in the emitted trace (the
+/// process_name metadata event), e.g. "supervisor" or "shard-3".
+/// Copied (truncated to 47 chars); default "odcfp". Reset by start().
+void set_process_label(const char* label);
+
+/// Attaches a key/value pair to the trace file's otherData (both copied)
+/// — run/shard/epoch identity for the stitcher. Keys sort
+/// deterministically in the output; reserved otherData keys (those
+/// starting with "trace_" or "clock_") are silently skipped. Cleared by
+/// start().
+void set_meta(const std::string& key, const std::string& value);
+
+/// Arms incremental durability: flush() and a one-shot atexit handler
+/// atomically rewrite `path` with the published events. Arming does not
+/// start recording (call start() first); re-arming replaces the path.
+void arm_file(const std::string& path);
+
+/// Clears the armed path without writing. The atexit handler becomes a
+/// no-op until armed again.
+void disarm();
+
+/// True when a flush destination is armed (arm_file or ODCFP_TRACE).
+bool armed();
+
+/// Atomically rewrites the armed file with everything published so far;
+/// keeps recording and stays armed. Returns false when nothing is armed
+/// or the write failed. Cheap enough for heartbeat cadence: one render
+/// of the live buffers plus one temp-file rename.
+bool flush();
+
+/// Completed flushes to the armed path since start() (includes the one
+/// in flight when read from inside a flush-written file).
+std::uint64_t flush_count();
 
 // ---- emitters (no-ops unless enabled; `name`/`detail` must be
 // ---- string literals or otherwise outlive the process) ----

@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "common/atomic_io.hpp"
+#include "common/clock.hpp"
 #include "common/fault.hpp"
 #include "common/log.hpp"
 
@@ -59,7 +60,7 @@ std::string lease_payload(const LeaseRecord& r) {
   std::ostringstream os;
   os << "seq=" << r.seq << " shard=" << r.shard << " epoch=" << r.epoch
      << " event=" << to_string(r.event) << " pid=" << r.pid
-     << " detail=" << r.detail;
+     << " wall=" << r.wall_ns << " detail=" << r.detail;
   return os.str();
 }
 
@@ -82,6 +83,10 @@ bool parse_lease_payload(std::string_view payload, LeaseRecord* out) {
   }
   payload.remove_prefix(sp + 1);
   if (!consume(&payload, "pid=") || !parse_u64(&payload, &out->pid)) {
+    return false;
+  }
+  // Optional (later wire addition): journals without it replay wall_ns=0.
+  if (consume(&payload, "wall=") && !parse_u64(&payload, &out->wall_ns)) {
     return false;
   }
   if (!consume(&payload, "detail=")) return false;
@@ -350,6 +355,7 @@ bool LeaseJournal::append(std::uint64_t shard, std::uint64_t epoch,
     record.epoch = epoch;
     record.event = event;
     record.pid = pid;
+    record.wall_ns = clocks::anchored_wall_now_ns();
     record.detail = detail;
     const std::string line =
         journal_wire::format_line('L', lease_payload(record));

@@ -6,7 +6,13 @@
 //
 //   odcfp-leases 1
 //   H <crc8> seed=<u64> buyers=<u64> config=<hex8> label=<text>
-//   L <crc8> seq=<u64> shard=<u64> epoch=<u64> event=<name> pid=<u64> detail=<text>
+//   L <crc8> seq=<u64> shard=<u64> epoch=<u64> event=<name> pid=<u64> wall=<u64> detail=<text>
+//
+// `wall=` is the supervisor's anchored wall clock (common/clock.*) at
+// append time — the grant-time calibration record the trace stitcher
+// aligns shard timelines against. Optional on parse (journals written
+// before the field replay with wall_ns == 0, meaning "unknown"); replay
+// state derivation ignores it entirely.
 //
 // The header pins the run (global buyer count + config checksum, same
 // values as every shard journal), so a lease journal can never be
@@ -55,6 +61,8 @@ struct LeaseRecord {
   std::uint64_t epoch = 0;
   LeaseEvent event = LeaseEvent::kGranted;
   std::uint64_t pid = 0;
+  std::uint64_t wall_ns = 0;  ///< Anchored wall time of the append
+                              ///< (0 = record predates the field).
   std::string detail;  ///< Free-text reason (last field, may be empty).
 };
 

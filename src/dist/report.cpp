@@ -1,0 +1,391 @@
+#include "dist/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/journal.hpp"
+#include "common/metrics.hpp"
+#include "dist/lease.hpp"
+#include "dist/shard.hpp"
+#include "dist/status.hpp"
+
+namespace odcfp::dist {
+
+namespace {
+
+/// Milliseconds with microsecond resolution, for human rendering only.
+std::string ms_text(std::uint64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1'000'000),
+                static_cast<unsigned long long>((ns / 1'000) % 1'000));
+  return buf;
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+bool contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+RunReport analyze_run(const std::string& run_dir,
+                      const ReportOptions& options) {
+  RunReport report;
+
+  const Outcome<RunSpec> spec = read_run_spec(run_spec_path(run_dir));
+  if (spec.ok()) report.buyers = spec.value().num_buyers;
+
+  const Outcome<LeaseReplay> leases =
+      read_lease_journal(lease_journal_path(run_dir));
+  if (!leases.ok()) {
+    if (!spec.ok()) {
+      report.status = Status::kMalformedInput;
+      report.message = "report: '" + run_dir +
+                       "' has neither a readable run.spec nor a lease "
+                       "journal: " +
+                       leases.message();
+      return report;
+    }
+    // A run dir that never got to its first grant: reportable, empty.
+    report.message = "no usable lease journal (" + leases.message() + ")";
+    return report;
+  }
+  const std::vector<LeaseRecord>& records = leases.value().records;
+  if (!records.empty()) {
+    report.state = leases.value().merged ? "done" : "running";
+  }
+
+  // ---- rebuild each shard's lease chain ----
+  std::size_t num_shards = 0;
+  for (const LeaseRecord& rec : records) {
+    if (rec.event != LeaseEvent::kMerged) {
+      num_shards = std::max(num_shards,
+                            static_cast<std::size_t>(rec.shard) + 1);
+    }
+  }
+  report.shards.resize(num_shards);
+  std::uint64_t first_wall = 0;
+  std::uint64_t last_wall = 0;
+  for (const LeaseRecord& rec : records) {
+    if (rec.wall_ns != 0) {
+      last_wall = std::max(last_wall, rec.wall_ns);
+      if (first_wall == 0 || rec.wall_ns < first_wall) {
+        first_wall = rec.wall_ns;
+      }
+    }
+    if (rec.event == LeaseEvent::kMerged) continue;
+    ShardReportRow& row = report.shards[rec.shard];
+    row.shard = rec.shard;
+    switch (rec.event) {
+      case LeaseEvent::kGranted: {
+        row.epochs = std::max(row.epochs, rec.epoch);
+        LeaseIntervalReport iv;
+        iv.epoch = rec.epoch;
+        iv.pid = rec.pid;
+        iv.begin_wall_ns = rec.wall_ns;
+        iv.end = "open";
+        row.chain.push_back(std::move(iv));
+        break;
+      }
+      case LeaseEvent::kRevoked:
+      case LeaseEvent::kDone: {
+        for (auto it = row.chain.rbegin(); it != row.chain.rend(); ++it) {
+          if (it->epoch != rec.epoch || it->end != "open") continue;
+          it->end = rec.event == LeaseEvent::kDone ? "done" : "revoked";
+          it->detail = rec.detail;
+          if (it->begin_wall_ns != 0 && rec.wall_ns >= it->begin_wall_ns) {
+            it->duration_ns = rec.wall_ns - it->begin_wall_ns;
+          }
+          if (rec.event == LeaseEvent::kRevoked) {
+            if (contains(rec.detail, "signal")) row.killed = true;
+            if (contains(rec.detail, "heartbeat")) row.wedged = true;
+          }
+          break;
+        }
+        break;
+      }
+      case LeaseEvent::kMerged:
+        break;
+    }
+  }
+  report.makespan_ns = last_wall >= first_wall ? last_wall - first_wall : 0;
+
+  // ---- per-shard costs, snapshots, heartbeat cadence ----
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    ShardReportRow& row = report.shards[s];
+    row.shard = s;
+    row.regrants = row.chain.size() > 1
+                       ? static_cast<std::uint64_t>(row.chain.size()) - 1
+                       : 0;
+    report.regrant_events += row.regrants;
+    for (LeaseIntervalReport& iv : row.chain) {
+      if (iv.end == "open") {
+        row.open = true;
+        // A still-open lease runs to the last recorded wall time.
+        if (iv.begin_wall_ns != 0 && last_wall >= iv.begin_wall_ns) {
+          iv.duration_ns = last_wall - iv.begin_wall_ns;
+        }
+      }
+      row.lease_ns += iv.duration_ns;
+      if (iv.end == "revoked") row.lost_ns += iv.duration_ns;
+      if (iv.begin_wall_ns != 0) {
+        row.end_wall_ns =
+            std::max(row.end_wall_ns, iv.begin_wall_ns + iv.duration_ns);
+      }
+    }
+    report.lost_ns += row.lost_ns;
+
+    const Outcome<ShardStatus> snap =
+        read_status_snapshot(status_snapshot_path(run_dir, s));
+    if (snap.ok()) {
+      row.committed = snap.value().committed;
+      report.committed += snap.value().committed;
+      const metrics::HistData& h = snap.value().edition_ns;
+      if (!h.empty()) {
+        row.have_latency = true;
+        row.p50_ns = h.quantile_permille(500);
+        row.p99_ns = h.quantile_permille(990);
+      }
+    }
+
+    const Outcome<JournalReplay> jr =
+        read_journal(shard_journal_path(run_dir, s));
+    if (jr.ok()) {
+      std::vector<std::uint64_t> gaps;
+      std::uint64_t prev = 0;
+      for (const std::uint64_t hb : jr.value().heartbeat_walls) {
+        if (hb == 0) continue;
+        if (prev != 0 && hb >= prev) gaps.push_back(hb - prev);
+        prev = hb;
+        ++row.heartbeats;
+      }
+      if (!gaps.empty()) {
+        std::sort(gaps.begin(), gaps.end());
+        row.max_heartbeat_gap_ns = gaps.back();
+        row.median_heartbeat_gap_ns = gaps[gaps.size() / 2];
+      }
+    }
+  }
+
+  // ---- critical path: the chain that ends last ----
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const ShardReportRow& row = report.shards[s];
+    if (row.end_wall_ns == 0) continue;
+    if (report.critical_path_shard == SIZE_MAX ||
+        row.end_wall_ns >
+            report.shards[report.critical_path_shard].end_wall_ns) {
+      report.critical_path_shard = s;
+    }
+  }
+  if (report.critical_path_shard != SIZE_MAX) {
+    const ShardReportRow& cp = report.shards[report.critical_path_shard];
+    std::uint64_t first_grant = 0;
+    for (const LeaseIntervalReport& iv : cp.chain) {
+      if (iv.begin_wall_ns != 0 &&
+          (first_grant == 0 || iv.begin_wall_ns < first_grant)) {
+        first_grant = iv.begin_wall_ns;
+      }
+    }
+    if (first_grant != 0 && cp.end_wall_ns >= first_grant) {
+      report.critical_path_ns = cp.end_wall_ns - first_grant;
+    }
+  }
+
+  // ---- anomaly flags ----
+  // Latency outliers need a baseline: the median of the shards' p99s.
+  std::vector<std::uint64_t> p99s;
+  for (const ShardReportRow& row : report.shards) {
+    if (row.have_latency && row.p99_ns != 0) p99s.push_back(row.p99_ns);
+  }
+  std::uint64_t median_p99 = 0;
+  if (p99s.size() >= 2) {
+    std::sort(p99s.begin(), p99s.end());
+    median_p99 = p99s[p99s.size() / 2];
+  }
+  for (const ShardReportRow& row : report.shards) {
+    const std::string tag = "shard " + std::to_string(row.shard);
+    for (const LeaseIntervalReport& iv : row.chain) {
+      if (iv.end == "revoked") {
+        report.anomalies.push_back(
+            tag + " epoch " + std::to_string(iv.epoch) + " revoked (" +
+            (iv.detail.empty() ? std::string("no detail") : iv.detail) +
+            "), " + ms_text(iv.duration_ns) + " ms of work redone");
+      }
+    }
+    if (median_p99 != 0 && row.have_latency &&
+        static_cast<double>(row.p99_ns) >
+            options.latency_k * static_cast<double>(median_p99)) {
+      report.anomalies.push_back(
+          tag + " p99 edition latency " + ms_text(row.p99_ns) +
+          " ms exceeds " + std::to_string(options.latency_k) +
+          "x the run median p99 " + ms_text(median_p99) + " ms");
+    }
+    if (row.heartbeats >= 4 && row.median_heartbeat_gap_ns != 0 &&
+        row.max_heartbeat_gap_ns > 5 * row.median_heartbeat_gap_ns) {
+      report.anomalies.push_back(
+          tag + " heartbeat gap " + ms_text(row.max_heartbeat_gap_ns) +
+          " ms is over 5x its median cadence " +
+          ms_text(row.median_heartbeat_gap_ns) + " ms");
+    }
+  }
+
+  report.message =
+      report.state + ": " + std::to_string(num_shards) + " shard(s), " +
+      std::to_string(report.committed) + "/" +
+      std::to_string(report.buyers) + " committed, " +
+      std::to_string(report.regrant_events) + " regrant(s), " +
+      std::to_string(report.anomalies.size()) + " anomaly flag(s)";
+  return report;
+}
+
+void fold_stitch(const StitchResult& stitch, RunReport* report) {
+  for (const ShardStitchInfo& info : stitch.shards) {
+    if (info.shard >= report->shards.size()) continue;
+    ShardReportRow& row = report->shards[info.shard];
+    row.trace_dropped = info.dropped_events;
+    row.missing_traces = info.missing_traces;
+    const std::string tag = "shard " + std::to_string(info.shard);
+    if (info.dropped_events != 0) {
+      report->anomalies.push_back(
+          tag + " recorder dropped " +
+          std::to_string(info.dropped_events) +
+          " trace event(s) on overflow");
+    }
+    if (info.missing_traces != 0) {
+      report->anomalies.push_back(
+          tag + " is missing trace file(s) for " +
+          std::to_string(info.missing_traces) + " granted epoch(s)");
+    }
+  }
+}
+
+std::string render_report_table(const RunReport& report) {
+  std::ostringstream os;
+  os << "run: " << report.state << "  buyers: " << report.committed << "/"
+     << report.buyers << "  makespan: " << ms_text(report.makespan_ns)
+     << " ms  regrants: " << report.regrant_events
+     << "  redo cost: " << ms_text(report.lost_ns) << " ms\n";
+  if (report.critical_path_shard != SIZE_MAX) {
+    os << "critical path: shard " << report.critical_path_shard << " ("
+       << ms_text(report.critical_path_ns) << " ms";
+    const ShardReportRow& cp = report.shards[report.critical_path_shard];
+    for (const LeaseIntervalReport& iv : cp.chain) {
+      os << "; e" << iv.epoch << " " << iv.end << " "
+         << ms_text(iv.duration_ns) << " ms";
+    }
+    os << ")\n";
+  }
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-6s %-6s %-8s %-9s %-12s %-12s %-12s %-12s %s\n",
+                "shard", "epochs", "flags", "committed", "lease_ms",
+                "lost_ms", "p50_ms", "p99_ms", "traces");
+  os << line;
+  for (const ShardReportRow& row : report.shards) {
+    std::string flags;
+    if (row.killed) flags += 'K';
+    if (row.wedged) flags += 'W';
+    if (row.open) flags += 'O';
+    if (flags.empty()) flags = "-";
+    std::string traces = std::to_string(row.missing_traces) + " missing";
+    if (row.trace_dropped != 0) {
+      traces += ", " + std::to_string(row.trace_dropped) + " dropped";
+    }
+    std::snprintf(
+        line, sizeof(line), "%-6zu %-6llu %-8s %-9llu %-12s %-12s %-12s %-12s %s\n",
+        row.shard, static_cast<unsigned long long>(row.epochs),
+        flags.c_str(), static_cast<unsigned long long>(row.committed),
+        ms_text(row.lease_ns).c_str(), ms_text(row.lost_ns).c_str(),
+        (row.have_latency ? ms_text(row.p50_ns) : std::string("-")).c_str(),
+        (row.have_latency ? ms_text(row.p99_ns) : std::string("-")).c_str(),
+        traces.c_str());
+    os << line;
+  }
+  if (report.anomalies.empty()) {
+    os << "anomalies: none\n";
+  } else {
+    os << "anomalies:\n";
+    for (const std::string& a : report.anomalies) {
+      os << "  ! " << a << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string render_report_json(const RunReport& report) {
+  std::ostringstream os;
+  os << "{\"odcfp_run_report\":1,\"state\":";
+  json_escape(os, report.state);
+  os << ",\"buyers\":" << report.buyers
+     << ",\"committed\":" << report.committed
+     << ",\"makespan_ns\":" << report.makespan_ns
+     << ",\"critical_path_shard\":";
+  if (report.critical_path_shard == SIZE_MAX) {
+    os << -1;
+  } else {
+    os << report.critical_path_shard;
+  }
+  os << ",\"critical_path_ns\":" << report.critical_path_ns
+     << ",\"regrant_events\":" << report.regrant_events
+     << ",\"lost_ns\":" << report.lost_ns << ",\"shards\":[";
+  for (std::size_t s = 0; s < report.shards.size(); ++s) {
+    const ShardReportRow& row = report.shards[s];
+    if (s != 0) os << ',';
+    os << "{\"shard\":" << row.shard << ",\"epochs\":" << row.epochs
+       << ",\"regrants\":" << row.regrants
+       << ",\"killed\":" << (row.killed ? "true" : "false")
+       << ",\"wedged\":" << (row.wedged ? "true" : "false")
+       << ",\"open\":" << (row.open ? "true" : "false")
+       << ",\"committed\":" << row.committed
+       << ",\"lease_ns\":" << row.lease_ns
+       << ",\"lost_ns\":" << row.lost_ns
+       << ",\"p50_ns\":" << row.p50_ns << ",\"p99_ns\":" << row.p99_ns
+       << ",\"heartbeats\":" << row.heartbeats
+       << ",\"max_heartbeat_gap_ns\":" << row.max_heartbeat_gap_ns
+       << ",\"trace_dropped\":" << row.trace_dropped
+       << ",\"missing_traces\":" << row.missing_traces << ",\"chain\":[";
+    for (std::size_t k = 0; k < row.chain.size(); ++k) {
+      const LeaseIntervalReport& iv = row.chain[k];
+      if (k != 0) os << ',';
+      os << "{\"epoch\":" << iv.epoch << ",\"pid\":" << iv.pid
+         << ",\"duration_ns\":" << iv.duration_ns << ",\"end\":";
+      json_escape(os, iv.end);
+      os << ",\"detail\":";
+      json_escape(os, iv.detail);
+      os << '}';
+    }
+    os << "]}";
+  }
+  os << "],\"anomalies\":[";
+  for (std::size_t i = 0; i < report.anomalies.size(); ++i) {
+    if (i != 0) os << ',';
+    json_escape(os, report.anomalies[i]);
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+}  // namespace odcfp::dist

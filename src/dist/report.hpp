@@ -1,0 +1,118 @@
+// Causal post-mortem analyzer for sharded run dirs (tools/odcfp_report).
+//
+// Where src/dist/status.* answers "what is the run doing right now",
+// analyze_run answers "why did the run take as long as it did" — from
+// primary sources only (run.spec, the lease journal, shard journals,
+// status snapshots), so it works identically on a live run, a crashed
+// one, and a finished one. It derives:
+//
+//  * the critical path: the shard whose lease chain ends last, with the
+//    grant→regrant chain that explains the run's makespan;
+//  * per-shard edition latency (p50/p99 from the snapshot's edition_ns
+//    histogram — integer bucket math, common/metrics.hpp);
+//  * regrant and wedge cost: wall time burned inside lease intervals
+//    that ended in revocation (work the run had to redo);
+//  * anomaly flags: killed / wedged shards (from revocation details),
+//    outlier latency (p99 > k x the run's median shard p99), heartbeat
+//    gaps (max gap > 5x the shard's median gap), and — when a stitch
+//    result is folded in — trace drops and missing trace files.
+//
+// Everything here is a pure function of the recorded bytes; wall-clock
+// derived numbers (makespan, lease costs) are schedule-dependent by
+// nature and are rendered for humans, never gated.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/budget.hpp"
+#include "dist/stitch.hpp"
+
+namespace odcfp::dist {
+
+struct ReportOptions {
+  /// A shard is flagged a latency outlier when its p99 edition latency
+  /// exceeds latency_k times the median of all shards' p99s.
+  double latency_k = 3.0;
+};
+
+/// One lease interval of a shard's chain, in grant order.
+struct LeaseIntervalReport {
+  std::uint64_t epoch = 0;
+  std::uint64_t pid = 0;
+  std::uint64_t begin_wall_ns = 0;
+  std::uint64_t duration_ns = 0;
+  /// "done", "revoked", or "open" (no close record — live or the
+  /// supervisor itself died).
+  std::string end;
+  std::string detail;  ///< Close reason (revocations).
+};
+
+struct ShardReportRow {
+  std::size_t shard = 0;
+  std::uint64_t epochs = 0;    ///< Highest epoch granted.
+  std::uint64_t regrants = 0;  ///< Grants beyond the first.
+  bool killed = false;  ///< A revocation detail names a death signal.
+  bool wedged = false;  ///< A revocation detail names a missed heartbeat.
+  bool open = false;    ///< Last lease has no close record.
+  std::uint64_t committed = 0;  ///< From the last snapshot (0 if none).
+  std::uint64_t lease_ns = 0;   ///< Total wall time under lease.
+  std::uint64_t lost_ns = 0;    ///< Lease time ending in revocation.
+  std::uint64_t end_wall_ns = 0;  ///< When the shard's chain ended.
+  bool have_latency = false;
+  std::uint64_t p50_ns = 0;  ///< Edition latency (snapshot histogram).
+  std::uint64_t p99_ns = 0;
+  std::uint64_t heartbeats = 0;
+  std::uint64_t max_heartbeat_gap_ns = 0;
+  std::uint64_t median_heartbeat_gap_ns = 0;
+  /// Folded from a StitchResult (fold_stitch); 0 until then.
+  std::uint64_t trace_dropped = 0;
+  std::uint64_t missing_traces = 0;
+  std::vector<LeaseIntervalReport> chain;
+};
+
+struct RunReport {
+  /// kOk whenever anything could be analyzed (idle, live, crashed, or
+  /// finished dirs alike); kMalformedInput only when `run_dir` holds
+  /// neither a readable run.spec nor a readable lease journal.
+  Status status = Status::kOk;
+  std::string message;
+  /// "idle" (no lease activity), "running" (in flight — or crashed; the
+  /// records cannot tell a live run from an abandoned one), "done".
+  std::string state = "idle";
+  std::uint64_t buyers = 0;
+  std::uint64_t committed = 0;    ///< Sum of shard snapshot counts.
+  std::uint64_t makespan_ns = 0;  ///< First to last recorded wall time.
+  /// The shard whose lease chain ends last — the one the run's makespan
+  /// waited on. SIZE_MAX when no shard had a timestamped lease.
+  std::size_t critical_path_shard = SIZE_MAX;
+  std::uint64_t critical_path_ns = 0;  ///< That chain's first-grant→end.
+  std::uint64_t regrant_events = 0;
+  std::uint64_t lost_ns = 0;  ///< Total revoked-lease (redo) cost.
+  std::vector<ShardReportRow> shards;
+  /// Human-readable findings ("shard 0 killed (worker died by signal
+  /// 9)", ...), in shard order then severity order within a shard.
+  std::vector<std::string> anomalies;
+};
+
+/// Analyzes `run_dir` from primary sources. Never reads a clock and
+/// never fails on a crashed or half-written run: unreadable inputs
+/// degrade to unknowns (see RunReport::status for the one exception).
+RunReport analyze_run(const std::string& run_dir,
+                      const ReportOptions& options = {});
+
+/// Folds a stitch's loss accounting (recorder drops, missing trace
+/// files) into the report rows and anomaly list.
+void fold_stitch(const StitchResult& stitch, RunReport* report);
+
+/// Fixed-width human table: run summary, per-shard rows, the critical
+/// path chain, and the anomaly list.
+std::string render_report_table(const RunReport& report);
+
+/// Deterministic JSON ({"odcfp_run_report":1, ...}); key order fixed,
+/// integers only (nanoseconds stay exact).
+std::string render_report_json(const RunReport& report);
+
+}  // namespace odcfp::dist

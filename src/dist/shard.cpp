@@ -185,4 +185,20 @@ std::string merged_dir(const std::string& run_dir) {
   return run_dir + "/merged";
 }
 
+std::string traces_dir(const std::string& run_dir) {
+  return run_dir + "/traces";
+}
+
+std::string supervisor_trace_path(const std::string& run_dir) {
+  return traces_dir(run_dir) + "/supervisor.json";
+}
+
+std::string shard_trace_path(const std::string& run_dir, std::size_t shard,
+                             std::uint64_t epoch) {
+  std::ostringstream os;
+  os << traces_dir(run_dir) << "/shard_" << shard << "_epoch_" << epoch
+     << ".json";
+  return os.str();
+}
+
 }  // namespace odcfp::dist

@@ -19,6 +19,13 @@
 //                               atomic_io into this one directory.
 //   run_dir/merged/           — deterministic merged outputs
 //                               (src/dist/merge.hpp).
+//   run_dir/traces/           — Chrome-trace capture of the run (when
+//                               DistOptions::capture_traces):
+//                               `supervisor.json` plus one
+//                               `shard_<i>_epoch_<e>.json` per grant,
+//                               each flushed incrementally so a SIGKILL
+//                               loses at most the tail. Stitched into
+//                               one timeline by src/dist/stitch.*.
 //
 // Every shard journal carries the GLOBAL buyer count and config checksum
 // in its header (only the [begin, end) roster differs), so any two shard
@@ -85,5 +92,11 @@ std::string shard_journal_path(const std::string& run_dir,
                                std::size_t shard);
 std::string editions_dir(const std::string& run_dir);
 std::string merged_dir(const std::string& run_dir);
+std::string traces_dir(const std::string& run_dir);
+std::string supervisor_trace_path(const std::string& run_dir);
+/// One trace file per (shard, epoch): a regrant's epoch-2 worker never
+/// overwrites the evidence of the epoch-1 worker it replaced.
+std::string shard_trace_path(const std::string& run_dir, std::size_t shard,
+                             std::uint64_t epoch);
 
 }  // namespace odcfp::dist

@@ -45,7 +45,8 @@ std::string status_payload(const ShardStatus& st) {
      << " begin=" << st.range_begin << " end=" << st.range_end
      << " committed=" << st.committed << " recovered=" << st.recovered
      << " elapsed_ms=" << st.elapsed_ms << " eps_milli=" << st.eps_milli
-     << " done=" << st.done << " hist=" << st.edition_ns.count << ':'
+     << " done=" << st.done << " wall=" << st.wall_ns
+     << " hist=" << st.edition_ns.count << ':'
      << st.edition_ns.sum << ':';
   for (std::size_t i = 0; i < st.edition_ns.buckets.size(); ++i) {
     if (i > 0) os << ',';
@@ -89,6 +90,10 @@ bool parse_status_payload(std::string_view payload, ShardStatus* out) {
     return false;
   }
   if (!consume(&payload, "done=") || !parse_u64(&payload, &out->done)) {
+    return false;
+  }
+  // Optional (later wire addition): old snapshots replay wall_ns == 0.
+  if (consume(&payload, "wall=") && !parse_u64(&payload, &out->wall_ns)) {
     return false;
   }
   if (!consume(&payload, "hist=")) return false;

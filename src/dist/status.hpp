@@ -58,6 +58,11 @@ struct ShardStatus {
   std::uint64_t eps_milli = 0;
   /// 1 once the worker's stamping loop has joined (its last snapshot).
   std::uint64_t done = 0;
+  /// Anchored wall time (common/clock.*) when the worker composed this
+  /// snapshot; 0 = unknown (snapshot predates the field). Places the
+  /// snapshot on the stitched cross-process timeline; the live/final
+  /// JSON renders never include it.
+  std::uint64_t wall_ns = 0;
   /// Per-edition embed latency of this epoch (batch.edition_ns).
   metrics::HistData edition_ns;
 

@@ -1,0 +1,534 @@
+#include "dist/stitch.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/atomic_io.hpp"
+#include "common/journal.hpp"
+#include "common/json_lite.hpp"
+#include "dist/lease.hpp"
+#include "dist/shard.hpp"
+#include "dist/status.hpp"
+
+namespace odcfp::dist {
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& text) {
+  return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+/// Chrome ts ("<us>.<frac>") back to integral nanoseconds. The recorder
+/// always prints exactly three fraction digits, but tolerate fewer/more
+/// (pad or truncate) so a hand-edited trace still lands near the truth.
+std::uint64_t ts_raw_to_ns(const std::string& raw) {
+  const std::size_t dot = raw.find('.');
+  const std::uint64_t us = parse_u64(raw.substr(0, dot));
+  std::uint64_t frac = 0;
+  if (dot != std::string::npos) {
+    std::string digits = raw.substr(dot + 1);
+    digits.resize(3, '0');
+    frac = parse_u64(digits);
+  }
+  return us * 1000 + frac;
+}
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Chrome's ts/dur unit is microseconds; ns-resolution fractions.
+void write_ts(std::ostream& os, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  os << buf;
+}
+
+/// One source trace file, decoded into relocatable form: events keep
+/// their recorder-relative ns timestamps; the file's own clock anchor
+/// (otherData) says where that timeline starts in anchored wall time.
+struct ParsedTrace {
+  bool present = false;  ///< File existed and was readable.
+  bool parsed = false;   ///< ... and held a well-formed Chrome trace.
+  bool have_anchor = false;
+  std::uint64_t origin_wall_ns = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t flushes = 0;
+  std::string process_label;
+
+  struct Ev {
+    std::string name;
+    char ph = 'i';
+    std::uint64_t tid = 0;
+    std::uint64_t rel_ns = 0;
+    long long value = 0;  ///< Counter value (ph == 'C').
+    std::string detail;   ///< Instant detail ("" = none).
+  };
+  std::vector<Ev> events;
+  /// thread_name metadata, in file order: (recorder tid, name).
+  std::vector<std::pair<std::uint64_t, std::string>> thread_names;
+};
+
+ParsedTrace parse_trace_file(const std::string& path) {
+  ParsedTrace t;
+  std::string bytes;
+  if (!atomic_io::read_file(path, &bytes)) return t;
+  t.present = true;
+  try {
+    const jsonlite::Value doc = jsonlite::parse(bytes);
+    const jsonlite::Value& events = doc.at("traceEvents");
+    if (!events.is_array()) return t;
+    for (const jsonlite::Value& ev : events.items) {
+      const std::string& ph = ev.at("ph").str;
+      const std::string& name = ev.at("name").str;
+      if (ph == "M") {
+        if (name == "process_name") {
+          t.process_label = ev.at("args").at("name").str;
+        } else if (name == "thread_name") {
+          t.thread_names.emplace_back(parse_u64(ev.at("tid").raw),
+                                      ev.at("args").at("name").str);
+        }
+        continue;
+      }
+      ParsedTrace::Ev out;
+      out.name = name;
+      out.ph = ph.empty() ? 'i' : ph[0];
+      out.tid = parse_u64(ev.at("tid").raw);
+      out.rel_ns = ts_raw_to_ns(ev.at("ts").raw);
+      if (out.ph == 'C') {
+        out.value = std::strtoll(
+            ev.at("args").at("value").raw.c_str(), nullptr, 10);
+      } else if (out.ph == 'i' && ev.has("args")) {
+        const jsonlite::Value& args = ev.at("args");
+        if (args.has("detail")) out.detail = args.at("detail").str;
+      }
+      t.events.push_back(std::move(out));
+    }
+    if (doc.has("otherData")) {
+      const jsonlite::Value& other = doc.at("otherData");
+      if (other.has("trace_origin_wall_ns")) {
+        t.origin_wall_ns =
+            parse_u64(other.at("trace_origin_wall_ns").str);
+      }
+      t.have_anchor = other.has("clock_anchor_wall_ns") &&
+                      t.origin_wall_ns != 0;
+      if (other.has("trace_dropped_events")) {
+        t.dropped = parse_u64(other.at("trace_dropped_events").str);
+      }
+      if (other.has("trace_flushes")) {
+        t.flushes = parse_u64(other.at("trace_flushes").str);
+      }
+    }
+    t.parsed = true;
+  } catch (const std::exception&) {
+    // Present but unreadable (torn by a non-atomic writer, truncated by
+    // the filesystem, hand-damaged): counted as missing, never fatal.
+    t.events.clear();
+    t.thread_names.clear();
+    t.parsed = false;
+  }
+  return t;
+}
+
+/// One grant→close lease interval reconstructed from the journal.
+struct LeaseInterval {
+  std::uint64_t epoch = 0;
+  std::uint64_t pid = 0;
+  std::uint64_t begin_wall = 0;
+  std::uint64_t end_wall = 0;
+  bool closed = false;
+  const char* end_kind = "open";  ///< "done" / "revoked" / "open".
+  std::string detail;             ///< Close reason (revocations).
+};
+
+}  // namespace
+
+StitchResult stitch_run(const std::string& run_dir,
+                        const StitchOptions& options) {
+  StitchResult result;
+  const Outcome<LeaseReplay> leases =
+      read_lease_journal(lease_journal_path(run_dir));
+  if (!leases.ok()) {
+    result.status = Status::kMalformedInput;
+    result.message = "stitch: no usable lease journal in '" + run_dir +
+                     "': " + leases.message();
+    return result;
+  }
+  const std::vector<LeaseRecord>& records = leases.value().records;
+
+  // ---- reconstruct lease intervals (primary source #1) ----
+  std::size_t num_shards = 0;
+  for (const LeaseRecord& rec : records) {
+    if (rec.event != LeaseEvent::kMerged) {
+      num_shards = std::max(num_shards,
+                            static_cast<std::size_t>(rec.shard) + 1);
+    }
+  }
+  std::vector<std::vector<LeaseInterval>> intervals(num_shards);
+  std::uint64_t last_wall = 0;
+  std::uint64_t first_wall = 0;
+  std::uint64_t merged_wall = 0;
+  bool merged = false;
+  for (const LeaseRecord& rec : records) {
+    if (rec.wall_ns != 0) {
+      last_wall = std::max(last_wall, rec.wall_ns);
+      if (first_wall == 0 || rec.wall_ns < first_wall) {
+        first_wall = rec.wall_ns;
+      }
+    }
+    switch (rec.event) {
+      case LeaseEvent::kGranted: {
+        LeaseInterval iv;
+        iv.epoch = rec.epoch;
+        iv.pid = rec.pid;
+        iv.begin_wall = rec.wall_ns;
+        intervals[rec.shard].push_back(std::move(iv));
+        break;
+      }
+      case LeaseEvent::kRevoked:
+      case LeaseEvent::kDone: {
+        auto& ivs = intervals[rec.shard];
+        for (auto it = ivs.rbegin(); it != ivs.rend(); ++it) {
+          if (it->epoch == rec.epoch && !it->closed) {
+            it->closed = true;
+            it->end_wall = rec.wall_ns;
+            it->end_kind =
+                rec.event == LeaseEvent::kDone ? "done" : "revoked";
+            it->detail = rec.detail;
+            break;
+          }
+        }
+        break;
+      }
+      case LeaseEvent::kMerged:
+        merged = true;
+        merged_wall = rec.wall_ns;
+        break;
+    }
+  }
+
+  // ---- parse every candidate trace file in parallel ----
+  // Index 0 is the supervisor; then one slot per (shard, grant) in shard
+  // then epoch order. parallel_map assembles by index, so the decoded
+  // vector — and everything downstream — is thread-count invariant.
+  std::vector<std::string> trace_paths;
+  std::vector<std::pair<std::size_t, std::size_t>> trace_owner;
+  trace_paths.push_back(supervisor_trace_path(run_dir));
+  trace_owner.emplace_back(SIZE_MAX, 0);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    for (std::size_t k = 0; k < intervals[s].size(); ++k) {
+      trace_paths.push_back(
+          shard_trace_path(run_dir, s, intervals[s][k].epoch));
+      trace_owner.emplace_back(s, k);
+    }
+  }
+  auto [parsed, parse_status] = parallel_map(
+      options.pool, trace_paths.size(),
+      [&](std::size_t i) { return parse_trace_file(trace_paths[i]); });
+  (void)parse_status;  // no budget: always kOk
+  const ParsedTrace& sup = parsed[0];
+  result.supervisor_trace = sup.parsed;
+
+  // Per-(shard, interval) parse slots for ordered assembly below.
+  std::vector<std::vector<const ParsedTrace*>> shard_traces(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    shard_traces[s].resize(intervals[s].size(), nullptr);
+  }
+  for (std::size_t i = 1; i < parsed.size(); ++i) {
+    shard_traces[trace_owner[i].first][trace_owner[i].second] = &parsed[i];
+  }
+
+  // ---- shard journals + snapshots (primary sources #2 and #3) ----
+  std::vector<JournalReplay> journals(num_shards);
+  std::vector<bool> have_journal(num_shards, false);
+  std::vector<ShardStatus> snaps(num_shards);
+  std::vector<bool> have_snap(num_shards, false);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    Outcome<JournalReplay> jr =
+        read_journal(shard_journal_path(run_dir, s));
+    if (jr.ok()) {
+      journals[s] = std::move(jr).value();
+      have_journal[s] = true;
+    }
+    Outcome<ShardStatus> snap =
+        read_status_snapshot(status_snapshot_path(run_dir, s));
+    if (snap.ok()) {
+      snaps[s] = std::move(snap).value();
+      have_snap[s] = true;
+    }
+  }
+
+  // ---- the stitched origin: minimum recorded wall time anywhere ----
+  std::uint64_t t0 = 0;
+  auto fold_min = [&t0](std::uint64_t wall) {
+    if (wall != 0 && (t0 == 0 || wall < t0)) t0 = wall;
+  };
+  fold_min(first_wall);
+  for (const ParsedTrace& t : parsed) fold_min(t.origin_wall_ns);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (have_journal[s]) {
+      for (const JournalEntry& e : journals[s].entries) {
+        fold_min(e.wall_ns);
+      }
+      for (const std::uint64_t hb : journals[s].heartbeat_walls) {
+        fold_min(hb);
+      }
+    }
+    if (have_snap[s]) fold_min(snaps[s].wall_ns);
+  }
+  result.origin_wall_ns = t0;
+  const auto rel = [t0](std::uint64_t wall) { return wall - t0; };
+
+  // ---- assemble the stitched timeline (single ordered pass) ----
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first_event = true;
+  const auto begin_event = [&]() {
+    if (!first_event) os << ",\n";
+    first_event = false;
+    ++result.total_events;
+    os << '{';
+  };
+  const auto name_meta = [&](const char* kind, std::size_t pid,
+                             std::uint64_t tid, const std::string& name) {
+    begin_event();
+    os << "\"name\":\"" << kind << "\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":" << tid << ",\"args\":{\"name\":";
+    write_escaped(os, name);
+    os << "}}";
+  };
+  // Re-emits one recorded event under a new (pid, tid), shifted onto the
+  // stitched wall timeline via its file's anchor.
+  const auto replay_event = [&](const ParsedTrace::Ev& ev, std::size_t pid,
+                                std::uint64_t tid,
+                                std::uint64_t origin_wall) {
+    begin_event();
+    os << "\"name\":";
+    write_escaped(os, ev.name);
+    os << ",\"ph\":\"" << ev.ph << "\",\"pid\":" << pid << ",\"tid\":"
+       << tid << ",\"ts\":";
+    write_ts(os, rel(origin_wall) + ev.rel_ns);
+    if (ev.ph == 'C') {
+      os << ",\"args\":{\"value\":" << ev.value << "}";
+    } else if (ev.ph == 'i') {
+      os << ",\"s\":\"t\"";
+      if (!ev.detail.empty()) {
+        os << ",\"args\":{\"detail\":";
+        write_escaped(os, ev.detail);
+        os << "}";
+      }
+    }
+    os << '}';
+  };
+
+  // Supervisor process (pid 1): synthesized run track, then its own
+  // recorded tracks offset to tid 1000+.
+  name_meta("process_name", 1, 0,
+            sup.parsed && !sup.process_label.empty() ? sup.process_label
+                                                     : "supervisor");
+  name_meta("thread_name", 1, 0, "run");
+  if (first_wall != 0 && last_wall >= first_wall) {
+    begin_event();
+    os << "\"name\":\"run\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":";
+    write_ts(os, rel(first_wall));
+    os << ",\"dur\":";
+    write_ts(os, last_wall - first_wall);
+    os << ",\"args\":{\"shards\":" << num_shards << "}}";
+  }
+  if (merged && merged_wall != 0) {
+    begin_event();
+    os << "\"name\":\"merged\",\"ph\":\"i\",\"pid\":1,\"tid\":0,"
+          "\"s\":\"t\",\"ts\":";
+    write_ts(os, rel(merged_wall));
+    os << '}';
+  }
+  if (sup.parsed && sup.have_anchor) {
+    for (const auto& [tid, name] : sup.thread_names) {
+      name_meta("thread_name", 1, 1000 + tid, name);
+    }
+    for (const ParsedTrace::Ev& ev : sup.events) {
+      replay_event(ev, 1, 1000 + ev.tid, sup.origin_wall_ns);
+    }
+  }
+
+  // Shard processes (pid 2 + s).
+  result.shards.resize(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    ShardStitchInfo& info = result.shards[s];
+    info.shard = s;
+    const std::size_t pid = 2 + s;
+    name_meta("process_name", pid, 0, "shard-" + std::to_string(s));
+    name_meta("thread_name", pid, 0, "leases");
+    name_meta("thread_name", pid, 1, "buyers");
+    name_meta("thread_name", pid, 2, "status");
+
+    // tid 0: one span per lease interval. Open leases (still running, or
+    // cut short by a supervisor SIGKILL before any close record) extend
+    // to the last wall time the journal recorded.
+    for (const LeaseInterval& iv : intervals[s]) {
+      info.epochs_granted = std::max(info.epochs_granted, iv.epoch);
+      if (iv.begin_wall == 0) continue;  // record predates wall= field
+      const std::uint64_t end =
+          iv.closed && iv.end_wall >= iv.begin_wall ? iv.end_wall
+                                                    : last_wall;
+      begin_event();
+      os << "\"name\":\"lease\",\"ph\":\"X\",\"pid\":" << pid
+         << ",\"tid\":0,\"ts\":";
+      write_ts(os, rel(iv.begin_wall));
+      os << ",\"dur\":";
+      write_ts(os, end >= iv.begin_wall ? end - iv.begin_wall : 0);
+      os << ",\"args\":{\"epoch\":" << iv.epoch << ",\"pid\":" << iv.pid
+         << ",\"end\":\"" << iv.end_kind << '"';
+      if (!iv.detail.empty()) {
+        os << ",\"detail\":";
+        write_escaped(os, iv.detail);
+      }
+      os << "}}";
+      ++info.lease_spans;
+      ++result.lease_spans;
+    }
+
+    // tid 1: per-buyer embedding→committed spans plus verified/failed
+    // instants, straight from the shard journal's lifecycle records.
+    if (have_journal[s]) {
+      std::map<std::uint64_t, std::uint64_t> open_embed;
+      for (const JournalEntry& e : journals[s].entries) {
+        if (e.wall_ns == 0) continue;
+        switch (e.phase) {
+          case BuyerPhase::kEmbedding:
+            open_embed[e.buyer] = e.wall_ns;
+            break;
+          case BuyerPhase::kCommitted: {
+            const auto it = open_embed.find(e.buyer);
+            if (it == open_embed.end() || e.wall_ns < it->second) break;
+            begin_event();
+            os << "\"name\":\"buyer\",\"ph\":\"X\",\"pid\":" << pid
+               << ",\"tid\":1,\"ts\":";
+            write_ts(os, rel(it->second));
+            os << ",\"dur\":";
+            write_ts(os, e.wall_ns - it->second);
+            os << ",\"args\":{\"buyer\":" << e.buyer << "}}";
+            open_embed.erase(it);
+            break;
+          }
+          case BuyerPhase::kVerified:
+          case BuyerPhase::kFailed: {
+            begin_event();
+            os << "\"name\":\""
+               << (e.phase == BuyerPhase::kVerified ? "verified"
+                                                    : "failed")
+               << "\",\"ph\":\"i\",\"pid\":" << pid
+               << ",\"tid\":1,\"s\":\"t\",\"ts\":";
+            write_ts(os, rel(e.wall_ns));
+            os << ",\"args\":{\"buyer\":" << e.buyer << "}}";
+            break;
+          }
+          case BuyerPhase::kQueued:
+            break;
+        }
+      }
+    }
+
+    // tid 2: the last published snapshot as a committed-count counter.
+    if (have_snap[s] && snaps[s].wall_ns != 0) {
+      begin_event();
+      os << "\"name\":\"committed\",\"ph\":\"C\",\"pid\":" << pid
+         << ",\"tid\":2,\"ts\":";
+      write_ts(os, rel(snaps[s].wall_ns));
+      os << ",\"args\":{\"value\":" << snaps[s].committed << "}}";
+      if (snaps[s].done != 0) {
+        begin_event();
+        os << "\"name\":\"done\",\"ph\":\"i\",\"pid\":" << pid
+           << ",\"tid\":2,\"s\":\"t\",\"ts\":";
+        write_ts(os, rel(snaps[s].wall_ns));
+        os << '}';
+      }
+    }
+
+    // Worker traces, epoch by epoch, tids remapped so epochs never
+    // collide: epoch*65536 + 16 + recorder tid (0..15 reserved for the
+    // synthesized tracks above).
+    for (std::size_t k = 0; k < intervals[s].size(); ++k) {
+      const ParsedTrace* t = shard_traces[s][k];
+      const std::uint64_t epoch = intervals[s][k].epoch;
+      if (t == nullptr || !t->parsed || !t->have_anchor) {
+        ++info.missing_traces;
+        ++result.missing_traces;
+        continue;
+      }
+      ++info.traces_present;
+      info.dropped_events += t->dropped;
+      info.flushes += t->flushes;
+      info.have_anchor = true;
+      info.anchor_offset_ns =
+          static_cast<std::int64_t>(t->origin_wall_ns) -
+          static_cast<std::int64_t>(t0);
+      result.dropped_events += t->dropped;
+      const std::uint64_t tid_base = epoch * 65536 + 16;
+      for (const auto& [tid, name] : t->thread_names) {
+        name_meta("thread_name", pid, tid_base + tid,
+                  "e" + std::to_string(epoch) + ":" + name);
+      }
+      for (const ParsedTrace::Ev& ev : t->events) {
+        replay_event(ev, pid, tid_base + ev.tid, t->origin_wall_ns);
+        ++info.events;
+      }
+    }
+  }
+
+  // otherData: the stitch's own accounting, sorted for byte stability.
+  std::map<std::string, std::string> other;
+  other["stitch_dropped_events"] = std::to_string(result.dropped_events);
+  other["stitch_lease_spans"] = std::to_string(result.lease_spans);
+  other["stitch_missing_traces"] = std::to_string(result.missing_traces);
+  other["stitch_origin_wall_ns"] = std::to_string(t0);
+  other["stitch_shards"] = std::to_string(num_shards);
+  other["stitch_supervisor_trace"] =
+      result.supervisor_trace ? "1" : "0";
+  os << "\n],\"otherData\":{";
+  bool first_pair = true;
+  for (const auto& [key, value] : other) {
+    if (!first_pair) os << ',';
+    first_pair = false;
+    write_escaped(os, key);
+    os << ':';
+    write_escaped(os, value);
+  }
+  os << "}}\n";
+
+  result.json = os.str();
+  result.message = "stitched " + std::to_string(num_shards) +
+                   " shard(s): " + std::to_string(result.total_events) +
+                   " events, " + std::to_string(result.lease_spans) +
+                   " lease spans, " +
+                   std::to_string(result.missing_traces) +
+                   " missing trace(s)";
+  return result;
+}
+
+}  // namespace odcfp::dist

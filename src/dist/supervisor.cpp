@@ -13,6 +13,7 @@
 #include "common/log.hpp"
 #include "common/subprocess.hpp"
 #include "common/telemetry.hpp"
+#include "common/trace.hpp"
 #include "dist/lease.hpp"
 #include "dist/merge.hpp"
 #include "dist/status.hpp"
@@ -54,6 +55,41 @@ JournalHeader lease_header_for(const RunSpec& spec) {
   return header;
 }
 
+/// RAII owner of the supervisor's own run-scoped trace. Activates only
+/// when capture was requested AND no trace is already live or armed in
+/// this process (ODCFP_TRACE, or an embedding test recording its own) —
+/// run capture must never hijack a caller's trace. Flushes and tears
+/// down on every exit path of run_supervised_batch.
+class ScopedRunTrace {
+ public:
+  ScopedRunTrace(bool enable, const std::string& run_dir,
+                 const RunSpec& spec) {
+    if (!enable || trace::enabled() || trace::armed()) return;
+    active_ = true;
+    trace::start();
+    trace::set_process_label("supervisor");
+    trace::set_meta("role", "supervisor");
+    trace::set_meta("run_label", spec.label);
+    trace::set_meta("circuit", spec.circuit);
+    trace::arm_file(supervisor_trace_path(run_dir));
+    trace::flush();  // durable immediately: debris of a crashed
+                     // supervisor still carries its clock anchor
+  }
+  ~ScopedRunTrace() {
+    if (!active_) return;
+    trace::flush();
+    trace::disarm();
+    trace::stop();
+  }
+  ScopedRunTrace(const ScopedRunTrace&) = delete;
+  ScopedRunTrace& operator=(const ScopedRunTrace&) = delete;
+
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+};
+
 }  // namespace
 
 DistResult run_supervised_batch(const RunSpec& spec,
@@ -89,6 +125,13 @@ DistResult run_supervised_batch(const RunSpec& spec,
   // Status snapshots and run_status.json publish atomically into the
   // run dir root; a writer SIGKILLed mid-publish leaves temp debris.
   atomic_io::remove_stale_temps(options.run_dir);
+
+  if (options.capture_traces &&
+      !atomic_io::make_dirs(traces_dir(options.run_dir))) {
+    return fail(Status::kMalformedInput,
+                "cannot create traces dir in '" + options.run_dir + "'");
+  }
+  ScopedRunTrace run_trace(options.capture_traces, options.run_dir, spec);
 
   // Fail fast on an unknown circuit and reconstruct the inputs the merge
   // needs — the same deterministic derivation every worker performs.
@@ -230,6 +273,9 @@ DistResult run_supervised_batch(const RunSpec& spec,
         std::chrono::steady_clock::now() - last_status_pub >=
             std::chrono::milliseconds(options.status_interval_ms)) {
       publish_live_status();
+      // Same cadence for trace durability: a supervisor SIGKILLed later
+      // loses at most one status interval of its own timeline.
+      if (run_trace.active()) trace::flush();
       last_status_pub = std::chrono::steady_clock::now();
     }
     if (budget_exhausted(options.budget)) {
@@ -261,6 +307,10 @@ DistResult run_supervised_batch(const RunSpec& spec,
           "--threads", std::to_string(options.worker_threads),
           "--heartbeat-ms", std::to_string(options.heartbeat_interval_ms),
       };
+      if (options.capture_traces) {
+        argv.push_back("--trace");
+        argv.push_back(shard_trace_path(options.run_dir, s, epoch));
+      }
       argv.insert(argv.end(), options.extra_worker_args.begin(),
                   options.extra_worker_args.end());
       ODCFP_FAULT_POINT("dist.lease.grant");
@@ -295,6 +345,7 @@ DistResult run_supervised_batch(const RunSpec& spec,
       slots[s].deadline.emplace(
           Budget::deadline_ms(options.heartbeat_timeout_ms));
       slots[s].last_growth = std::chrono::steady_clock::now();
+      trace::instant("dist.lease.granted");
       log::info("dist.lease.granted")
           .field("shard", s)
           .field("epoch", epoch)
@@ -313,6 +364,7 @@ DistResult run_supervised_batch(const RunSpec& spec,
                         static_cast<std::uint64_t>(slots[s].pid));
           slots[s].state = ShardState::kDone;
           ++result.shards_done;
+          trace::instant("dist.shard.done");
           log::info("dist.shard.done").field("shard", s);
         } else if (exit_code == kWorkerExitResumable) {
           // The worker gave up cleanly mid-range (its budget died, or a
@@ -348,6 +400,7 @@ DistResult run_supervised_batch(const RunSpec& spec,
                       static_cast<std::uint64_t>(slots[s].pid), os.str());
         slots[s].state = ShardState::kUnassigned;
         TELEM_COUNT("dist.workers_crashed", 1);
+        trace::instant("dist.lease.revoked", "worker crashed");
         log::warn("dist.worker.crashed")
             .field("shard", s)
             .field("detail", os.str());
@@ -378,6 +431,7 @@ DistResult run_supervised_batch(const RunSpec& spec,
           slots[s].state = ShardState::kUnassigned;
           ++result.workers_killed;
           TELEM_COUNT("dist.workers_killed", 1);
+          trace::instant("dist.lease.revoked", "heartbeat deadline missed");
           log::warn("dist.worker.wedged")
               .field("shard", s)
               .field("pid", slots[s].pid)
@@ -399,6 +453,7 @@ DistResult run_supervised_batch(const RunSpec& spec,
     return fail(merged.status, "merge failed: " + merged.message);
   }
   leases.append(0, 0, LeaseEvent::kMerged, 0);
+  trace::instant("dist.merged");
   // Final roll-up: overwrite the live status with the deterministic
   // end-of-run form (pure function of buyers + artifact sizes, no shard
   // geometry), so the file is byte-identical across shard counts,

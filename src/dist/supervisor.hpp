@@ -92,6 +92,16 @@ struct DistOptions {
   /// Extra argv appended to every worker invocation (the chaos suite
   /// injects --chaos-* flags here).
   std::vector<std::string> extra_worker_args;
+  /// Arms run-scoped trace capture: the supervisor records its own
+  /// timeline to `run_dir/traces/supervisor.json` (flushed on every
+  /// status tick) and every worker is granted with
+  /// `--trace traces/shard_<s>_epoch_<e>.json` so each grant leaves an
+  /// incrementally flushed, SIGKILL-surviving trace file. Stitch the
+  /// results with src/dist/stitch.* / tools/odcfp_report. The
+  /// supervisor-side capture is skipped (workers still record) when the
+  /// embedding process already records or armed a trace of its own —
+  /// e.g. ODCFP_TRACE is set — so run capture never steals it.
+  bool capture_traces = false;
 };
 
 struct DistResult {

@@ -153,6 +153,65 @@ TEST(MetricsHistTest, QuantilesArePureFunctionsOfBuckets) {
   EXPECT_EQ(HistData{}.quantile_permille(500), 0u);
 }
 
+TEST(MetricsHistTest, QuantileEdgeCases) {
+  // Empty: every permille reads 0 (there is no sample to bound).
+  const HistData empty;
+  for (const unsigned q : {0u, 1u, 500u, 999u, 1000u, 5000u}) {
+    EXPECT_EQ(empty.quantile_permille(q), 0u) << "q=" << q;
+  }
+
+  // Single value: every permille — including the clamped-out-of-range
+  // ones — reads that sample's bucket upper bound.
+  HistData one;
+  one.record(42);  // bucket 6, max 63
+  for (const unsigned q : {0u, 1u, 500u, 1000u, 9999u}) {
+    EXPECT_EQ(one.quantile_permille(q), 63u) << "q=" << q;
+  }
+
+  // All mass in bucket 0 (the exact value 0): quantiles are 0 at every
+  // rank, and the walk terminates in the first bucket rather than
+  // falling through to the defensive tail.
+  HistData zeros;
+  for (int i = 0; i < 1000; ++i) zeros.record(0);
+  EXPECT_EQ(zeros.quantile_permille(0), 0u);
+  EXPECT_EQ(zeros.quantile_permille(500), 0u);
+  EXPECT_EQ(zeros.quantile_permille(1000), 0u);
+  EXPECT_EQ(zeros.buckets.size(), 1u);
+
+  // Values at the top of the 64-bit range land in the last bucket and
+  // report its UINT64_MAX upper bound without wrapping.
+  HistData top;
+  top.record(UINT64_MAX);
+  top.record(UINT64_MAX - 1);
+  top.record(std::uint64_t{1} << 63);          // smallest bucket-64 value
+  top.record((std::uint64_t{1} << 63) - 1);    // largest bucket-63 value
+  EXPECT_EQ(top.quantile_permille(1), (std::uint64_t{1} << 63) - 1);
+  EXPECT_EQ(top.quantile_permille(1000), UINT64_MAX);
+
+  // rank = ceil(count * q / 1000) must not overflow even when count
+  // itself is near 2^64: a hand-built histogram carrying UINT64_MAX
+  // samples in bucket 0 still walks to the right bucket. (With 64-bit
+  // intermediates, count * 999 would wrap and the rank would collapse.)
+  HistData huge;
+  huge.count = UINT64_MAX;
+  huge.sum = 0;
+  huge.buckets = {UINT64_MAX};
+  EXPECT_EQ(huge.quantile_permille(999), 0u);
+  EXPECT_EQ(huge.quantile_permille(1000), 0u);
+
+  // Same near-saturation count, mass split across the extremes: the
+  // cumulative walk crosses from bucket 0 to bucket 64 exactly where
+  // the rank says, never earlier due to wraparound.
+  HistData split;
+  split.count = UINT64_MAX;
+  split.sum = 0;
+  split.buckets.assign(65, 0);
+  split.buckets[0] = UINT64_MAX - 1;
+  split.buckets[64] = 1;
+  EXPECT_EQ(split.quantile_permille(999), 0u);
+  EXPECT_EQ(split.quantile_permille(1000), UINT64_MAX);
+}
+
 /// Fresh registry + enabled telemetry for every telemetry-facing test.
 class MetricsTelemetryTest : public ::testing::Test {
  protected:

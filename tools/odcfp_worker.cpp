@@ -3,7 +3,8 @@
 // The supervisor spawns one of these per shard lease:
 //
 //   odcfp_worker --run-dir DIR --shard I --begin B --end E --epoch N
-//                --threads T --heartbeat-ms MS [chaos flags]
+//                --threads T --heartbeat-ms MS [--trace PATH]
+//                [chaos flags]
 //
 // The worker reads DIR/run.spec, deterministically reconstructs the
 // golden netlist and codebook (make_benchmark + find_locations +
@@ -11,6 +12,13 @@
 // batch_fingerprint_resumable over buyers [B, E) with the shard's
 // journal DIR/shard_I.journal, publishing editions into DIR/editions/.
 // Exit codes follow dist::kWorkerExit* (supervisor.hpp).
+//
+// --trace PATH arms run-scoped trace capture: the worker records its
+// timeline (with shard/epoch identity and its clock anchor in the
+// file's otherData) and atomically rewrites PATH on every heartbeat, so
+// a SIGKILL — including the supervisor's own wedge-kill — loses at most
+// one heartbeat interval of events. src/dist/stitch.* merges these into
+// the run's cross-process timeline.
 //
 // Chaos flags (test-only; in-process fault injectors cannot cross an
 // exec boundary, so the kill schedule rides the command line):
@@ -37,10 +45,12 @@
 #include <vector>
 
 #include "benchgen/benchmarks.hpp"
+#include "common/clock.hpp"
 #include "common/fault.hpp"
 #include "common/log.hpp"
 #include "common/parallel.hpp"
 #include "common/telemetry.hpp"
+#include "common/trace.hpp"
 #include "dist/shard.hpp"
 #include "dist/status.hpp"
 #include "dist/supervisor.hpp"
@@ -62,6 +72,7 @@ struct Args {
   std::uint64_t epoch = 1;
   int threads = 1;
   std::int64_t heartbeat_ms = 0;
+  std::string trace_path;    // run-scoped trace capture destination
   std::string chaos_signal;  // "", "kill", or "stop"
   std::string chaos_site;
   std::uint64_t chaos_nth = 1;
@@ -85,6 +96,7 @@ bool parse_args(int argc, char** argv, Args* args) {
     else if (flag == "--epoch") args->epoch = std::stoull(value);
     else if (flag == "--threads") args->threads = std::stoi(value);
     else if (flag == "--heartbeat-ms") args->heartbeat_ms = std::stoll(value);
+    else if (flag == "--trace") args->trace_path = value;
     else if (flag == "--chaos-signal") args->chaos_signal = value;
     else if (flag == "--chaos-site") args->chaos_site = value;
     else if (flag == "--chaos-nth") args->chaos_nth = std::stoull(value);
@@ -136,6 +148,24 @@ int main(int argc, char** argv) {
   }
   const dist::RunSpec spec = spec_read.value();
 
+  if (!args.trace_path.empty()) {
+    // Run-scoped capture: record from before the first fault site, arm
+    // the per-(shard, epoch) file, and make it durable immediately so
+    // even a worker killed before its first heartbeat leaves a trace
+    // carrying its clock anchor and identity metadata.
+    trace::start();
+    const std::string label = "shard-" + std::to_string(args.shard);
+    trace::set_process_label(label.c_str());
+    trace::set_thread_name("worker-main");
+    trace::set_meta("role", "worker");
+    trace::set_meta("run_label", spec.label);
+    trace::set_meta("circuit", spec.circuit);
+    trace::set_meta("shard", std::to_string(args.shard));
+    trace::set_meta("epoch", std::to_string(args.epoch));
+    trace::arm_file(args.trace_path);
+    trace::flush();
+  }
+
   SignalAtNth chaos(args.chaos_nth, args.chaos_site,
                     args.chaos_signal == "stop" ? SIGSTOP : SIGKILL);
   fault::ScopedInjector scoped(
@@ -183,9 +213,14 @@ int main(int argc, char** argv) {
                                static_cast<std::uint64_t>(p.elapsed_ms)
                          : 0;
       st.done = p.final ? 1 : 0;
+      st.wall_ns = clocks::anchored_wall_now_ns();
       st.edition_ns =
           telemetry::snapshot().hist_total("batch.edition_ns");
       dist::write_status_snapshot(snap_path, st);
+      // Heartbeat-cadence durability for the trace: the progress
+      // callback fires from the heartbeat ticker, so a SIGKILLed worker
+      // loses at most one interval of its timeline.
+      if (trace::armed()) trace::flush();
     };
 
     const ResumableBatchResult rr = batch_fingerprint_resumable(

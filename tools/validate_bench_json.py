@@ -16,6 +16,12 @@ The schema accepts every artifact generation (schema_version 1, 2, and
 additionally requires the current generation: schema_version == 3 with
 the "host" and "trace_dropped_events" fields present.
 
+Beyond the schema, rows carrying the label panel="stitch" (the
+trace-stitch summary bench_shard_scale emits) are checked semantically:
+they must carry the full metric set and report stitch_identical == 1 —
+byte-identical stitched output across stitcher thread counts is a hard
+determinism contract, not a soft number.
+
 Exit status: 0 when every report validates, 1 otherwise.
 """
 
@@ -132,6 +138,39 @@ def validate(value, schema, root_schema, path, errors):
                      f"{path}[{i}]", errors)
 
 
+# Metrics every stitch-panel row must carry (bench_shard_scale).
+_STITCH_REQUIRED_METRICS = (
+    "stitch_ms", "stitched_events", "lease_spans", "missing_traces",
+    "dropped_events", "stitch_identical",
+)
+
+
+def semantic_checks(report, errors):
+    """Row-shape rules the generic schema cannot express."""
+    if not isinstance(report, dict):
+        return
+    for i, row in enumerate(report.get("rows", [])):
+        if not isinstance(row, dict):
+            continue
+        labels = row.get("labels", {})
+        if not (isinstance(labels, dict)
+                and labels.get("panel") == "stitch"):
+            continue
+        metrics = row.get("metrics", {})
+        if not isinstance(metrics, dict):
+            continue
+        for key in _STITCH_REQUIRED_METRICS:
+            if key not in metrics:
+                errors.append(
+                    f"$.rows[{i}]: stitch panel missing metric {key!r}")
+        if "stitch_identical" in metrics \
+                and metrics["stitch_identical"] != 1:
+            errors.append(
+                f"$.rows[{i}]: stitch_identical is "
+                f"{metrics['stitch_identical']!r}; stitched output must "
+                f"be byte-identical across stitcher thread counts")
+
+
 def main(argv):
     args = list(argv[1:])
     strict = "--strict" in args
@@ -154,6 +193,7 @@ def main(argv):
             continue
         errors = []
         validate(report, schema, schema, "$", errors)
+        semantic_checks(report, errors)
         if strict and isinstance(report, dict):
             version = report.get("schema_version")
             if version != _CURRENT_SCHEMA_VERSION:
