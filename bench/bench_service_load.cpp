@@ -1,0 +1,251 @@
+// Service-plane load benchmark: drives the fingerprinting daemon past
+// saturation with open-loop traffic and reports admitted/shed rates and
+// request-latency percentiles.
+//
+// Smoke mode keeps three deterministic phases so CI can gate exact
+// admission accounting against the committed baseline:
+//   admission_overload  executors=0, queue=8, 20 submits -> 8 admitted,
+//                       12 shed kOverloaded (nothing drains the queue)
+//   admission_quota     refill-free bucket of 5 tokens, 10 unit-cost
+//                       submits -> 5 admitted, 5 shed kQuotaExceeded
+//   drain_replay        a restart on the overload phase's state dir
+//                       replays and completes all 8 queued requests
+// Full mode adds a nondeterministic open-loop phase past saturation;
+// its latencies are reported under *_ns metrics, which bench_diff.py
+// never gates.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+using odcfp::service::Client;
+using odcfp::service::RequestSpec;
+using odcfp::service::Server;
+using odcfp::service::ServiceConfig;
+
+std::string make_temp_dir() {
+  char pattern[] = "/tmp/odcfp_bench_service.XXXXXX";
+  const char* dir = ::mkdtemp(pattern);
+  if (dir == nullptr) {
+    std::perror("mkdtemp");
+    std::exit(1);
+  }
+  return dir;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const std::size_t at = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[at];
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+int main() {
+  const std::string root = make_temp_dir();
+  odcfp::bench::BenchReport report("service_load");
+
+  // --- Phase 1: overload shedding (deterministic). No executors, so
+  // the bounded queue fills and stays full: exactly queue_capacity
+  // submissions are admitted, the rest are shed kOverloaded.
+  {
+    ServiceConfig config;
+    config.socket_path = root + "/overload.sock";
+    config.state_dir = root + "/overload";
+    config.num_executors = 0;
+    config.queue_capacity = 8;
+    config.default_deadline_ms = 600'000;
+    config.max_delay_overhead = 0;
+    auto server = Server::start(config);
+    if (!server.ok()) {
+      std::fprintf(stderr, "start: %s\n", server.message().c_str());
+      return 1;
+    }
+    Client client(config.socket_path);
+    int accepted = 0;
+    int rejected = 0;
+    for (int i = 0; i < 20; ++i) {
+      RequestSpec spec;
+      spec.tenant = "load";
+      spec.circuit = "c17";
+      spec.buyers = 2;
+      spec.seed = static_cast<std::uint64_t>(i);
+      auto reply = client.submit(spec);
+      if (reply.ok() && reply.value().accepted) {
+        ++accepted;
+      } else {
+        ++rejected;
+      }
+    }
+    const Server::Stats stats = server.value()->stats();
+    server.value()->stop();
+    std::printf("admission_overload: admitted=%llu shed_overloaded=%llu\n",
+                static_cast<unsigned long long>(stats.admitted),
+                static_cast<unsigned long long>(stats.shed_overloaded));
+    report.add_row("admission_overload")
+        .metric("submitted", 20)
+        .metric("admitted", static_cast<double>(stats.admitted))
+        .metric("shed_overloaded",
+                static_cast<double>(stats.shed_overloaded))
+        .metric("client_accepted", accepted)
+        .metric("client_rejected", rejected);
+  }
+
+  // --- Phase 2: quota shedding (deterministic). A refill-free bucket
+  // of 5 tokens against ten unit-cost submissions.
+  {
+    ServiceConfig config;
+    config.socket_path = root + "/quota.sock";
+    config.state_dir = root + "/quota";
+    config.num_executors = 0;
+    config.queue_capacity = 64;
+    config.default_deadline_ms = 600'000;
+    config.max_delay_overhead = 0;
+    odcfp::service::TenantQuota quota;
+    quota.bucket.capacity = 5;
+    quota.bucket.refill_per_sec = 0;
+    config.tenants["metered"] = quota;
+    auto server = Server::start(config);
+    if (!server.ok()) {
+      std::fprintf(stderr, "start: %s\n", server.message().c_str());
+      return 1;
+    }
+    Client client(config.socket_path);
+    for (int i = 0; i < 10; ++i) {
+      RequestSpec spec;
+      spec.tenant = "metered";
+      spec.circuit = "c17";
+      spec.buyers = 1;  // estimate_request_cost == 1
+      spec.seed = static_cast<std::uint64_t>(i);
+      (void)client.submit(spec);
+    }
+    const Server::Stats stats = server.value()->stats();
+    server.value()->stop();
+    std::printf("admission_quota: admitted=%llu shed_quota=%llu\n",
+                static_cast<unsigned long long>(stats.admitted),
+                static_cast<unsigned long long>(stats.shed_quota));
+    report.add_row("admission_quota")
+        .metric("submitted", 10)
+        .metric("admitted", static_cast<double>(stats.admitted))
+        .metric("shed_quota", static_cast<double>(stats.shed_quota));
+  }
+
+  // --- Phase 3: drain + replay (deterministic). Restart on phase 1's
+  // state dir with real executors: every queued request must replay and
+  // complete.
+  {
+    ServiceConfig config;
+    config.socket_path = root + "/drain.sock";
+    config.state_dir = root + "/overload";
+    config.num_executors = 2;
+    config.pool_threads = 2;
+    config.default_deadline_ms = 600'000;
+    config.max_delay_overhead = 0;
+    auto server = Server::start(config);
+    if (!server.ok()) {
+      std::fprintf(stderr, "restart: %s\n", server.message().c_str());
+      return 1;
+    }
+    int completed = 0;
+    for (std::uint64_t id = 1; id <= 8; ++id) {
+      if (server.value()->wait_terminal(id, 120'000) == "completed") {
+        ++completed;
+      }
+    }
+    const Server::Stats stats = server.value()->stats();
+    server.value()->stop();
+    std::printf("drain_replay: replayed=%llu completed=%d\n",
+                static_cast<unsigned long long>(stats.replayed), completed);
+    report.add_row("drain_replay")
+        .metric("replayed", static_cast<double>(stats.replayed))
+        .metric("completed", completed);
+  }
+
+  // --- Phase 4 (full mode only): open-loop traffic past saturation.
+  // One executor, submissions arriving faster than it can drain; the
+  // bounded queue sheds the overflow while admitted requests keep a
+  // bounded latency. Latency metrics use *_ns names (never gated).
+  if (!odcfp::bench::smoke()) {
+    ServiceConfig config;
+    config.socket_path = root + "/open.sock";
+    config.state_dir = root + "/open";
+    config.num_executors = 1;
+    config.pool_threads = 2;
+    config.queue_capacity = 16;
+    config.default_deadline_ms = 600'000;
+    config.max_delay_overhead = 0;
+    auto server = Server::start(config);
+    if (!server.ok()) {
+      std::fprintf(stderr, "start: %s\n", server.message().c_str());
+      return 1;
+    }
+    Client client(config.socket_path);
+    constexpr int kRequests = 120;
+    constexpr auto kInterval = std::chrono::milliseconds(2);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> admitted;
+    int shed = 0;
+    const std::uint64_t t0 = now_ns();
+    for (int i = 0; i < kRequests; ++i) {
+      RequestSpec spec;
+      spec.tenant = "open";
+      spec.circuit = "c432";
+      spec.buyers = 2;
+      spec.seed = static_cast<std::uint64_t>(i);
+      auto reply = client.submit(spec);
+      if (reply.ok() && reply.value().accepted) {
+        admitted.emplace_back(reply.value().id, now_ns());
+      } else {
+        ++shed;
+      }
+      std::this_thread::sleep_for(kInterval);
+    }
+    std::vector<double> latencies_ns;
+    for (const auto& [id, submitted_at] : admitted) {
+      if (server.value()->wait_terminal(id, 300'000).empty()) continue;
+      latencies_ns.push_back(static_cast<double>(now_ns() - submitted_at));
+    }
+    const double wall_s = static_cast<double>(now_ns() - t0) / 1e9;
+    const Server::Stats stats = server.value()->stats();
+    server.value()->stop();
+    const double p50 = percentile(latencies_ns, 0.50);
+    const double p99 = percentile(latencies_ns, 0.99);
+    std::printf(
+        "open_loop: submitted=%d admitted=%zu shed=%d "
+        "p50=%.1fms p99=%.1fms wall=%.1fs\n",
+        kRequests, admitted.size(), shed, p50 / 1e6, p99 / 1e6, wall_s);
+    report.add_row("open_loop")
+        .metric("submitted_rate_hz",
+                static_cast<double>(kRequests) / wall_s)
+        .metric("admitted_count_raw", static_cast<double>(admitted.size()))
+        .metric("shed_count_raw", static_cast<double>(shed))
+        .metric("shed_overloaded_raw",
+                static_cast<double>(stats.shed_overloaded))
+        .metric("latency_p50_ns", p50)
+        .metric("latency_p99_ns", p99);
+  }
+
+  report.write();
+  return 0;
+}

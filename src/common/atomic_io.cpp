@@ -78,7 +78,20 @@ WriteResult write_file_atomic(const std::string& path,
     while (off < data.size()) {
       // One fault point per chunk: an injected fault mid-loop leaves a
       // genuinely partial temp file, which must never become visible.
-      ODCFP_FAULT_POINT("atomic_io.write");
+      try {
+        ODCFP_FAULT_POINT("atomic_io.write");
+      } catch (const fault::InjectedDiskFull& e) {
+        // Simulated ENOSPC: the kernel accepted a short prefix of this
+        // chunk before the device filled. Land those bytes for real so
+        // the temp file is genuinely truncated, then fail the publish —
+        // the unlink below must keep the final path untouched.
+        const std::size_t short_n =
+            std::min(e.short_bytes, data.size() - off);
+        if (short_n > 0) (void)::write(fd, data.data() + off, short_n);
+        result.error = std::string("short write (disk full) on '") + tmp +
+                       "': " + e.what();
+        break;
+      }
       const std::size_t chunk = std::min(data.size() - off, kWriteChunk);
       const ssize_t n = ::write(fd, data.data() + off, chunk);
       if (n < 0) {
@@ -208,7 +221,9 @@ bool read_file(const std::string& path, std::string* out) {
   return true;
 }
 
-std::uint32_t crc32(std::string_view data) {
+namespace {
+
+const std::array<std::uint32_t, 256>& crc32_table() {
   static const auto table = [] {
     std::array<std::uint32_t, 256> t{};
     for (std::uint32_t i = 0; i < 256; ++i) {
@@ -220,12 +235,23 @@ std::uint32_t crc32(std::string_view data) {
     }
     return t;
   }();
-  std::uint32_t crc = 0xFFFFFFFFu;
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  Crc32 crc;
+  crc.update(data);
+  return crc.value();
+}
+
+void Crc32::update(std::string_view data) {
+  const auto& table = crc32_table();
   for (const char ch : data) {
-    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^
-          (crc >> 8);
+    state_ = table[(state_ ^ static_cast<unsigned char>(ch)) & 0xFFu] ^
+             (state_ >> 8);
   }
-  return crc ^ 0xFFFFFFFFu;
 }
 
 }  // namespace odcfp::atomic_io

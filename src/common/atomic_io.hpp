@@ -79,4 +79,16 @@ bool read_file(const std::string& path, std::string* out);
 /// checksums recorded at commit time.
 std::uint32_t crc32(std::string_view data);
 
+/// Streaming form of crc32: feeding a byte stream chunk-by-chunk yields
+/// exactly crc32(concatenation). Lets the batch layer digest a streaming
+/// codebook without materializing every codeword into one string.
+class Crc32 {
+ public:
+  void update(std::string_view data);
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
 }  // namespace odcfp::atomic_io

@@ -58,6 +58,24 @@ void CancelAfterN::on_point(const char* site) {
   if (++hits_ == nth_) token_.cancel();
 }
 
+FailNthDiskFull::FailNthDiskFull(std::uint64_t nth,
+                                 const char* site_prefix,
+                                 std::uint64_t count,
+                                 std::size_t short_bytes)
+    : nth_(nth), count_(count), prefix_(site_prefix),
+      short_bytes_(short_bytes) {}
+
+void FailNthDiskFull::on_point(const char* site) {
+  if (!matches(site, prefix_)) return;
+  ++hits_;
+  if (hits_ >= nth_ && hits_ < nth_ + count_) {
+    ++fired_;
+    throw InjectedDiskFull(std::string("injected disk-full at '") + site +
+                               "' (hit " + std::to_string(hits_) + ")",
+                           short_bytes_);
+  }
+}
+
 FailNthIo::FailNthIo(std::uint64_t nth, const char* site_prefix,
                      std::uint64_t count)
     : nth_(nth), count_(count), prefix_(site_prefix) {}

@@ -110,6 +110,43 @@ class InjectedIoError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+/// Thrown by FailNthDiskFull: the device filled mid-write (ENOSPC). The
+/// distinguishing feature vs a plain InjectedIoError is `short_bytes` —
+/// the number of bytes the kernel accepted before failing. The marked
+/// write sites (journal append, atomic_io publish) honor it by actually
+/// writing that prefix to disk, so the test observes a genuinely
+/// truncated record/temp file and must prove it is rejected-and-recovered
+/// rather than committed. Derives InjectedIoError so the retry layer
+/// still classifies a recovered disk as transient.
+class InjectedDiskFull : public InjectedIoError {
+ public:
+  InjectedDiskFull(const std::string& what, std::size_t short_bytes_arg)
+      : InjectedIoError(what), short_bytes(short_bytes_arg) {}
+
+  std::size_t short_bytes;
+};
+
+/// Throws InjectedDiskFull on matching hits nth .. nth+count-1 (1-based),
+/// then passes hits through again — "the disk filled, `count` writes
+/// landed short, then space was freed".
+class FailNthDiskFull : public Injector {
+ public:
+  FailNthDiskFull(std::uint64_t nth, const char* site_prefix = "",
+                  std::uint64_t count = 1, std::size_t short_bytes = 0);
+  void on_point(const char* site) override;
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t fired() const { return fired_; }
+
+ private:
+  std::uint64_t nth_;
+  std::uint64_t count_;
+  const char* prefix_;
+  std::size_t short_bytes_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t fired_ = 0;
+};
+
 /// Throws InjectedIoError on matching hits nth .. nth+count-1 (1-based),
 /// then passes hits through again — "the disk misbehaved `count` times
 /// and recovered", the shape retry_with_backoff is built to absorb.

@@ -526,13 +526,27 @@ bool Journal::append(std::uint64_t buyer, BuyerPhase phase,
     entry.wall_ns = clocks::anchored_wall_now_ns();
     const std::string line = format_line('R', entry_payload(entry));
     try {
-      ODCFP_FAULT_POINT("journal.append");
       struct stat st;
       if (::fstat(impl_->fd, &st) != 0) {
         diag = errno_message("fstat", impl_->path);
       } else {
         std::size_t off = 0;
-        while (off < line.size()) {
+        try {
+          ODCFP_FAULT_POINT("journal.append");
+        } catch (const fault::InjectedDiskFull& e) {
+          // Simulated ENOSPC: land the accepted prefix for real so the
+          // file carries a genuinely torn record, then take the rollback
+          // path below — the journal must shrink back to the last intact
+          // record, never expose a mid-file partial line.
+          const std::size_t short_n = std::min(e.short_bytes, line.size());
+          if (short_n > 0) {
+            (void)::write(impl_->fd, line.data(), short_n);
+            off = short_n;
+          }
+          diag = std::string("short write (disk full) on '") +
+                 impl_->path + "': " + e.what();
+        }
+        while (diag.empty() && off < line.size()) {
           const ssize_t n =
               ::write(impl_->fd, line.data() + off, line.size() - off);
           if (n < 0) {

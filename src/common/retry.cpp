@@ -14,6 +14,43 @@
 
 namespace odcfp {
 
+namespace {
+
+/// Slice width for interruptible backoff sleeps. Between slices the
+/// shared budget is re-polled, so a concurrent cancel or deadline expiry
+/// wakes the retry loop within roughly one slice instead of holding the
+/// thread for the full backoff.
+constexpr double kSleepSliceMs = 5.0;
+
+/// Sleeps ~delay_ms in slices, re-checking `budget` between them.
+/// Returns false when the budget died (cancelled, or deadline reached)
+/// before the full delay elapsed. The slept time is additionally capped
+/// at the budget's remaining deadline, so the retry loop never sleeps
+/// past the moment its caller's deadline passes.
+bool interruptible_backoff_sleep(double delay_ms, const Budget* budget) {
+  if (budget == nullptr) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
+    return true;
+  }
+  double remaining = delay_ms;
+  while (remaining > 0) {
+    if (budget->exhausted()) return false;
+    double slice = std::min(remaining, kSleepSliceMs);
+    if (budget->has_deadline()) {
+      const double to_deadline = budget->remaining_seconds() * 1000.0;
+      if (to_deadline <= 0) return false;
+      slice = std::min(slice, to_deadline);
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(slice));
+    remaining -= slice;
+  }
+  return !budget->exhausted();
+}
+
+}  // namespace
+
 double backoff_delay_ms(const RetryPolicy& policy, int attempt) {
   double nominal = policy.base_delay_ms;
   for (int i = 1; i < attempt; ++i) {
@@ -91,9 +128,19 @@ RetryStats retry_with_backoff(const char* what, const RetryPolicy& policy,
         .field("attempt", a)
         .field("backoff_ms", delay)
         .field("error", stats.last_error);
-    if (policy.sleep && delay > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(delay));
+    if (policy.sleep && delay > 0 &&
+        !interruptible_backoff_sleep(delay, policy.budget)) {
+      // The budget died while we slept (a concurrent cancel, or the
+      // deadline arrived mid-backoff). The backoff above is already
+      // recorded — the schedule stays deterministic — but the next
+      // attempt must not run.
+      stats.status = Status::kExhausted;
+      TELEM_COUNT("retry.budget_giveups", 1);
+      log::warn("retry.budget_giveup")
+          .field("what", what)
+          .field("attempts", stats.attempts)
+          .field("error", stats.last_error);
+      return stats;
     }
   }
   stats.status = Status::kExhausted;

@@ -51,7 +51,10 @@ struct RetryPolicy {
   /// Deadline/cancellation source. A retry whose backoff would sleep
   /// past the deadline is not attempted: the call gives up with
   /// kExhausted immediately instead of burning the caller's budget
-  /// asleep.
+  /// asleep. Backoff sleeps are sliced and re-check the budget between
+  /// slices, so a *concurrent* cancel or deadline expiry wakes the loop
+  /// within milliseconds and gives up — never sleeping out the rest of
+  /// the backoff, never running another attempt.
   const Budget* budget = nullptr;
   /// When false the backoff is computed and recorded but not slept —
   /// determinism tests replay schedules without wall-clock coupling.

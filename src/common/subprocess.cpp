@@ -1,5 +1,6 @@
 #include "common/subprocess.hpp"
 
+#include <fcntl.h>
 #include <signal.h>
 #include <sys/prctl.h>
 #include <sys/wait.h>
@@ -12,9 +13,52 @@
 
 namespace odcfp::proc {
 
-pid_t spawn(const std::vector<std::string>& argv, std::string* error) {
+const char* to_string(SpawnError e) {
+  switch (e) {
+    case SpawnError::kNone: return "none";
+    case SpawnError::kEmptyArgv: return "empty_argv";
+    case SpawnError::kOpenFailed: return "open_failed";
+    case SpawnError::kFdExhausted: return "fd_exhausted";
+    case SpawnError::kForkFailed: return "fork_failed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void set_spawn_error(std::string* error, SpawnError* error_kind,
+                     SpawnError kind, const std::string& diag) {
+  if (error != nullptr) *error = diag;
+  if (error_kind != nullptr) *error_kind = kind;
+}
+
+/// Opens a redirect target in the parent. Returns the fd, or -1 with the
+/// error reported through (error, error_kind) — EMFILE/ENFILE become the
+/// distinct kFdExhausted so supervisors can tell "this machine is out of
+/// descriptors" from "the log directory is missing".
+int open_redirect(const std::string& path, std::string* error,
+                  SpawnError* error_kind) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd >= 0) return fd;
+  const int saved = errno;
+  const SpawnError kind = (saved == EMFILE || saved == ENFILE)
+                              ? SpawnError::kFdExhausted
+                              : SpawnError::kOpenFailed;
+  set_spawn_error(error, error_kind, kind,
+                  std::string("spawn: open redirect '") + path +
+                      "': " + std::strerror(saved));
+  return -1;
+}
+
+}  // namespace
+
+pid_t spawn(const std::vector<std::string>& argv, const SpawnOptions& options,
+            std::string* error, SpawnError* error_kind) {
+  if (error_kind != nullptr) *error_kind = SpawnError::kNone;
   if (argv.empty()) {
-    if (error != nullptr) *error = "spawn: empty argv";
+    set_spawn_error(error, error_kind, SpawnError::kEmptyArgv,
+                    "spawn: empty argv");
     return -1;
   }
   std::vector<char*> cargv;
@@ -24,11 +68,32 @@ pid_t spawn(const std::vector<std::string>& argv, std::string* error) {
   }
   cargv.push_back(nullptr);
 
+  // Redirect targets open in the parent, before fork: open failures are
+  // typed errors here, not a child that dies before exec.
+  int out_fd = -1;
+  int err_fd = -1;
+  if (!options.stdout_path.empty()) {
+    out_fd = open_redirect(options.stdout_path, error, error_kind);
+    if (out_fd < 0) return -1;
+  }
+  if (!options.stderr_path.empty()) {
+    if (options.stderr_path == options.stdout_path) {
+      err_fd = out_fd;  // shared descriptor: interleaved, not clobbered
+    } else {
+      err_fd = open_redirect(options.stderr_path, error, error_kind);
+      if (err_fd < 0) {
+        if (out_fd >= 0) ::close(out_fd);
+        return -1;
+      }
+    }
+  }
+
   const pid_t pid = ::fork();
   if (pid < 0) {
-    if (error != nullptr) {
-      *error = std::string("fork: ") + std::strerror(errno);
-    }
+    set_spawn_error(error, error_kind, SpawnError::kForkFailed,
+                    std::string("fork: ") + std::strerror(errno));
+    if (out_fd >= 0) ::close(out_fd);
+    if (err_fd >= 0 && err_fd != out_fd) ::close(err_fd);
     return -1;
   }
   if (pid == 0) {
@@ -37,12 +102,22 @@ pid_t spawn(const std::vector<std::string>& argv, std::string* error) {
     ::prctl(PR_SET_PDEATHSIG, SIGKILL);
     // The parent could already be gone between fork and prctl.
     if (::getppid() == 1) ::_exit(127);
+    // dup2 clears O_CLOEXEC on the target descriptor, so the redirects
+    // survive exec while the originals (CLOEXEC) do not leak.
+    if (out_fd >= 0 && ::dup2(out_fd, STDOUT_FILENO) < 0) ::_exit(125);
+    if (err_fd >= 0 && ::dup2(err_fd, STDERR_FILENO) < 0) ::_exit(125);
     ::execv(cargv[0], cargv.data());
     // exec failed: _exit only (no unwinding in a forked child).
     ::_exit(126);
   }
+  if (out_fd >= 0) ::close(out_fd);
+  if (err_fd >= 0 && err_fd != out_fd) ::close(err_fd);
   log::info("proc.spawned").field("pid", pid).field("binary", argv[0]);
   return pid;
+}
+
+pid_t spawn(const std::vector<std::string>& argv, std::string* error) {
+  return spawn(argv, SpawnOptions{}, error, nullptr);
 }
 
 bool alive(pid_t pid) {

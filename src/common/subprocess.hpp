@@ -21,9 +21,41 @@
 
 namespace odcfp::proc {
 
+/// Why a spawn failed before a child ever ran. kExecFailed is reported
+/// differently: exec failures happen after fork, in the child, which
+/// _exit(126)s — observe them through try_wait, not through this enum.
+enum class SpawnError {
+  kNone,
+  kEmptyArgv,     ///< argv had no argv[0] to exec
+  kOpenFailed,    ///< a redirect target could not be opened/created
+  kFdExhausted,   ///< EMFILE/ENFILE opening a redirect target
+  kForkFailed,    ///< fork() itself failed (EAGAIN/ENOMEM)
+};
+
+/// Returns the stable name of a SpawnError ("none", "empty_argv", ...).
+const char* to_string(SpawnError e);
+
+struct SpawnOptions {
+  /// When non-empty, the child's stdout/stderr are redirected to these
+  /// paths (created 0644, append mode, so a restarted daemon extends its
+  /// log instead of clobbering it). The files are opened in the PARENT:
+  /// open failures — a missing directory, or fd exhaustion (EMFILE /
+  /// ENFILE) — surface as typed spawn errors before any fork happens,
+  /// never as a child that silently exits.
+  std::string stdout_path;
+  std::string stderr_path;
+};
+
 /// fork + execv of argv[0] with the given argument vector. Returns the
-/// child pid, or -1 with a diagnostic in *error. The child dies with the
-/// calling process (PDEATHSIG) and gets a fresh default signal mask.
+/// child pid, or -1 with a diagnostic in *error (and, when error_kind is
+/// non-null, a typed reason). The child dies with the calling process
+/// (PDEATHSIG) and gets a fresh default signal mask. A child whose exec
+/// fails (bad executable path, not executable) _exit(126)s — poll it
+/// with try_wait to observe that.
+pid_t spawn(const std::vector<std::string>& argv, const SpawnOptions& options,
+            std::string* error = nullptr, SpawnError* error_kind = nullptr);
+
+/// Back-compat overload: no redirection.
 pid_t spawn(const std::vector<std::string>& argv,
             std::string* error = nullptr);
 

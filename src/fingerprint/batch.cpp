@@ -35,7 +35,7 @@ std::uint64_t derive_seed(std::uint64_t base, std::size_t buyer) {
 
 /// Stamps one buyer edition: clone, embed site-by-site with incremental
 /// arrival maintenance, measure. Pure function of (golden, book, buyer).
-BuyerEdition make_edition(const Netlist& golden, const Codebook& book,
+BuyerEdition make_edition(const Netlist& golden, const CodebookSource& book,
                           std::size_t buyer, const Baseline& baseline,
                           const StaticTimingAnalyzer& sta,
                           const PowerAnalyzer& power,
@@ -43,7 +43,7 @@ BuyerEdition make_edition(const Netlist& golden, const Codebook& book,
   BuyerEdition edition;
   edition.buyer = buyer;
   edition.seed = derive_seed(options.seed, buyer);
-  edition.code = book.code(buyer);
+  edition.code = book.code_of(buyer);
   edition.netlist = golden;  // private clone: workers never share state
 
   FingerprintEmbedder embedder(edition.netlist, book.locations());
@@ -70,7 +70,7 @@ BuyerEdition make_edition(const Netlist& golden, const Codebook& book,
 
 }  // namespace
 
-BatchResult batch_fingerprint(const Netlist& golden, const Codebook& book,
+BatchResult batch_fingerprint(const Netlist& golden, const CodebookSource& book,
                               const StaticTimingAnalyzer& sta,
                               const PowerAnalyzer& power,
                               const BatchOptions& options) {
@@ -140,22 +140,31 @@ std::string edition_artifact_path(const std::string& dir,
 /// the base seed: golden structure, codebook contents, delay constraint.
 /// A resumed run whose config checksum differs would silently produce
 /// different artifacts, so the journal header pins it.
-std::uint32_t run_config_crc(const Netlist& golden, const Codebook& book,
+std::uint32_t run_config_crc(const Netlist& golden, const CodebookSource& book,
                              const BatchOptions& options) {
-  std::ostringstream os;
-  os << structural_signature(golden)
-     << "|buyers=" << book.num_buyers()
-     << "|delay=" << options.max_delay_overhead << "|codes=";
+  // Streaming digest: one codeword in flight at a time, so a
+  // million-buyer StreamingCodebook never materializes here either.
+  // Byte stream (and thus CRC) identical to the old whole-string form.
+  atomic_io::Crc32 crc;
+  {
+    std::ostringstream os;
+    os << structural_signature(golden)
+       << "|buyers=" << book.num_buyers()
+       << "|delay=" << options.max_delay_overhead << "|codes=";
+    crc.update(os.str());
+  }
   for (std::size_t b = 0; b < book.num_buyers(); ++b) {
-    for (const auto& per_loc : book.code(b)) {
+    std::ostringstream os;
+    for (const auto& per_loc : book.code_of(b)) {
       for (const std::uint8_t v : per_loc) {
         os << static_cast<int>(v) << ',';
       }
       os << ';';
     }
     os << '/';
+    crc.update(os.str());
   }
-  return atomic_io::crc32(os.str());
+  return crc.value();
 }
 
 /// Sidecar liveness ticker: appends a heartbeat record to the journal
@@ -202,7 +211,7 @@ class HeartbeatTicker {
 
 ResumableBatchResult batch_fingerprint_resumable(
     const std::string& journal_path, const Netlist& golden,
-    const Codebook& book, const StaticTimingAnalyzer& sta,
+    const CodebookSource& book, const StaticTimingAnalyzer& sta,
     const PowerAnalyzer& power, const ResumeOptions& options) {
   TELEM_SPAN("batch_fingerprint_resumable");
   const auto run_t0 = std::chrono::steady_clock::now();
@@ -367,7 +376,7 @@ ResumableBatchResult batch_fingerprint_resumable(
         BuyerEdition& slot = rr.batch.editions[b];
         if (recovered[b]) {
           slot.status = Status::kOk;
-          slot.code = book.code(b);
+          slot.code = book.code_of(b);
           rr.artifacts[b] = committed_path[b];
           recovered_count.fetch_add(1, std::memory_order_relaxed);
           committed_count.fetch_add(1, std::memory_order_relaxed);

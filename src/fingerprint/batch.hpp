@@ -100,7 +100,7 @@ struct BatchResult {
 
 /// Stamps one edition per codeword of `book` (whose locations must have
 /// been found on `golden`). See the determinism contract above.
-BatchResult batch_fingerprint(const Netlist& golden, const Codebook& book,
+BatchResult batch_fingerprint(const Netlist& golden, const CodebookSource& book,
                               const StaticTimingAnalyzer& sta,
                               const PowerAnalyzer& power,
                               const BatchOptions& options = {});
@@ -252,7 +252,7 @@ struct ResumableBatchResult {
 /// artifact is missing or fails its checksum is demoted and re-stamped.
 ResumableBatchResult batch_fingerprint_resumable(
     const std::string& journal_path, const Netlist& golden,
-    const Codebook& book, const StaticTimingAnalyzer& sta,
+    const CodebookSource& book, const StaticTimingAnalyzer& sta,
     const PowerAnalyzer& power, const ResumeOptions& options);
 
 }  // namespace odcfp

@@ -39,15 +39,34 @@ FingerprintCode encode_bits(const std::vector<FingerprintLocation>& locs,
 std::vector<bool> decode_bits(const std::vector<FingerprintLocation>& locs,
                               const FingerprintCode& code);
 
-/// A set of distinct buyer codewords over the same location set.
-class Codebook {
+/// Read-only source of buyer codewords over one location set. The batch
+/// and service layers consume this interface so the codewords can come
+/// from a fully materialized Codebook (tens to thousands of buyers) or
+/// from a streaming generator (src/fingerprint/streaming_codebook.hpp)
+/// that derives each codeword on demand — a million-buyer order never
+/// holds a million codewords in memory. code_of returns by value: a
+/// streaming source has no stored codeword to reference.
+class CodebookSource {
+ public:
+  virtual ~CodebookSource() = default;
+  virtual std::size_t num_buyers() const = 0;
+  virtual const std::vector<FingerprintLocation>& locations() const = 0;
+  virtual FingerprintCode code_of(std::size_t buyer) const = 0;
+};
+
+/// A set of distinct buyer codewords over the same location set,
+/// materialized up front (random distinct bitstrings, rejection-sampled).
+class Codebook : public CodebookSource {
  public:
   Codebook(const std::vector<FingerprintLocation>& locs,
            std::size_t num_buyers, std::uint64_t seed);
 
-  std::size_t num_buyers() const { return codes_.size(); }
+  std::size_t num_buyers() const override { return codes_.size(); }
   const FingerprintCode& code(std::size_t buyer) const;
-  const std::vector<FingerprintLocation>& locations() const {
+  FingerprintCode code_of(std::size_t buyer) const override {
+    return code(buyer);
+  }
+  const std::vector<FingerprintLocation>& locations() const override {
     return *locs_;
   }
 

@@ -1,0 +1,44 @@
+#include "fingerprint/streaming_codebook.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace odcfp {
+
+StreamingCodebook::StreamingCodebook(
+    const std::vector<FingerprintLocation>& locs, std::size_t num_buyers,
+    std::uint64_t seed)
+    : locs_(&locs), num_buyers_(num_buyers) {
+  ODCFP_CHECK_MSG(static_cast<std::uint64_t>(num_buyers) <= capacity(locs),
+                  "streaming codebook capacity "
+                      << capacity(locs) << " cannot serve " << num_buyers
+                      << " buyer(s)");
+  const std::size_t nbits = usable_bits(locs);
+  keystream_.resize(nbits);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < nbits; ++i) keystream_[i] = rng.next_bool();
+}
+
+std::uint64_t StreamingCodebook::capacity(
+    const std::vector<FingerprintLocation>& locs) {
+  const std::size_t nbits = usable_bits(locs);
+  if (nbits >= 63) return std::uint64_t{1} << 63;
+  return std::uint64_t{1} << nbits;
+}
+
+FingerprintCode StreamingCodebook::code_of(std::size_t buyer) const {
+  ODCFP_CHECK(buyer < num_buyers_);
+  std::vector<bool> bits(keystream_.begin(), keystream_.end());
+  // Low-order buyer bits land on the trailing capacity bits; XOR against
+  // the keystream keeps the map bijective, hence codewords distinct.
+  const std::uint64_t b = buyer;
+  for (std::size_t i = 0; i < bits.size() && i < 64; ++i) {
+    if ((b >> i) & 1u) {
+      const std::size_t pos = bits.size() - 1 - i;
+      bits[pos] = !bits[pos];
+    }
+  }
+  return encode_bits(*locs_, bits);
+}
+
+}  // namespace odcfp

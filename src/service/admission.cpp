@@ -1,0 +1,111 @@
+#include "service/admission.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace odcfp::service {
+
+const char* to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kMalformed: return "malformed";
+    case RejectReason::kOverloaded: return "overloaded";
+    case RejectReason::kQuotaExceeded: return "quota_exceeded";
+    case RejectReason::kQueueTimeout: return "queue_timeout";
+    case RejectReason::kShuttingDown: return "shutting_down";
+  }
+  return "unknown";
+}
+
+bool parse_reject_reason(const std::string& text, RejectReason* out) {
+  for (const RejectReason r :
+       {RejectReason::kNone, RejectReason::kMalformed,
+        RejectReason::kOverloaded, RejectReason::kQuotaExceeded,
+        RejectReason::kQueueTimeout, RejectReason::kShuttingDown}) {
+    if (text == to_string(r)) {
+      *out = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+TokenBucket::TokenBucket(const TokenBucketConfig& config,
+                         std::uint64_t now_ns)
+    : config_(config), tokens_(config.capacity), last_ns_(now_ns) {}
+
+void TokenBucket::refill(std::uint64_t now_ns) {
+  if (now_ns <= last_ns_) return;  // caller clock went backwards: hold
+  if (config_.refill_per_sec > 0) {
+    const double elapsed_s =
+        static_cast<double>(now_ns - last_ns_) / 1e9;
+    tokens_ = std::min(config_.capacity,
+                       tokens_ + elapsed_s * config_.refill_per_sec);
+  }
+  last_ns_ = now_ns;
+}
+
+bool TokenBucket::try_take(double cost, std::uint64_t now_ns) {
+  refill(now_ns);
+  if (tokens_ < cost) return false;
+  tokens_ -= cost;
+  return true;
+}
+
+double TokenBucket::available(std::uint64_t now_ns) {
+  refill(now_ns);
+  return tokens_;
+}
+
+double estimate_request_cost(std::uint64_t buyers, bool verify) {
+  const double per_buyer = verify ? 2.0 : 1.0;
+  return per_buyer * static_cast<double>(buyers);
+}
+
+AdmissionController::AdmissionController(
+    std::map<std::string, TenantQuota> quotas,
+    const TenantQuota& default_quota, std::size_t queue_capacity)
+    : quotas_(std::move(quotas)),
+      default_quota_(default_quota),
+      queue_capacity_(queue_capacity) {}
+
+const TenantQuota& AdmissionController::quota_of(
+    const std::string& tenant) const {
+  const auto it = quotas_.find(tenant);
+  return it == quotas_.end() ? default_quota_ : it->second;
+}
+
+AdmitDecision AdmissionController::try_admit(const std::string& tenant,
+                                             double cost,
+                                             std::size_t queue_depth,
+                                             std::uint64_t now_ns) {
+  AdmitDecision decision;
+  const TenantQuota& quota = quota_of(tenant);
+  decision.priority = quota.priority;
+  // Load before quota: a burst hitting a full queue is global
+  // backpressure and must not drain the tenant's bucket on the way out.
+  if (queue_depth >= queue_capacity_) {
+    decision.reason = RejectReason::kOverloaded;
+    std::ostringstream os;
+    os << "queue full (" << queue_depth << "/" << queue_capacity_ << ")";
+    decision.detail = os.str();
+    return decision;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    it = buckets_.emplace(tenant, TokenBucket(quota.bucket, now_ns)).first;
+  }
+  if (!it->second.try_take(cost, now_ns)) {
+    decision.reason = RejectReason::kQuotaExceeded;
+    std::ostringstream os;
+    os << "tenant '" << tenant << "' needs " << cost << " tokens, has "
+       << it->second.available(now_ns);
+    decision.detail = os.str();
+    return decision;
+  }
+  decision.admitted = true;
+  return decision;
+}
+
+}  // namespace odcfp::service

@@ -1,0 +1,116 @@
+// Admission control for the multi-tenant fingerprinting service.
+//
+// The service protects itself with three explicit gates, checked in
+// order at submit time:
+//
+//  1. shape   — a request that cannot possibly run (no tenant, no
+//               circuit, zero buyers) is kMalformed, not queued;
+//  2. load    — a full request queue rejects with kOverloaded *before*
+//               any per-tenant accounting, so one tenant's burst cannot
+//               consume another tenant's quota refill just to be shed;
+//  3. quota   — a deterministic token bucket per tenant: cost is taken
+//               from the bucket or the request is kQuotaExceeded.
+//
+// A fourth reason, kQueueTimeout, is issued later, at dequeue: a request
+// that sat queued past its whole deadline is shed with a durable
+// terminal record instead of being run with a dead budget.
+//
+// Determinism: TokenBucket is a pure function of (config, the sequence
+// of try_take(cost, now_ns) calls) — it reads no clock of its own, the
+// caller passes now_ns — so unit tests and the bench's deterministic
+// admission phases drive it with synthetic timestamps and get exact
+// accept/reject counts at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace odcfp::service {
+
+/// Why a request was refused or shed. Stable names (to_string) ride the
+/// wire and the request log.
+enum class RejectReason {
+  kNone,
+  kMalformed,     ///< the request cannot be run as stated
+  kOverloaded,    ///< bounded queue is full — global backpressure
+  kQuotaExceeded, ///< the tenant's token bucket cannot cover the cost
+  kQueueTimeout,  ///< queued past its deadline; shed at dequeue
+  kShuttingDown,  ///< daemon is draining; resubmit to its successor
+};
+
+const char* to_string(RejectReason reason);
+bool parse_reject_reason(const std::string& text, RejectReason* out);
+
+/// Deterministic token bucket. Tokens refill linearly with the caller's
+/// clock (`now_ns`), capped at capacity; try_take refills, then takes
+/// cost or nothing (no partial debits, no debt).
+struct TokenBucketConfig {
+  double capacity = 1e12;       ///< effectively unlimited by default
+  double refill_per_sec = 0.0;  ///< 0 = the bucket never refills
+};
+
+class TokenBucket {
+ public:
+  TokenBucket(const TokenBucketConfig& config, std::uint64_t now_ns);
+
+  /// Refills from elapsed time, then takes `cost` tokens if available.
+  bool try_take(double cost, std::uint64_t now_ns);
+
+  /// Tokens available after refilling to `now_ns` (does not take).
+  double available(std::uint64_t now_ns);
+
+ private:
+  void refill(std::uint64_t now_ns);
+
+  TokenBucketConfig config_;
+  double tokens_;
+  std::uint64_t last_ns_;
+};
+
+/// Per-tenant policy: bucket shape plus a scheduling priority (higher
+/// runs first; ties break on admission order).
+struct TenantQuota {
+  TokenBucketConfig bucket;
+  int priority = 0;
+};
+
+/// Admission cost estimate, in tokens. Each buyer edition is one unit of
+/// stamping work; a verify pass roughly doubles the per-buyer cost.
+double estimate_request_cost(std::uint64_t buyers, bool verify);
+
+struct AdmitDecision {
+  bool admitted = false;
+  RejectReason reason = RejectReason::kNone;
+  std::string detail;
+  int priority = 0;  ///< effective (tenant) priority when admitted
+};
+
+/// The submit-time gate. Thread-safe; buckets are created lazily per
+/// tenant (unknown tenants get `default_quota`).
+class AdmissionController {
+ public:
+  AdmissionController(std::map<std::string, TenantQuota> quotas,
+                      const TenantQuota& default_quota,
+                      std::size_t queue_capacity);
+
+  /// Applies gates 2 and 3 (the caller has already shape-checked).
+  /// `queue_depth` is the current bounded-queue occupancy.
+  AdmitDecision try_admit(const std::string& tenant, double cost,
+                          std::size_t queue_depth, std::uint64_t now_ns);
+
+  std::size_t queue_capacity() const { return queue_capacity_; }
+
+  /// The quota that governs `tenant` (configured or default).
+  const TenantQuota& quota_of(const std::string& tenant) const;
+
+ private:
+  std::map<std::string, TenantQuota> quotas_;
+  TenantQuota default_quota_;
+  std::size_t queue_capacity_;
+  std::mutex mu_;
+  std::map<std::string, TokenBucket> buckets_;
+};
+
+}  // namespace odcfp::service

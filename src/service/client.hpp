@@ -1,0 +1,73 @@
+// Client side of the fingerprinting service wire protocol.
+//
+// One Client names one daemon socket; every operation opens a fresh
+// connection, sends one frame, and reads one reply frame (the server's
+// connection contract is single-shot). All failures are typed through
+// Outcome — a dead daemon is kExhausted (retryable: it may be
+// restarting and replaying), a protocol violation is kMalformedInput.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/budget.hpp"
+#include "service/admission.hpp"
+#include "service/request_log.hpp"
+
+namespace odcfp::service {
+
+struct SubmitReply {
+  bool accepted = false;
+  std::uint64_t id = 0;                          ///< when accepted
+  RejectReason reason = RejectReason::kNone;     ///< when rejected
+  std::string detail;
+};
+
+struct StatusReply {
+  std::string state;  ///< queued|running|interrupted|<terminal outcome>
+  bool terminal = false;
+  std::uint64_t committed = 0;
+  std::uint32_t artifact_crc = 0;
+  std::string detail;
+};
+
+struct StatsReply {
+  std::uint64_t admitted = 0;
+  std::uint64_t replayed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t shed_overloaded = 0;
+  std::uint64_t shed_quota = 0;
+  std::uint64_t shed_timeout = 0;
+  std::uint64_t rejected_malformed = 0;
+  std::uint64_t queue_depth = 0;
+};
+
+class Client {
+ public:
+  explicit Client(std::string socket_path, int timeout_ms = 5'000)
+      : socket_path_(std::move(socket_path)), timeout_ms_(timeout_ms) {}
+
+  /// True when the daemon answers a ping within the timeout.
+  bool ping();
+
+  Outcome<SubmitReply> submit(const RequestSpec& spec);
+  Outcome<StatusReply> status(std::uint64_t id);
+  Outcome<StatsReply> stats();
+
+  /// Polls status until the request is terminal or timeout_ms elapses.
+  /// kExhausted on timeout (the request may still finish later).
+  Outcome<StatusReply> wait(std::uint64_t id, std::int64_t timeout_ms,
+                            std::int64_t poll_ms = 50);
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  Outcome<std::string> round_trip(const std::string& request);
+
+  std::string socket_path_;
+  int timeout_ms_;
+};
+
+}  // namespace odcfp::service

@@ -173,6 +173,55 @@ TEST(AtomicIo, FaultAtEveryStepLeavesFinalPathUntouched) {
   EXPECT_EQ(back, "new content");
 }
 
+// ---- ENOSPC: the disk filled mid-write and some bytes LANDED ----
+
+TEST(AtomicIo, DiskFullShortWriteRejectsAndRecovers) {
+  const std::string dir = temp_path("disk_full");
+  ASSERT_TRUE(atomic_io::make_dirs(dir));
+  const std::string path = dir + "/artifact.blif";
+  ASSERT_TRUE(atomic_io::write_file_atomic(path, "old content").ok);
+  fault::FailNthDiskFull inj(1, "atomic_io.write", /*count=*/1,
+                             /*short_bytes=*/7);
+  {
+    fault::ScopedInjector scoped(&inj);
+    const atomic_io::WriteResult r = atomic_io::write_file_atomic(
+        path, "replacement far longer than seven bytes");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("disk full"), std::string::npos) << r.error;
+  }
+  EXPECT_EQ(inj.fired(), 1u);
+  // The genuinely-truncated temp was rejected, never published: the
+  // final path still holds the previous content and no temp debris
+  // survives for a resumed run to trip over.
+  std::string back;
+  ASSERT_TRUE(atomic_io::read_file(path, &back));
+  EXPECT_EQ(back, "old content");
+  EXPECT_EQ(atomic_io::remove_stale_temps(dir), 0u);
+  // Space was freed (the injector only fires once): recovery is a plain
+  // retry, no special casing.
+  ASSERT_TRUE(
+      atomic_io::write_file_atomic(path, "post-recovery content").ok);
+  ASSERT_TRUE(atomic_io::read_file(path, &back));
+  EXPECT_EQ(back, "post-recovery content");
+}
+
+TEST(AtomicIo, DiskFullMidChunkNeverPublishesThePrefix) {
+  const std::string dir = temp_path("disk_full_chunks");
+  ASSERT_TRUE(atomic_io::make_dirs(dir));
+  const std::string path = dir + "/big.json";
+  const std::string data(std::size_t{3} << 16, 'x');  // 3 chunks
+  // The SECOND chunk lands short: a real partial temp existed on disk.
+  fault::FailNthDiskFull inj(2, "atomic_io.write", /*count=*/1,
+                             /*short_bytes=*/4096);
+  {
+    fault::ScopedInjector scoped(&inj);
+    EXPECT_FALSE(atomic_io::write_file_atomic(path, data).ok);
+  }
+  EXPECT_EQ(inj.fired(), 1u);
+  EXPECT_FALSE(atomic_io::exists(path));
+  EXPECT_EQ(atomic_io::remove_stale_temps(dir), 0u);
+}
+
 TEST(AtomicIo, MidWriteFaultOnLargePayloadStillCleansUp) {
   const std::string dir = temp_path("fault_large");
   ASSERT_TRUE(atomic_io::make_dirs(dir));

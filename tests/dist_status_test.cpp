@@ -11,12 +11,15 @@
 #include <dirent.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/atomic_io.hpp"
+#include "common/subprocess.hpp"
 #include "dist/shard.hpp"
 #include "dist/supervisor.hpp"
 
@@ -296,6 +299,52 @@ TEST(Status, InspectRunDirComposesFromPrimarySources) {
   EXPECT_FALSE(degraded.shards[0].have_snapshot);
   EXPECT_TRUE(degraded.shards[1].have_snapshot);
   EXPECT_EQ(degraded.committed, spec.num_buyers);
+}
+
+// The real odcfp_status binary watching a run that never finishes:
+// --watch-timeout must convert the would-be hang into the distinct exit
+// code 3 (not 2 = usage, not 0 = done) with a diagnostic naming the last
+// observed state, so CI jobs watching a wedged run fail loudly.
+TEST(Status, WatchTimeoutExitsDistinctlyOnAnIdleRun) {
+  const std::string dir = fresh_dir("watch_timeout");
+  proc::SpawnOptions options;
+  options.stdout_path = dir + "/watch.out";
+  options.stderr_path = dir + "/watch.err";
+  std::string error;
+  const pid_t pid = proc::spawn(
+      {ODCFP_STATUS_BIN, dir, "--watch", "--json", "--interval-ms", "20",
+       "--watch-timeout", "200"},
+      options, &error);
+  ASSERT_GT(pid, 0) << error;
+  int exit_code = -1, term_signal = -1;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(30);
+  proc::WaitResult wr = proc::WaitResult::kRunning;
+  while (std::chrono::steady_clock::now() < deadline) {
+    wr = proc::try_wait(pid, &exit_code, &term_signal);
+    if (wr != proc::WaitResult::kRunning) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(wr, proc::WaitResult::kExited);
+  EXPECT_EQ(exit_code, 3);
+  std::string diagnostic;
+  ASSERT_TRUE(atomic_io::read_file(dir + "/watch.err", &diagnostic));
+  EXPECT_NE(diagnostic.find("watch timed out"), std::string::npos)
+      << diagnostic;
+  EXPECT_NE(diagnostic.find("'idle'"), std::string::npos) << diagnostic;
+
+  // Contrast cases: a missing run dir is a usage-class error (2), and a
+  // finished run exits 0 well before the timeout.
+  const pid_t missing = proc::spawn(
+      {ODCFP_STATUS_BIN, dir + "/no-such-dir", "--watch",
+       "--watch-timeout", "200"},
+      options, &error);
+  ASSERT_GT(missing, 0) << error;
+  while (proc::try_wait(missing, &exit_code, &term_signal) ==
+         proc::WaitResult::kRunning) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(exit_code, 2);
 }
 
 }  // namespace

@@ -285,6 +285,72 @@ TEST(Journal, AppendFaultBeforeWriteLeavesJournalUsable) {
   EXPECT_EQ(out.value().entries[0].seq, 0u);
 }
 
+// ENOSPC mid-append: the kernel accepted a PREFIX of the record before
+// failing. The journal must roll the file back to its pre-append size —
+// a partial line mid-file would poison every later replay — and stay
+// appendable once space is freed.
+TEST(Journal, DiskFullShortAppendRollsBackAndStaysAppendable) {
+  const std::string path = temp_path("disk_full");
+  std::remove(path.c_str());
+  Outcome<Journal> j = Journal::create(path, header());
+  ASSERT_TRUE(j.ok());
+  ASSERT_TRUE(j.value().append(0, BuyerPhase::kEmbedding));
+  std::string before;
+  ASSERT_TRUE(atomic_io::read_file(path, &before));
+
+  fault::FailNthDiskFull inj(1, "journal.append", /*count=*/1,
+                             /*short_bytes=*/5);
+  {
+    fault::ScopedInjector scoped(&inj);
+    std::string error;
+    EXPECT_FALSE(
+        j.value().append(1, BuyerPhase::kEmbedding, "", 0, &error));
+    EXPECT_NE(error.find("disk full"), std::string::npos) << error;
+  }
+  EXPECT_EQ(inj.fired(), 1u);
+  // Byte-identical rollback: the short-landed prefix is gone.
+  std::string after;
+  ASSERT_TRUE(atomic_io::read_file(path, &after));
+  EXPECT_EQ(after, before);
+
+  // Disk recovered: appends resume and replay is clean.
+  EXPECT_TRUE(j.value().is_open());
+  EXPECT_TRUE(j.value().append(1, BuyerPhase::kEmbedding));
+  const Outcome<JournalReplay> out = read_journal(path);
+  ASSERT_TRUE(out.ok()) << out.message();
+  ASSERT_EQ(out.value().entries.size(), 2u);
+  EXPECT_FALSE(out.value().torn_tail);
+}
+
+// Same fault, but the whole record landed short of its newline AND the
+// rollback covers it — a sweep over short_bytes sizes exercises every
+// truncation point including 0 (nothing landed).
+TEST(Journal, DiskFullRollbackHoldsAtEveryTruncationPoint) {
+  for (const std::size_t short_bytes : {std::size_t{0}, std::size_t{1},
+                                        std::size_t{16},
+                                        std::size_t{10'000}}) {
+    const std::string path = temp_path("disk_full_sweep");
+    std::remove(path.c_str());
+    Outcome<Journal> j = Journal::create(path, header());
+    ASSERT_TRUE(j.ok());
+    ASSERT_TRUE(j.value().append(0, BuyerPhase::kEmbedding));
+    std::string before;
+    ASSERT_TRUE(atomic_io::read_file(path, &before));
+    fault::FailNthDiskFull inj(1, "journal.append", 1, short_bytes);
+    {
+      fault::ScopedInjector scoped(&inj);
+      EXPECT_FALSE(j.value().append(1, BuyerPhase::kCommitted,
+                                    "out/e.blif", 0xabcd));
+    }
+    std::string after;
+    ASSERT_TRUE(atomic_io::read_file(path, &after));
+    EXPECT_EQ(after, before) << "short_bytes=" << short_bytes;
+    const Outcome<JournalReplay> out = read_journal(path);
+    ASSERT_TRUE(out.ok()) << out.message();
+    EXPECT_FALSE(out.value().torn_tail) << "short_bytes=" << short_bytes;
+  }
+}
+
 // A fault between write and fsync fails the append (durability unknown)
 // but the line itself is intact on disk; the retried append must use a
 // FRESH sequence number so replay stays strictly increasing.

@@ -14,10 +14,12 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <functional>
 #include <new>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/fault.hpp"
@@ -351,6 +353,84 @@ TEST(Retry, DeadlineLandingMidBackoffGivesUpAfterSleptBackoff) {
   EXPECT_DOUBLE_EQ(s.backoff_ms[0], 5.0);
   // Give-up happened by decision, not by burning the deadline asleep.
   EXPECT_FALSE(budget.exhausted());
+}
+
+// A CONCURRENT cancel lands while the retry loop is asleep inside a
+// long backoff. The sliced sleep re-polls the budget every ~5 ms, so the
+// loop must wake within a few slices — not hold the thread for the full
+// multi-second backoff — and give up with kExhausted without running
+// another attempt. The recorded schedule is unaffected: the backoff was
+// computed and logged before the sleep, so determinism tests replaying
+// the same (seed, fault schedule) see the identical backoff_ms sequence
+// whether or not a cancel raced the sleep.
+TEST(Retry, ConcurrentCancelMidBackoffWakesWithinASlice) {
+  CancelToken token;
+  Budget budget;
+  budget.with_cancel(token);
+  RetryPolicy p;
+  p.max_attempts = 5;
+  p.jitter = 0;
+  p.base_delay_ms = 5000;  // would hold the thread 5 s if uninterrupted
+  p.max_delay_ms = 10000;
+  p.budget = &budget;
+  p.sleep = true;
+  std::atomic<int> calls{0};
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    token.cancel();
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  const RetryStats s = retry_with_backoff("test.cancel_race", p, [&](int) {
+    ++calls;
+    return Status::kExhausted;
+  });
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  canceller.join();
+  EXPECT_EQ(s.status, Status::kExhausted);
+  EXPECT_EQ(calls.load(), 1);  // the cancel forbade a second attempt
+  // Woke promptly: a handful of 5 ms slices, nowhere near the 5 s
+  // backoff (generous bound for loaded CI machines).
+  EXPECT_LT(elapsed_ms, 2000.0);
+  // The schedule was recorded before the interrupted sleep and is the
+  // same pure function of (seed, attempt) as an un-cancelled run.
+  ASSERT_EQ(s.backoff_ms.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.backoff_ms[0], backoff_delay_ms(p, 1));
+}
+
+// The retry loop never sleeps out its caller's deadline: backoffs that
+// fit the remaining budget are slept, and the first one that would
+// overshoot triggers an awake give-up. Total wall time stays in the
+// neighborhood of the deadline even though the naive full schedule
+// (49 x 40 ms) would sleep for seconds.
+TEST(Retry, SleepNeverOutlivesTheDeadline) {
+  Budget budget = Budget::deadline_ms(100);
+  RetryPolicy p;
+  p.max_attempts = 50;
+  p.jitter = 0;
+  p.base_delay_ms = 40;
+  p.multiplier = 1;  // constant 40 ms backoffs
+  p.budget = &budget;
+  p.sleep = true;
+  const auto t0 = std::chrono::steady_clock::now();
+  const RetryStats s = retry_with_backoff(
+      "test.deadline_sleep", p, [](int) { return Status::kExhausted; });
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(s.status, Status::kExhausted);
+  // A couple of 40 ms backoffs fit a 100 ms deadline; the next would
+  // overshoot, so the attempt count is small and bounded.
+  EXPECT_GE(s.attempts, 2);
+  EXPECT_LE(s.attempts, 4);
+  EXPECT_EQ(s.backoff_ms.size(),
+            static_cast<std::size_t>(s.attempts - 1));
+  // Bounded promptly by the deadline, not by the 2 s naive schedule
+  // (generous slack for loaded CI machines).
+  EXPECT_LT(elapsed_ms, 1000.0);
 }
 
 }  // namespace

@@ -1,0 +1,286 @@
+// Service soak: the REAL daemon binary under mixed-tenant load, killed
+// hard mid-run and restarted on the same state directory. The restart
+// must replay every admitted request to completion with byte-identical
+// artifacts, at every worker-thread count — the composition of the
+// request log's A-before-reply discipline and the per-request batch
+// journal's resumability. Also covers the client CLI's exit-code
+// contract and the daemon's graceful SIGTERM path.
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/atomic_io.hpp"
+#include "common/subprocess.hpp"
+#include "gtest/gtest.h"
+#include "service/client.hpp"
+#include "service/request_log.hpp"
+#include "service/server.hpp"
+
+#ifndef ODCFP_SERVICED_BIN
+#error "build must define ODCFP_SERVICED_BIN"
+#endif
+#ifndef ODCFP_CLIENT_BIN
+#error "build must define ODCFP_CLIENT_BIN"
+#endif
+
+namespace odcfp::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir =
+      std::string(::testing::TempDir()) + "service_soak_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+pid_t start_daemon(const std::string& dir, int pool_threads,
+                   int executors = 2) {
+  proc::SpawnOptions options;
+  options.stdout_path = dir + "/daemon.log";
+  options.stderr_path = dir + "/daemon.log";
+  std::string error;
+  proc::SpawnError kind = proc::SpawnError::kNone;
+  const pid_t pid = proc::spawn(
+      {ODCFP_SERVICED_BIN, "--socket", dir + "/svc.sock", "--state-dir",
+       dir + "/state", "--executors", std::to_string(executors),
+       "--pool-threads", std::to_string(pool_threads),
+       "--max-delay-overhead", "0", "--tenant", "gold:1000000:0:5"},
+      options, &error, &kind);
+  EXPECT_GT(pid, 0) << error << " (" << proc::to_string(kind) << ")";
+  return pid;
+}
+
+bool wait_ready(const std::string& dir, int timeout_ms = 20'000) {
+  Client client(dir + "/svc.sock", /*timeout_ms=*/500);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (client.ping()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return false;
+}
+
+int wait_exit(pid_t pid, int timeout_ms = 30'000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    int exit_code = -1, term_signal = -1;
+    const proc::WaitResult wr = proc::try_wait(pid, &exit_code, &term_signal);
+    if (wr == proc::WaitResult::kExited) return exit_code;
+    if (wr == proc::WaitResult::kSignaled) return 128 + term_signal;
+    if (wr == proc::WaitResult::kLost) return -2;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return -1;
+}
+
+std::vector<RequestSpec> mixed_load() {
+  std::vector<RequestSpec> specs;
+  const auto add = [&specs](const char* tenant, const char* circuit,
+                            std::uint64_t buyers, std::uint64_t seed) {
+    RequestSpec spec;
+    spec.tenant = tenant;
+    spec.circuit = circuit;
+    spec.buyers = buyers;
+    spec.seed = seed;
+    specs.push_back(spec);
+  };
+  add("gold", "c432", 4, 1);
+  add("anon", "c17", 3, 2);
+  add("gold", "c432", 4, 3);
+  add("anon", "c432", 4, 4);
+  add("anon", "c17", 4, 5);  // c17's full streaming capacity
+  add("gold", "c17", 3, 6);
+  return specs;
+}
+
+/// Per-request concatenated artifact bytes, keyed by id, read from the
+/// daemon's state dir after every id reached "completed".
+std::map<std::uint64_t, std::string> read_artifacts(
+    const std::string& state_dir,
+    const std::map<std::uint64_t, std::uint64_t>& buyers_of) {
+  std::map<std::uint64_t, std::string> out;
+  for (const auto& [id, buyers] : buyers_of) {
+    std::string all;
+    for (std::uint64_t b = 0; b < buyers; ++b) {
+      std::string one;
+      EXPECT_TRUE(atomic_io::read_file(
+          Server::run_dir_of(state_dir, id) + "/editions/edition_" +
+              std::to_string(b) + ".blif",
+          &one))
+          << "id " << id << " edition " << b;
+      all += one;
+    }
+    out[id] = all;
+  }
+  return out;
+}
+
+TEST(ServiceSoak, SigkillRestartReplaysByteIdenticalAtEveryThreadCount) {
+  // Uninterrupted in-process reference run: what the artifacts SHOULD
+  // be, independent of daemon crashes and thread counts.
+  std::map<std::uint64_t, std::string> reference;
+  std::map<std::uint64_t, std::uint64_t> buyers_of;
+  {
+    const std::string dir = temp_dir("reference");
+    ServiceConfig config;
+    config.socket_path = dir + "/svc.sock";
+    config.state_dir = dir + "/state";
+    config.num_executors = 2;
+    config.pool_threads = 2;
+    config.max_delay_overhead = 0;
+    auto server = Server::start(config);
+    ASSERT_TRUE(server.ok()) << server.message();
+    Client client(config.socket_path);
+    for (const RequestSpec& spec : mixed_load()) {
+      auto reply = client.submit(spec);
+      ASSERT_TRUE(reply.ok()) << reply.message();
+      ASSERT_TRUE(reply.value().accepted);
+      buyers_of[reply.value().id] = spec.buyers;
+    }
+    for (const auto& [id, buyers] : buyers_of) {
+      ASSERT_EQ(server.value()->wait_terminal(id, 180'000), "completed");
+    }
+    server.value()->stop();
+    reference = read_artifacts(config.state_dir, buyers_of);
+  }
+
+  for (const int threads : {1, 2, 8}) {
+    SCOPED_TRACE("pool_threads=" + std::to_string(threads));
+    const std::string dir = temp_dir("kill_t" + std::to_string(threads));
+    const pid_t first = start_daemon(dir, threads);
+    ASSERT_TRUE(wait_ready(dir));
+
+    Client client(dir + "/svc.sock");
+    std::map<std::uint64_t, std::uint64_t> admitted;
+    for (const RequestSpec& spec : mixed_load()) {
+      auto reply = client.submit(spec);
+      ASSERT_TRUE(reply.ok()) << reply.message();
+      ASSERT_TRUE(reply.value().accepted);
+      admitted[reply.value().id] = spec.buyers;
+    }
+    // Give the executors just enough time to be genuinely mid-flight
+    // (some requests running, some queued, maybe some finished), then
+    // murder the daemon.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    proc::kill_hard(first);
+
+    // Every admitted request the first daemon did NOT durably finish
+    // must be pending in the log — never silently lost.
+    {
+      auto replay =
+          read_request_log(Server::request_log_path(dir + "/state"));
+      ASSERT_TRUE(replay.ok()) << replay.message();
+      EXPECT_EQ(replay.value().admitted.size(), admitted.size());
+      for (const AdmittedRecord& record : replay.value().admitted) {
+        EXPECT_TRUE(admitted.count(record.id));
+      }
+    }
+
+    const pid_t second = start_daemon(dir, threads);
+    ASSERT_TRUE(wait_ready(dir));
+    for (const auto& [id, buyers] : admitted) {
+      auto status = client.wait(id, 180'000);
+      ASSERT_TRUE(status.ok()) << status.message();
+      EXPECT_EQ(status.value().state, "completed") << "id " << id;
+    }
+    ASSERT_EQ(::kill(second, SIGTERM), 0);
+    EXPECT_EQ(wait_exit(second), 0);
+
+    // Zero accepted-then-lost: every admitted id is terminal in the log.
+    auto replay =
+        read_request_log(Server::request_log_path(dir + "/state"));
+    ASSERT_TRUE(replay.ok()) << replay.message();
+    EXPECT_EQ(replay.value().admitted.size(), admitted.size());
+    EXPECT_TRUE(replay.value().pending().empty());
+
+    // Byte-identical artifacts, regardless of crash point or threads.
+    const auto artifacts = read_artifacts(dir + "/state", admitted);
+    EXPECT_EQ(artifacts, reference);
+  }
+}
+
+TEST(ServiceSoak, GracefulSigtermHandsQueuedWorkToSuccessor) {
+  const std::string dir = temp_dir("sigterm");
+  // Accept-only daemon: everything it admits stays queued.
+  const pid_t first = start_daemon(dir, /*pool_threads=*/1,
+                                   /*executors=*/0);
+  ASSERT_TRUE(wait_ready(dir));
+  Client client(dir + "/svc.sock");
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    RequestSpec spec;
+    spec.tenant = "anon";
+    spec.circuit = "c17";
+    spec.buyers = 3;
+    spec.seed = static_cast<std::uint64_t>(i);
+    auto reply = client.submit(spec);
+    ASSERT_TRUE(reply.ok());
+    ASSERT_TRUE(reply.value().accepted);
+    ids.push_back(reply.value().id);
+  }
+  ASSERT_EQ(::kill(first, SIGTERM), 0);
+  EXPECT_EQ(wait_exit(first), 0);
+
+  const pid_t second = start_daemon(dir, /*pool_threads=*/2);
+  ASSERT_TRUE(wait_ready(dir));
+  for (const std::uint64_t id : ids) {
+    auto status = client.wait(id, 180'000);
+    ASSERT_TRUE(status.ok()) << status.message();
+    EXPECT_EQ(status.value().state, "completed");
+  }
+  ASSERT_EQ(::kill(second, SIGTERM), 0);
+  EXPECT_EQ(wait_exit(second), 0);
+}
+
+TEST(ServiceSoak, ClientCliExitCodeContract) {
+  const std::string dir = temp_dir("cli");
+  const pid_t daemon = start_daemon(dir, /*pool_threads=*/2);
+  ASSERT_TRUE(wait_ready(dir));
+  const std::string sock = dir + "/svc.sock";
+
+  const auto run = [&dir](const std::vector<std::string>& argv) {
+    proc::SpawnOptions options;
+    options.stdout_path = dir + "/cli.log";
+    options.stderr_path = dir + "/cli.log";
+    std::string error;
+    const pid_t pid = proc::spawn(argv, options, &error);
+    EXPECT_GT(pid, 0) << error;
+    return wait_exit(pid);
+  };
+
+  EXPECT_EQ(run({ODCFP_CLIENT_BIN, "--socket", sock, "ping"}), 0);
+  // Rejected by admission control: distinct exit code 4.
+  EXPECT_EQ(run({ODCFP_CLIENT_BIN, "--socket", sock, "submit",
+                 "--tenant", "anon", "--circuit", "not_a_circuit",
+                 "--buyers", "2"}),
+            4);
+  EXPECT_EQ(run({ODCFP_CLIENT_BIN, "--socket", sock, "submit",
+                 "--tenant", "anon", "--circuit", "c17", "--buyers",
+                 "2"}),
+            0);
+  EXPECT_EQ(run({ODCFP_CLIENT_BIN, "--socket", sock, "wait", "--id", "1",
+                 "--timeout-ms", "120000"}),
+            0);
+  EXPECT_EQ(run({ODCFP_CLIENT_BIN, "--socket", sock, "stats"}), 0);
+  // Usage error.
+  EXPECT_EQ(run({ODCFP_CLIENT_BIN, "--socket", sock, "submit"}), 2);
+  ASSERT_EQ(::kill(daemon, SIGTERM), 0);
+  EXPECT_EQ(wait_exit(daemon), 0);
+  // No daemon anymore: transport error.
+  EXPECT_EQ(run({ODCFP_CLIENT_BIN, "--socket", sock, "ping"}), 1);
+}
+
+}  // namespace
+}  // namespace odcfp::service

@@ -1,0 +1,156 @@
+// proc::spawn failure-path tests: every way a child can fail to start
+// must surface as a TYPED error (SpawnError) or a conventional exit
+// code — never as a silent hang or an untyped -1.
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/atomic_io.hpp"
+#include "common/subprocess.hpp"
+#include "gtest/gtest.h"
+
+namespace odcfp::proc {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_dir(const char* name) {
+  const std::string dir =
+      std::string(::testing::TempDir()) + "subprocess_test_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+int wait_exit(pid_t pid, int timeout_ms = 10'000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    int exit_code = -1, term_signal = -1;
+    const WaitResult wr = try_wait(pid, &exit_code, &term_signal);
+    if (wr == WaitResult::kExited) return exit_code;
+    if (wr == WaitResult::kSignaled) return 128 + term_signal;
+    if (wr == WaitResult::kLost) return -2;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return -1;
+}
+
+TEST(Subprocess, EmptyArgvIsTypedNotFatal) {
+  std::string error;
+  SpawnError kind = SpawnError::kNone;
+  EXPECT_EQ(spawn({}, SpawnOptions{}, &error, &kind), -1);
+  EXPECT_EQ(kind, SpawnError::kEmptyArgv);
+  EXPECT_FALSE(error.empty());
+  EXPECT_STREQ(to_string(kind), "empty_argv");
+}
+
+TEST(Subprocess, BadExecutableExits126) {
+  // exec failures happen post-fork, in the child: the spawn itself
+  // succeeds and the child _exit(126)s, the shell convention for
+  // "found but cannot execute" — distinguishable from every real
+  // daemon/worker exit code.
+  std::string error;
+  const pid_t pid = spawn({"/this/path/does/not/exist"}, &error);
+  ASSERT_GT(pid, 0) << error;
+  EXPECT_EQ(wait_exit(pid), 126);
+
+  const std::string dir = temp_dir("noexec");
+  const std::string script = dir + "/not_executable";
+  ASSERT_TRUE(atomic_io::write_file_atomic(script, "#!/bin/sh\n").ok);
+  const pid_t pid2 = spawn({script}, &error);
+  ASSERT_GT(pid2, 0) << error;
+  EXPECT_EQ(wait_exit(pid2), 126);
+}
+
+TEST(Subprocess, RedirectsLandInAppendModeFiles) {
+  const std::string dir = temp_dir("redirect");
+  SpawnOptions options;
+  options.stdout_path = dir + "/out.log";
+  options.stderr_path = dir + "/err.log";
+  std::string error;
+  pid_t pid = spawn({"/bin/sh", "-c", "echo to-out; echo to-err >&2"},
+                    options, &error);
+  ASSERT_GT(pid, 0) << error;
+  EXPECT_EQ(wait_exit(pid), 0);
+  // Append mode: a second child extends the log instead of clobbering.
+  pid = spawn({"/bin/sh", "-c", "echo again"}, options, &error);
+  ASSERT_GT(pid, 0) << error;
+  EXPECT_EQ(wait_exit(pid), 0);
+  std::string out, err;
+  ASSERT_TRUE(atomic_io::read_file(options.stdout_path, &out));
+  ASSERT_TRUE(atomic_io::read_file(options.stderr_path, &err));
+  EXPECT_EQ(out, "to-out\nagain\n");
+  EXPECT_EQ(err, "to-err\n");
+}
+
+TEST(Subprocess, SharedStdoutStderrPathInterleavesIntoOneFile) {
+  const std::string dir = temp_dir("shared");
+  SpawnOptions options;
+  options.stdout_path = dir + "/both.log";
+  options.stderr_path = dir + "/both.log";
+  std::string error;
+  const pid_t pid =
+      spawn({"/bin/sh", "-c", "echo one; echo two >&2"}, options, &error);
+  ASSERT_GT(pid, 0) << error;
+  EXPECT_EQ(wait_exit(pid), 0);
+  std::string both;
+  ASSERT_TRUE(atomic_io::read_file(options.stdout_path, &both));
+  EXPECT_NE(both.find("one"), std::string::npos);
+  EXPECT_NE(both.find("two"), std::string::npos);
+}
+
+TEST(Subprocess, MissingRedirectDirectoryIsTypedOpenFailure) {
+  SpawnOptions options;
+  options.stdout_path = "/this/dir/does/not/exist/child.log";
+  std::string error;
+  SpawnError kind = SpawnError::kNone;
+  EXPECT_EQ(spawn({"/bin/true"}, options, &error, &kind), -1);
+  EXPECT_EQ(kind, SpawnError::kOpenFailed);
+  EXPECT_NE(error.find("child.log"), std::string::npos);
+}
+
+TEST(Subprocess, FdExhaustionIsTypedNotMisreported) {
+  const std::string dir = temp_dir("rlimit");
+  // Lower the soft RLIMIT_NOFILE, then dup() until every slot under the
+  // limit is taken: the redirect open() inside spawn must fail EMFILE
+  // and come back as the TYPED kFdExhausted, not a generic open error.
+  struct rlimit old_limit;
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &old_limit), 0);
+  struct rlimit tight = old_limit;
+  tight.rlim_cur = 64;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &tight), 0);
+  std::vector<int> hogs;
+  for (;;) {
+    const int fd = ::dup(0);
+    if (fd < 0) break;
+    hogs.push_back(fd);
+  }
+
+  SpawnOptions options;
+  options.stdout_path = dir + "/starved.log";
+  std::string error;
+  SpawnError kind = SpawnError::kNone;
+  const pid_t pid = spawn({"/bin/true"}, options, &error, &kind);
+
+  for (const int fd : hogs) ::close(fd);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &old_limit), 0);
+
+  EXPECT_EQ(pid, -1);
+  EXPECT_EQ(kind, SpawnError::kFdExhausted);
+  EXPECT_STREQ(to_string(kind), "fd_exhausted");
+
+  // With the table freed again the same spawn succeeds.
+  kind = SpawnError::kNone;
+  const pid_t pid2 = spawn({"/bin/true"}, options, &error, &kind);
+  ASSERT_GT(pid2, 0) << error;
+  EXPECT_EQ(wait_exit(pid2), 0);
+}
+
+}  // namespace
+}  // namespace odcfp::proc

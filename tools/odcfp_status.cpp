@@ -4,6 +4,13 @@
 //   odcfp_status RUN_DIR --json     one-shot JSON (render_run_status_json)
 //   odcfp_status RUN_DIR --watch    poll until the run's merge record
 //                                   lands (exit 0) — ^C to stop earlier
+//   ... --watch --watch-timeout MS  give up after MS milliseconds of
+//                                   watching: exit 3 (distinct from the
+//                                   usage/missing-dir exit 2) with a
+//                                   diagnostic naming the run's last
+//                                   observed state, so CI jobs watching
+//                                   a wedged run fail loudly instead of
+//                                   hanging until the job timeout.
 //
 // The status is composed from the run dir's primary sources (run.spec,
 // lease journal, shard journals, status snapshots), never from
@@ -32,12 +39,19 @@ struct Args {
   bool watch = false;
   std::int64_t interval_ms = 500;
   std::int64_t stall_ms = 5'000;
+  std::int64_t watch_timeout_ms = 0;  // 0 = watch forever
 };
+
+/// Exit code when --watch-timeout expires before the run finishes.
+/// Distinct from 2 (usage / missing run dir) so callers can tell "I
+/// asked the wrong question" from "the run never finished".
+constexpr int kExitWatchTimeout = 3;
 
 int usage() {
   std::fprintf(stderr,
                "usage: odcfp_status RUN_DIR [--json] [--watch]\n"
-               "                    [--interval-ms N] [--stall-ms N]\n");
+               "                    [--interval-ms N] [--stall-ms N]\n"
+               "                    [--watch-timeout MS]\n");
   return 2;
 }
 
@@ -48,11 +62,14 @@ bool parse_args(int argc, char** argv, Args* args) {
       args->json = true;
     } else if (flag == "--watch") {
       args->watch = true;
-    } else if (flag == "--interval-ms" || flag == "--stall-ms") {
+    } else if (flag == "--interval-ms" || flag == "--stall-ms" ||
+               flag == "--watch-timeout") {
       if (i + 1 >= argc) return false;
       const std::int64_t v = std::strtoll(argv[++i], nullptr, 10);
       if (v <= 0) return false;
-      (flag == "--interval-ms" ? args->interval_ms : args->stall_ms) = v;
+      if (flag == "--interval-ms") args->interval_ms = v;
+      else if (flag == "--stall-ms") args->stall_ms = v;
+      else args->watch_timeout_ms = v;
     } else if (!flag.empty() && flag[0] == '-') {
       return false;
     } else if (args->run_dir.empty()) {
@@ -91,12 +108,27 @@ int main(int argc, char** argv) {
   }
 
   const bool tty = ::isatty(STDOUT_FILENO) == 1;
+  const auto watch_start = std::chrono::steady_clock::now();
   for (;;) {
     const dist::RunStatusView view =
         dist::inspect_run_dir(args.run_dir, args.stall_ms);
     if (tty && !args.json) std::fputs("\033[H\033[2J", stdout);
     render_once(args, view);
     if (view.state == "done") return 0;
+    if (args.watch_timeout_ms > 0) {
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - watch_start)
+              .count();
+      if (elapsed >= args.watch_timeout_ms) {
+        std::fprintf(stderr,
+                     "odcfp_status: watch timed out after %lld ms; run "
+                     "'%s' is still in state '%s' (not done)\n",
+                     static_cast<long long>(args.watch_timeout_ms),
+                     args.run_dir.c_str(), view.state.c_str());
+        return kExitWatchTimeout;
+      }
+    }
     std::this_thread::sleep_for(
         std::chrono::milliseconds(args.interval_ms));
   }
